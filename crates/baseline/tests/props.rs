@@ -1,0 +1,61 @@
+//! Property-based tests for the platform models.
+
+use proptest::prelude::*;
+use xlda_baseline::{HybridPipeline, Kernel, Platform};
+
+fn arb_kernel() -> impl Strategy<Value = Kernel> {
+    (1u64..1_000_000_000, 0u64..10_000_000, 0u64..100_000_000).prop_map(
+        |(flops_per_item, bytes_per_item, shared_bytes)| Kernel {
+            flops_per_item,
+            bytes_per_item,
+            shared_bytes,
+        },
+    )
+}
+
+fn arb_platform() -> impl Strategy<Value = Platform> {
+    prop::sample::select(vec![
+        Platform::gpu(),
+        Platform::tpu(),
+        Platform::cpu(),
+        Platform::edge_gpu(),
+    ])
+}
+
+proptest! {
+    #[test]
+    fn time_and_energy_positive(k in arb_kernel(), p in arb_platform(), batch in 1usize..10_000) {
+        let t = p.time(&k, batch);
+        prop_assert!(t > 0.0 && t.is_finite());
+        prop_assert!(p.energy(&k, batch) > 0.0);
+    }
+
+    #[test]
+    fn time_monotone_in_batch(k in arb_kernel(), p in arb_platform(), batch in 1usize..5_000) {
+        prop_assert!(p.time(&k, batch * 2) >= p.time(&k, batch));
+    }
+
+    #[test]
+    fn per_item_time_never_worse_with_batching(k in arb_kernel(), p in arb_platform(), batch in 2usize..5_000) {
+        // Launch overhead and shared bytes amortize; per-item cost can
+        // only fall (or stay flat) as batch grows.
+        prop_assert!(p.time_per_item(&k, batch) <= p.time_per_item(&k, 1) + 1e-15);
+    }
+
+    #[test]
+    fn time_at_least_each_roofline(k in arb_kernel(), p in arb_platform(), batch in 1usize..1_000) {
+        let t = p.time(&k, batch) - p.launch_overhead;
+        let flops = (k.flops_per_item * batch as u64) as f64;
+        let bytes = (k.shared_bytes + k.bytes_per_item * batch as u64) as f64;
+        prop_assert!(t >= flops / (p.peak_flops * p.efficiency) - 1e-12);
+        prop_assert!(t >= bytes / p.mem_bw - 1e-12);
+    }
+
+    #[test]
+    fn hybrid_time_is_sum_of_parts_plus_handoff(a in arb_kernel(), b in arb_kernel(), batch in 1usize..1_000) {
+        let h = HybridPipeline::tpu_gpu();
+        let t = h.time(&a, &b, batch);
+        let expect = h.first.time(&a, batch) + h.handoff + h.second.time(&b, batch);
+        prop_assert!((t - expect).abs() < 1e-12 * (1.0 + expect));
+    }
+}

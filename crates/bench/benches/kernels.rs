@@ -1,0 +1,161 @@
+//! Criterion microbenchmarks of the simulator kernels themselves —
+//! the throughput that makes the analytical-triage methodology viable
+//! (a full Fig. 3H regeneration is seconds, not SPICE-days).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use xlda_circuit::matchline::{Matchline, MatchlineConfig};
+use xlda_circuit::senseamp::SenseAmp;
+use xlda_circuit::tech::TechNode;
+use xlda_core::evaluate::{hdc_candidates, HdcScenario};
+use xlda_core::triage::{rank, Objective};
+use xlda_crossbar::{Crossbar, CrossbarConfig, Fidelity};
+use xlda_evacam::{CamArray, CamConfig};
+use xlda_hdc::encode::{Encoder, EncoderConfig};
+use xlda_num::{Matrix, Rng64};
+use xlda_nvram::{OptTarget, RamArray, RamConfig};
+use xlda_evacam::acam::{AcamArray, AcamConfig, TreeNode};
+use xlda_evacam::variation::{analytic_error_probability, CellVariation};
+use xlda_syssim::alp::run_streams;
+use xlda_syssim::system::{System, SystemConfig};
+use xlda_syssim::workload::{cnn_trace, lstm_trace};
+
+fn bench_crossbar_mvm(c: &mut Criterion) {
+    let mut rng = Rng64::new(1);
+    let cfg = CrossbarConfig::default(); // 64x64
+    let w = Matrix::random_normal(cfg.rows, cfg.cols, 0.0, 0.5, &mut rng);
+    let xbar = Crossbar::program(&cfg, &w, &mut rng);
+    let x: Vec<f64> = rng.normal_vec(cfg.rows, 0.0, 0.3);
+    let mut g = c.benchmark_group("crossbar_mvm_64x64");
+    g.bench_function("ideal", |b| {
+        b.iter(|| xbar.mvm(black_box(&x), Fidelity::Ideal))
+    });
+    g.bench_function("fast_ir_drop", |b| {
+        b.iter(|| xbar.mvm(black_box(&x), Fidelity::Fast))
+    });
+    g.bench_function("full_nodal_solve", |b| {
+        b.iter(|| xbar.mvm(black_box(&x), Fidelity::Full))
+    });
+    g.finish();
+}
+
+fn bench_hdc_encode(c: &mut Criterion) {
+    let encoder = Encoder::new(&EncoderConfig {
+        dim_in: 617,
+        hv_dim: 4096,
+        ..EncoderConfig::default()
+    });
+    let mut rng = Rng64::new(2);
+    let x = rng.normal_vec(617, 0.0, 1.0);
+    c.bench_function("hdc_encode_617_to_4096", |b| {
+        b.iter(|| encoder.encode(black_box(&x)))
+    });
+}
+
+fn bench_evacam_model(c: &mut Criterion) {
+    c.bench_function("evacam_model_1k_x_128", |b| {
+        b.iter(|| {
+            let cam = CamArray::new(black_box(CamConfig::default())).expect("models");
+            cam.report()
+        })
+    });
+}
+
+fn bench_matchline_limit(c: &mut Criterion) {
+    let tech = TechNode::n40();
+    let sa = SenseAmp::voltage_latch(&tech);
+    c.bench_function("matchline_mismatch_limit_256", |b| {
+        b.iter(|| {
+            let ml = Matchline::new(MatchlineConfig::default(), &tech, black_box(256));
+            ml.mismatch_limit(&sa)
+        })
+    });
+}
+
+fn bench_nvram_organize(c: &mut Criterion) {
+    c.bench_function("nvram_auto_organize_1mib", |b| {
+        b.iter(|| {
+            RamArray::auto_organize(
+                black_box(&RamConfig::default()),
+                OptTarget::ReadLatency,
+            )
+            .expect("organizes")
+        })
+    });
+}
+
+fn bench_syssim(c: &mut Criterion) {
+    let w = cnn_trace(8);
+    let sys = System::new(&SystemConfig::with_crossbar());
+    c.bench_function("syssim_cnn8_with_crossbar", |b| {
+        b.iter(|| sys.run(black_box(&w)))
+    });
+}
+
+fn bench_dse_triage(c: &mut Criterion) {
+    let scenario = HdcScenario::default();
+    c.bench_function("dse_fig3h_candidates_and_rank", |b| {
+        b.iter(|| {
+            let cands = hdc_candidates(black_box(&scenario));
+            rank(&cands, &Objective::latency_first(Some(0.9)))
+        })
+    });
+}
+
+fn bench_acam_search(c: &mut Criterion) {
+    // A depth-6 balanced tree (64 leaves) over 8 features.
+    fn tree(depth: usize, f: usize, next: &mut usize) -> TreeNode {
+        if depth == 0 {
+            let class = *next;
+            *next += 1;
+            return TreeNode::Leaf { class };
+        }
+        TreeNode::Split {
+            feature: depth % f,
+            threshold: 0.5,
+            left: Box::new(tree(depth - 1, f, next)),
+            right: Box::new(tree(depth - 1, f, next)),
+        }
+    }
+    let mut next = 0;
+    let t = tree(6, 8, &mut next);
+    let (rows, labels) = t.to_acam_rows(8);
+    let mut rng = Rng64::new(1);
+    let acam = AcamArray::program(&rows, &labels, AcamConfig::default(), &mut rng);
+    let q = [0.3f64, 0.6, 0.1, 0.9, 0.5, 0.2, 0.7, 0.4];
+    c.bench_function("acam_search_64_leaves", |b| {
+        b.iter(|| acam.classify(black_box(&q), &mut rng))
+    });
+}
+
+fn bench_variation_formula(c: &mut Criterion) {
+    let cfg = MatchlineConfig::default();
+    let var = CellVariation::default();
+    c.bench_function("variation_analytic_error_256", |b| {
+        b.iter(|| analytic_error_probability(black_box(&cfg), &var, 256, 4))
+    });
+}
+
+fn bench_alp(c: &mut Criterion) {
+    let streams = [cnn_trace(4), lstm_trace(8, 256)];
+    let cfg = SystemConfig::with_crossbar();
+    c.bench_function("alp_two_streams", |b| {
+        b.iter(|| run_streams(black_box(&cfg), &streams))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_crossbar_mvm,
+    bench_hdc_encode,
+    bench_evacam_model,
+    bench_matchline_limit,
+    bench_nvram_organize,
+    bench_syssim,
+    bench_dse_triage,
+    bench_acam_search,
+    bench_variation_formula,
+    bench_alp
+);
+criterion_main!(benches);

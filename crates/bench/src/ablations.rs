@@ -1,0 +1,246 @@
+//! Ablation studies for the design choices DESIGN.md §4 calls out.
+//!
+//! Each ablation isolates one design decision of the modeled systems and
+//! quantifies what it buys:
+//!
+//! 1. **Subarray aggregation**: per-subarray winner voting vs digitized
+//!    distance summing (CAM periphery complexity vs accuracy).
+//! 2. **HDC encoding style**: dense random projection vs ID-level
+//!    binding.
+//! 3. **IR-drop solver**: closed-form per-column attenuation vs full
+//!    Gauss–Seidel nodal solve (model fidelity vs runtime).
+//! 4. **CAM row banking**: flat array vs banked searchlines.
+//! 5. **Crossbar ADC sharing**: converters per column vs multiplexed.
+
+use crate::hard_isolet;
+use xlda_circuit::tech::TechNode;
+use xlda_crossbar::macro_model::CrossbarMacro;
+use xlda_crossbar::{Crossbar, CrossbarConfig, Fidelity};
+use xlda_device::fefet::Fefet;
+use xlda_evacam::{CamArray, CamConfig};
+use xlda_hdc::cam::{Aggregation, CamAm, CamSearchConfig};
+use xlda_hdc::encode::{Encoder, EncoderConfig, EncodingStyle};
+use xlda_hdc::model::{Distance, HdcModel};
+use xlda_num::{Matrix, Rng64};
+
+/// One ablation row: a labeled pair of alternatives and their scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Which design choice.
+    pub study: &'static str,
+    /// Alternative label.
+    pub variant: &'static str,
+    /// Primary metric (meaning depends on the study; see `metric`).
+    pub value: f64,
+    /// What `value` measures.
+    pub metric: &'static str,
+}
+
+/// Runs all ablations.
+pub fn run(quick: bool) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+
+    // 1. Aggregation scheme at a small subarray size.
+    let data = hard_isolet(quick);
+    let hv_dim = if quick { 512 } else { 1024 };
+    let encoder = Encoder::new(&EncoderConfig {
+        dim_in: data.dim(),
+        hv_dim,
+        ..EncoderConfig::default()
+    });
+    let model = HdcModel::train(&encoder, &data, 3, 1);
+    for (variant, agg) in [
+        ("subarray vote", Aggregation::SubarrayVote),
+        (
+            "distance sum",
+            Aggregation::DistanceSum { resolution: None },
+        ),
+        (
+            "distance sum, 8-level ADC",
+            Aggregation::DistanceSum { resolution: Some(8) },
+        ),
+    ] {
+        let config = CamSearchConfig {
+            bits_per_cell: 3,
+            subarray_cols: 16,
+            device: Fefet::silicon().with_sigma(0.0),
+            aggregation: agg,
+            verify_tolerance: None,
+        };
+        let cam = CamAm::program(&model, &config, &mut Rng64::new(1));
+        rows.push(AblationRow {
+            study: "aggregation (16-cell subarrays)",
+            variant,
+            value: cam.accuracy(&encoder, &data),
+            metric: "accuracy",
+        });
+    }
+
+    // 2. Encoding style at equal HV dimension, across noise regimes.
+    //    Random projection preserves dense linear structure and degrades
+    //    gracefully; ID-level binding quantizes feature values, so heavy
+    //    per-feature noise destroys its level assignments first.
+    for noise in [2.0, 4.0] {
+        let enc_data = crate::hard_isolet_with(noise, quick);
+        for (variant, style) in [
+            ("random projection", EncodingStyle::RandomProjection),
+            ("ID-level binding", EncodingStyle::IdLevel { levels: 16 }),
+        ] {
+            let enc = Encoder::new(&EncoderConfig {
+                dim_in: enc_data.dim(),
+                hv_dim,
+                style,
+                seed: 0xab,
+            });
+            let m = HdcModel::train(&enc, &enc_data, 3, 1);
+            rows.push(AblationRow {
+                study: if noise < 3.0 {
+                    "encoding style (moderate noise)"
+                } else {
+                    "encoding style (heavy noise)"
+                },
+                variant,
+                value: m.accuracy_with(&enc, &enc_data, Distance::Cosine),
+                metric: "accuracy",
+            });
+        }
+    }
+
+    // 3. IR-drop solver fidelity: error of the fast model against the
+    //    full nodal solve, and their runtime ratio.
+    let mut rng = Rng64::new(2);
+    let xcfg = CrossbarConfig {
+        rows: 32,
+        cols: 32,
+        read_noise: 0.0,
+        adc_bits: 0,
+        dac_bits: 8,
+        r_wire: 5.0,
+        ..CrossbarConfig::default()
+    };
+    let w = Matrix::random_normal(32, 32, 0.0, 0.5, &mut rng);
+    let xbar = Crossbar::program(&xcfg, &w, &mut rng);
+    let trials = if quick { 5 } else { 20 };
+    let mut dev_sum = 0.0;
+    let mut n = 0usize;
+    let t_fast = std::time::Instant::now();
+    let mut fast_results = Vec::new();
+    for t in 0..trials {
+        let x = Rng64::new(100 + t as u64).normal_vec(32, 0.0, 0.5);
+        fast_results.push((x.clone(), xbar.mvm(&x, Fidelity::Fast)));
+    }
+    let fast_elapsed = t_fast.elapsed().as_secs_f64();
+    let t_full = std::time::Instant::now();
+    for (x, fast) in &fast_results {
+        let full = xbar.mvm(x, Fidelity::Full);
+        for (a, b) in fast.iter().zip(&full) {
+            dev_sum += (a - b).abs();
+            n += 1;
+        }
+    }
+    let full_elapsed = t_full.elapsed().as_secs_f64();
+    rows.push(AblationRow {
+        study: "IR-drop solver",
+        variant: "fast vs full deviation",
+        value: dev_sum / n as f64,
+        metric: "mean |Δ| (weight units)",
+    });
+    rows.push(AblationRow {
+        study: "IR-drop solver",
+        variant: "full/fast runtime ratio",
+        value: full_elapsed / fast_elapsed.max(1e-9),
+        metric: "x",
+    });
+
+    // 4. Row banking on a large CAM.
+    for (variant, banks) in [("flat (1 bank)", 1usize), ("4 banks", 4)] {
+        let cam = CamArray::new(CamConfig {
+            words: 8192,
+            bits_per_word: 128,
+            row_banks: banks,
+            tech: TechNode::n40(),
+            ..CamConfig::default()
+        })
+        .expect("models");
+        rows.push(AblationRow {
+            study: "CAM row banking (8k words)",
+            variant,
+            value: cam.report().search_latency_s * 1e9,
+            metric: "search latency (ns)",
+        });
+    }
+
+    // 5. ADC sharing on the crossbar macro.
+    let tech = TechNode::n40();
+    let mcfg = CrossbarConfig {
+        rows: 256,
+        cols: 256,
+        ..CrossbarConfig::default()
+    };
+    let shares = [("ADC per column", 1usize), ("8:1 shared", 8), ("32:1 shared", 32)];
+    for (variant, share) in shares {
+        let m = CrossbarMacro::new(&mcfg, &tech, share);
+        rows.push(AblationRow {
+            study: "crossbar ADC sharing (area mm²)",
+            variant,
+            value: m.area_m2() * 1e6,
+            metric: "area (mm²)",
+        });
+    }
+    for (variant, share) in shares {
+        let m = CrossbarMacro::new(&mcfg, &tech, share);
+        rows.push(AblationRow {
+            study: "crossbar ADC sharing (latency ns)",
+            variant,
+            value: m.mvm_cost().latency_s * 1e9,
+            metric: "MVM latency (ns)",
+        });
+    }
+
+    rows
+}
+
+/// Prints the ablation table.
+pub fn print(rows: &[AblationRow]) {
+    println!("Ablations — design choices of DESIGN.md §4");
+    crate::rule(80);
+    let mut last = "";
+    for r in rows {
+        if r.study != last {
+            println!("\n[{}]", r.study);
+            last = r.study;
+        }
+        println!("  {:<28} {:>12.4}  ({})", r.variant, r.value, r.metric);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablations_reproduce_expected_orderings() {
+        let rows = run(true);
+        let get = |study: &str, variant: &str| {
+            rows.iter()
+                .find(|r| r.study.starts_with(study) && r.variant == variant)
+                .unwrap_or_else(|| panic!("{study}/{variant}"))
+                .value
+        };
+        // Distance summing beats voting at tiny subarrays.
+        assert!(get("aggregation", "distance sum") >= get("aggregation", "subarray vote"));
+        // Banking shortens searchlines => lower latency.
+        assert!(get("CAM row banking", "4 banks") < get("CAM row banking", "flat (1 bank)"));
+        // Sharing ADCs saves area but costs latency.
+        assert!(
+            get("crossbar ADC sharing (area mm²)", "32:1 shared")
+                < get("crossbar ADC sharing (area mm²)", "ADC per column")
+        );
+        assert!(
+            get("crossbar ADC sharing (latency ns)", "32:1 shared")
+                > get("crossbar ADC sharing (latency ns)", "ADC per column")
+        );
+        // The fast IR-drop model stays close to the nodal solve.
+        assert!(get("IR-drop solver", "fast vs full deviation") < 0.5);
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates the design-choice ablation table; see `xlda_bench::ablations`.
+
+fn main() {
+    let result = xlda_bench::ablations::run(false);
+    xlda_bench::ablations::print(&result);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the extensions table; see `xlda_bench::extensions`.
+
+fn main() {
+    let result = xlda_bench::extensions::run(false);
+    xlda_bench::extensions::print(&result);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `xlda_bench::fig3c`.
+
+fn main() {
+    let result = xlda_bench::fig3c::run(false);
+    xlda_bench::fig3c::print(&result);
+}

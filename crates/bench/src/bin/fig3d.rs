@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `xlda_bench::fig3d`.
+
+fn main() {
+    let result = xlda_bench::fig3d::run(false);
+    xlda_bench::fig3d::print(&result);
+}

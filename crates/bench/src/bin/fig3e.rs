@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `xlda_bench::fig3e`.
+
+fn main() {
+    let result = xlda_bench::fig3e::run(false);
+    xlda_bench::fig3e::print(&result);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `xlda_bench::fig3f`.
+
+fn main() {
+    let result = xlda_bench::fig3f::run(false);
+    xlda_bench::fig3f::print(&result);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `xlda_bench::fig3g`.
+
+fn main() {
+    let result = xlda_bench::fig3g::run(false);
+    xlda_bench::fig3g::print(&result);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `xlda_bench::fig3h`.
+
+fn main() {
+    let result = xlda_bench::fig3h::run(false);
+    xlda_bench::fig3h::print(&result);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `xlda_bench::fig4c`.
+
+fn main() {
+    let result = xlda_bench::fig4c::run(false);
+    xlda_bench::fig4c::print(&result);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `xlda_bench::fig4d`.
+
+fn main() {
+    let result = xlda_bench::fig4d::run(false);
+    xlda_bench::fig4d::print(&result);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `xlda_bench::fig5`.
+
+fn main() {
+    let result = xlda_bench::fig5::run(false);
+    xlda_bench::fig5::print(&result);
+}

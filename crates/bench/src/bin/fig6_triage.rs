@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `xlda_bench::fig6_triage`.
+
+fn main() {
+    let result = xlda_bench::fig6_triage::run(false);
+    xlda_bench::fig6_triage::print(&result);
+}

@@ -1,0 +1,27 @@
+//! Automates the Fig. 3H iso-accuracy sizing step: for each cell
+//! precision, find the smallest hypervector dimension matching the
+//! full-precision software reference (within tolerance).
+
+use xlda_bench::hard_isolet;
+use xlda_hdc::codesign::{iso_accuracy_table, SizingConfig};
+
+fn main() {
+    let data = hard_isolet(false);
+    let config = SizingConfig {
+        min_dim: 256,
+        max_dim: 8192,
+        ..SizingConfig::default()
+    };
+    let (reference, results) = iso_accuracy_table(&data, &[1, 2, 3, 4], 4096, 0.05, &config);
+    println!("iso-accuracy HV sizing (software reference {:.1}% at D=4096, tolerance 5 pts)", reference * 100.0);
+    println!("{:>6} {:>10} {:>10}", "bits", "min D", "accuracy");
+    for r in results {
+        match r.hv_dim {
+            Some(d) => println!("{:>6} {:>10} {:>9.1}%", r.bits, d, r.accuracy * 100.0),
+            None => println!(
+                "{:>6} {:>10} {:>9.1}%  (never reaches target)",
+                r.bits, "-", r.accuracy * 100.0
+            ),
+        }
+    }
+}

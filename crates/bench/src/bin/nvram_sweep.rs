@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `xlda_bench::nvram_sweep`.
+
+fn main() {
+    let result = xlda_bench::nvram_sweep::run(false);
+    xlda_bench::nvram_sweep::print(&result);
+}

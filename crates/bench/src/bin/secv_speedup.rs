@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `xlda_bench::secv_speedup`.
+
+fn main() {
+    let result = xlda_bench::secv_speedup::run(false);
+    xlda_bench::secv_speedup::print(&result);
+}

@@ -1,0 +1,172 @@
+//! "Paths forward" extensions (paper Secs. VI-VII proposed enhancements).
+//!
+//! Four studies the paper calls for beyond its published evaluation:
+//!
+//! 1. **Variation-aware array sizing** — device-variation distributions
+//!    integrated into the matchline model yield array-width limits per
+//!    technology (the Eva-CAM enhancement of Sec. VI).
+//! 2. **IMC favorability** — Eva-CiM-style verdicts for a program mix.
+//! 3. **Endurance-limited lifetime** — NVMExplorer-style traffic-based
+//!    lifetime ranking (the Sec. VII write-heavy triage question).
+//! 4. **Accelerator-level parallelism** — multi-stream utilization of a
+//!    heterogeneous system (the Hill & Reddi question of Sec. I).
+
+use xlda_core::cim::{analyze, CimAnalysis, CimCriteria};
+use xlda_evacam::variation::{max_cells_with_variation, CellVariation};
+use xlda_evacam::CamCellDesign;
+use xlda_nvram::lifetime::{rank_by_lifetime, LifetimeEstimate, WriteTraffic};
+use xlda_nvram::RamCell;
+use xlda_syssim::alp::{run_streams, AlpReport};
+use xlda_syssim::system::{AccelConfig, SystemConfig};
+use xlda_syssim::workload::{cnn_trace, hdc_trace, lstm_trace, transformer_trace};
+
+/// Combined results of the four extension studies.
+#[derive(Debug, Clone)]
+pub struct Extensions {
+    /// (design, variation-aware max matchline cells at distance 4).
+    pub array_limits: Vec<(CamCellDesign, Option<usize>)>,
+    /// Per-workload IMC favorability.
+    pub cim: Vec<CimAnalysis>,
+    /// Lifetime ranking under write-heavy edge traffic.
+    pub lifetimes: Vec<(RamCell, LifetimeEstimate)>,
+    /// ALP report for a mixed two-stream deployment.
+    pub alp: AlpReport,
+}
+
+/// Runs all four studies.
+pub fn run(quick: bool) -> Extensions {
+    // 1. Variation-aware array-width limits at BE-match distance 4.
+    let variation = CellVariation::default();
+    let array_limits = CamCellDesign::all()
+        .iter()
+        .map(|&design| {
+            let cfg = design.matchline_config();
+            (design, max_cells_with_variation(&cfg, &variation, 4, 1e-3))
+        })
+        .collect();
+
+    // 2. IMC favorability across a program mix.
+    let layers = if quick { 4 } else { 10 };
+    let cim = [
+        cnn_trace(layers),
+        transformer_trace(2, 512, 256),
+        lstm_trace(8, 512),
+        hdc_trace(617, 4096, 26),
+    ]
+    .iter()
+    .map(|w| analyze(w, &AccelConfig::default(), &CimCriteria::default()))
+    .collect();
+
+    // 3. Lifetime ranking: 50 MB/s of writes, realistic wear leveling.
+    let lifetimes = rank_by_lifetime(
+        &[
+            RamCell::Rram1T1R,
+            RamCell::Pcm1T1R,
+            RamCell::Mram1T1R,
+            RamCell::Fefet1T,
+            RamCell::Nand3D { layers: 64 },
+        ],
+        (64 * 8) << 20, // 64 MiB
+        &WriteTraffic {
+            bytes_per_second: 50e6,
+            leveling: 0.8,
+        },
+    );
+
+    // 4. ALP: a CNN inference stream next to an LSTM serving stream.
+    let alp = run_streams(
+        &SystemConfig::with_crossbar(),
+        &[cnn_trace(layers), lstm_trace(if quick { 16 } else { 64 }, 1024)],
+    );
+
+    Extensions {
+        array_limits,
+        cim,
+        lifetimes,
+        alp,
+    }
+}
+
+/// Prints all four study tables.
+pub fn print(r: &Extensions) {
+    println!("Extensions — the paper's proposed enhancements, implemented");
+    crate::rule(76);
+
+    println!("\n[1] variation-aware matchline limits (BE-match distance 4, err <= 1e-3)");
+    for (design, limit) in &r.array_limits {
+        match limit {
+            Some(n) => println!("  {:<16} up to {n} cells per matchline", design.label()),
+            None => println!("  {:<16} cannot resolve distance 4 at all", design.label()),
+        }
+    }
+
+    println!("\n[2] IMC favorability (Eva-CiM lane)");
+    for a in &r.cim {
+        println!(
+            "  {:<18} speedup {:>5.1}x  energy {:>6.1}x  offload {:>5.1}%  -> {:?}",
+            a.workload,
+            a.speedup,
+            a.energy_gain,
+            a.offload_fraction * 100.0,
+            a.verdict
+        );
+    }
+
+    println!("\n[3] endurance-limited lifetime (64 MiB, 50 MB/s writes, 0.8 leveling)");
+    for (cell, est) in &r.lifetimes {
+        let yrs = if est.years.is_infinite() {
+            "inf".to_string()
+        } else if est.years > 1000.0 {
+            format!("{:.0}k", est.years / 1000.0)
+        } else {
+            format!("{:.2}", est.years)
+        };
+        println!("  {:<14} {yrs:>10} years", cell.label());
+    }
+
+    println!("\n[4] accelerator-level parallelism (CNN + LSTM streams)");
+    println!(
+        "  serial {:.3} ms, concurrent {:.3} ms -> ALP speedup {:.2}x",
+        r.alp.serial_time_s * 1e3,
+        r.alp.concurrent_time_s * 1e3,
+        r.alp.alp_speedup
+    );
+    println!(
+        "  utilization: CPU {:.0}%, accelerator {:.0}%",
+        r.alp.cpu_utilization * 100.0,
+        r.alp.accel_utilization * 100.0
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlda_core::cim::Favorability;
+
+    #[test]
+    fn extension_studies_reproduce_expected_structure() {
+        let r = run(true);
+        // FeFET's transistor-gated path supports far wider matchlines
+        // than the resistor-divider 2T2R cells.
+        let limit = |d: CamCellDesign| {
+            r.array_limits
+                .iter()
+                .find(|(x, _)| *x == d)
+                .expect("design present")
+                .1
+        };
+        let fefet = limit(CamCellDesign::Fefet2T).expect("fefet resolves");
+        let rram = limit(CamCellDesign::Rram2T2R).unwrap_or(5);
+        assert!(fefet > rram, "fefet {fefet} rram {rram}");
+        // CNN strongly favorable; at least one workload is not.
+        assert_eq!(r.cim[0].verdict, Favorability::StronglyFavorable);
+        // MRAM outlives flash.
+        assert_eq!(r.lifetimes[0].0, xlda_nvram::RamCell::Mram1T1R);
+        assert_eq!(
+            r.lifetimes.last().expect("rows").0,
+            xlda_nvram::RamCell::Nand3D { layers: 64 }
+        );
+        // ALP achieves some overlap.
+        assert!(r.alp.alp_speedup >= 1.0);
+    }
+}

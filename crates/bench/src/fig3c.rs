@@ -1,0 +1,78 @@
+//! Fig. 3C — HDC classification accuracy vs HV element precision.
+//!
+//! Paper shape: accuracy drops at 1-2 bit precision; 3-4 bits match the
+//! full-precision (32-bit) reference.
+
+use crate::hard_isolet;
+use xlda_hdc::encode::{Encoder, EncoderConfig};
+use xlda_hdc::model::{Distance, HdcModel};
+
+/// One precision point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrecisionPoint {
+    /// HV element precision in bits.
+    pub bits: u8,
+    /// Test accuracy.
+    pub accuracy: f64,
+}
+
+/// Runs the precision sweep.
+pub fn run(quick: bool) -> Vec<PrecisionPoint> {
+    let data = hard_isolet(quick);
+    let hv_dim = if quick { 1024 } else { 4096 };
+    let encoder = Encoder::new(&EncoderConfig {
+        dim_in: data.dim(),
+        hv_dim,
+        ..EncoderConfig::default()
+    });
+    let bits_axis: &[u8] = if quick {
+        &[1, 3, 32]
+    } else {
+        &[1, 2, 3, 4, 8, 32]
+    };
+    bits_axis
+        .iter()
+        .map(|&bits| {
+            let model = HdcModel::train(&encoder, &data, bits, 2);
+            PrecisionPoint {
+                bits,
+                accuracy: model.accuracy_with(&encoder, &data, Distance::Cosine),
+            }
+        })
+        .collect()
+}
+
+/// Prints the figure series.
+pub fn print(points: &[PrecisionPoint]) {
+    println!("Fig. 3C — HDC accuracy vs HV element precision");
+    crate::rule(48);
+    println!("{:>12} {:>12}", "precision", "accuracy");
+    for p in points {
+        let label = if p.bits >= 32 {
+            "full".to_string()
+        } else {
+            format!("{}-bit", p.bits)
+        };
+        println!("{label:>12} {:>11.1}%", p.accuracy * 100.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3c_shape_holds() {
+        let pts = run(true);
+        let acc = |b: u8| {
+            pts.iter()
+                .find(|p| p.bits == b)
+                .expect("precision point")
+                .accuracy
+        };
+        // 3-bit reaches (near-)iso-accuracy with full precision...
+        assert!(acc(3) >= acc(32) - 0.04, "3b {} vs full {}", acc(3), acc(32));
+        // ...while 1-bit loses accuracy.
+        assert!(acc(1) < acc(32) - 0.02, "1b {} vs full {}", acc(1), acc(32));
+    }
+}

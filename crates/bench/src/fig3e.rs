@@ -1,0 +1,88 @@
+//! Fig. 3E — share of end-to-end HDC runtime spent in associative search.
+//!
+//! Paper shape: across datasets, search is a substantial fraction of
+//! end-to-end compute time on software platforms (the Amdahl argument
+//! for accelerating search with CAMs).
+
+use xlda_baseline::{Kernel, Platform};
+use xlda_datagen::ClassificationSpec;
+use xlda_hdc::profile::HdcProfile;
+
+/// One dataset row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeShare {
+    /// Dataset name.
+    pub dataset: &'static str,
+    /// Encoding time per query (s).
+    pub encode_s: f64,
+    /// Search time per query (s).
+    pub search_s: f64,
+    /// Search share of end-to-end runtime.
+    pub search_fraction: f64,
+}
+
+/// Computes runtime shares on a batch-1 GPU for the HDC benchmark suite.
+pub fn run(_quick: bool) -> Vec<RuntimeShare> {
+    let gpu = Platform::gpu();
+    ClassificationSpec::hdc_suite()
+        .iter()
+        .map(|spec| {
+            let profile = HdcProfile {
+                dim_in: spec.dim,
+                hv_dim: 4096,
+                classes: spec.classes,
+                bits: 4,
+            };
+            let encode = Kernel::mvm(profile.hv_dim, profile.dim_in);
+            // Stored class HVs stream from memory for every query batch.
+            let search = Kernel::search(profile.classes * 40, profile.hv_dim, 4);
+            let t_enc = gpu.time(&encode, 1);
+            let t_sea = gpu.time(&search, 1);
+            RuntimeShare {
+                dataset: spec.name,
+                encode_s: t_enc,
+                search_s: t_sea,
+                search_fraction: t_sea / (t_enc + t_sea),
+            }
+        })
+        .collect()
+}
+
+/// Prints the figure series.
+pub fn print(rows: &[RuntimeShare]) {
+    println!("Fig. 3E — search share of end-to-end HDC runtime (GPU, batch 1)");
+    crate::rule(70);
+    println!(
+        "{:>14} {:>12} {:>12} {:>14}",
+        "dataset", "encode", "search", "search share"
+    );
+    for r in rows {
+        println!(
+            "{:>14} {:>12} {:>12} {:>13.1}%",
+            r.dataset,
+            crate::fmt_time(r.encode_s),
+            crate::fmt_time(r.search_s),
+            r.search_fraction * 100.0
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_is_substantial_across_datasets() {
+        let rows = run(true);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(
+                r.search_fraction > 0.2,
+                "{}: search share {:.2}",
+                r.dataset,
+                r.search_fraction
+            );
+            assert!(r.search_fraction < 1.0);
+        }
+    }
+}

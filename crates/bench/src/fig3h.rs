@@ -1,0 +1,155 @@
+//! Fig. 3H — inference latency across device/architecture platforms at
+//! (attempted) iso-accuracy.
+//!
+//! Paper shape: batch-1 GPU inference is slow; batching amortizes; the
+//! TPU-GPU hybrid is a nominal improvement; the 3-bit FeFET CAM is the
+//! superior design point (smaller iso-accuracy HVs); 2-bit needs longer
+//! HVs and is slower than 3-bit; the 1-bit SRAM CAM has the lowest
+//! latency but cannot reach iso-accuracy; a GPU MLP reaches accuracy but
+//! no latency advantage.
+//!
+//! Accuracies are *simulated* with the `xlda-hdc` stack on the hard
+//! synthetic dataset, then fed into the cross-layer evaluators of
+//! `xlda-core`.
+
+use crate::hard_isolet;
+use xlda_core::evaluate::{hdc_candidates, HdcScenario};
+use xlda_core::fom::Candidate;
+use xlda_core::triage::{rank, Objective, Ranked};
+use xlda_device::fefet::Fefet;
+use xlda_hdc::cam::{Aggregation, CamAm, CamSearchConfig};
+use xlda_hdc::encode::{Encoder, EncoderConfig};
+use xlda_hdc::model::{Distance, HdcModel};
+use xlda_num::rng::Rng64;
+
+/// Complete Fig. 3H output.
+#[derive(Debug, Clone)]
+pub struct Fig3h {
+    /// Scenario with simulated accuracies.
+    pub scenario: HdcScenario,
+    /// Evaluated candidates (latency/energy/area/accuracy).
+    pub candidates: Vec<Candidate>,
+    /// Triage ranking under a latency-first objective with an
+    /// iso-accuracy floor.
+    pub ranking: Vec<Ranked>,
+}
+
+fn cam_accuracy(
+    data: &xlda_datagen::Dataset,
+    hv_dim: usize,
+    bits: u8,
+    seed: u64,
+) -> f64 {
+    let encoder = Encoder::new(&EncoderConfig {
+        dim_in: data.dim(),
+        hv_dim,
+        ..EncoderConfig::default()
+    });
+    let model = HdcModel::train(&encoder, data, bits, 2);
+    let device = Fefet::silicon(); // measured 94 mV sigma included
+    // Closed-loop program-and-verify at a quarter of the level spacing —
+    // the software/hardware co-design step that lets multi-bit CAMs
+    // reach iso-accuracy (paper ref. [4]).
+    let spacing = device.window() / ((1u32 << bits) - 1).max(1) as f64;
+    let config = CamSearchConfig {
+        bits_per_cell: bits,
+        subarray_cols: 64,
+        device,
+        aggregation: Aggregation::DistanceSum { resolution: None },
+        verify_tolerance: Some(spacing / 4.0),
+    };
+    CamAm::program(&model, &config, &mut Rng64::new(seed)).accuracy(&encoder, data)
+}
+
+/// Runs accuracy simulations and builds the platform comparison.
+pub fn run(quick: bool) -> Fig3h {
+    let data = hard_isolet(quick);
+    let scale = if quick { 4 } else { 1 };
+    // Iso-accuracy sizing per Fig. 3C: 3-bit cells hold accuracy at the
+    // software dimension; 2-bit cells need twice the HV length; 1-bit
+    // cannot reach iso-accuracy even then.
+    let hv_sw = 4096 / scale;
+    let hv_3b = 4096 / scale;
+    let hv_2b = 8192 / scale;
+    let hv_1b = 4096 / scale;
+
+    // Software reference accuracy (full precision, cosine).
+    let encoder = Encoder::new(&EncoderConfig {
+        dim_in: data.dim(),
+        hv_dim: hv_sw,
+        ..EncoderConfig::default()
+    });
+    let acc_sw = HdcModel::train(&encoder, &data, 32, 1).accuracy_with(
+        &encoder,
+        &data,
+        Distance::Cosine,
+    );
+
+    let scenario = HdcScenario {
+        dim_in: data.dim(),
+        classes: data.classes,
+        hv_dim_sw: hv_sw,
+        hv_dim_3b: hv_3b,
+        hv_dim_2b: hv_2b,
+        hv_dim_1b: hv_1b,
+        acc_sw,
+        acc_3b: cam_accuracy(&data, hv_3b, 3, 1),
+        acc_2b: cam_accuracy(&data, hv_2b, 2, 2),
+        acc_1b: cam_accuracy(&data, hv_1b, 1, 3),
+        // The MLP baseline reaches software accuracy (proxied by the
+        // dataset's centroid skyline).
+        acc_mlp: data.centroid_accuracy(),
+        tech: xlda_circuit::tech::TechNode::n40(),
+    };
+    let candidates = hdc_candidates(&scenario);
+    // Near-iso-accuracy floor: the hard synthetic operating point leaves
+    // a slightly wider gap than the paper's datasets (see EXPERIMENTS.md).
+    let floor = scenario.acc_sw - 0.08;
+    let ranking = rank(&candidates, &Objective::latency_first(Some(floor)));
+    Fig3h {
+        scenario,
+        candidates,
+        ranking,
+    }
+}
+
+/// Prints the platform comparison and ranking.
+pub fn print(result: &Fig3h) {
+    println!("Fig. 3H — inference latency across platforms (iso-accuracy sizing)");
+    crate::rule(86);
+    println!(
+        "{:>26} {:>12} {:>12} {:>10} {:>10}",
+        "platform", "latency", "energy", "area mm2", "accuracy"
+    );
+    for c in &result.candidates {
+        println!(
+            "{:>26} {:>12} {:>12} {:>10.3} {:>9.1}%",
+            c.name,
+            crate::fmt_time(c.fom.latency_s),
+            crate::fmt_energy(c.fom.energy_j),
+            c.fom.area_mm2,
+            c.fom.accuracy * 100.0
+        );
+    }
+    println!();
+    println!("Triage ranking (latency-first, iso-accuracy floor):");
+    for (i, r) in result.ranking.iter().enumerate() {
+        let flag = if r.meets_floor { "" } else { "  [below accuracy floor]" };
+        println!("  {}. {}{}", i + 1, r.name, flag);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3h_winner_is_3bit_cam() {
+        let r = run(true);
+        assert_eq!(r.ranking[0].name, "3b FeFET CAM", "{:#?}", r.ranking);
+        // 1-bit misses the accuracy floor.
+        assert!(r.scenario.acc_1b < r.scenario.acc_sw - 0.08);
+        // 3-bit holds near-iso-accuracy.
+        assert!(r.scenario.acc_3b >= r.scenario.acc_sw - 0.08);
+    }
+}

@@ -1,0 +1,121 @@
+//! Fig. 4C — ternary LSH suppression of unstable hash bits.
+//!
+//! Paper shape: conductance relaxation flips hash bits whose projection
+//! lands near the hashing plane; marking those bits "don't care" (TLSH)
+//! removes most of the instability at a modest information cost that
+//! grows with the threshold.
+
+use xlda_crossbar::stochastic::StochasticProjection;
+use xlda_device::rram::Rram;
+use xlda_num::rng::Rng64;
+
+/// One threshold point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StabilityPoint {
+    /// Don't-care threshold as a fraction of mean |projection|.
+    pub threshold_frac: f64,
+    /// Fraction of binary LSH bits that flipped under relaxation.
+    pub lsh_flip_rate: f64,
+    /// Fraction of definite (non-X) TLSH bits that flipped.
+    pub tlsh_flip_rate: f64,
+    /// Fraction of signature bits marked don't-care.
+    pub dont_care_rate: f64,
+}
+
+/// Sweeps the TLSH threshold under device relaxation.
+pub fn run(quick: bool) -> Vec<StabilityPoint> {
+    let dev = Rram::taox();
+    let (dim, bits, inputs) = if quick { (64, 64, 10) } else { (128, 256, 40) };
+    let thresholds: &[f64] = if quick {
+        &[0.0, 0.3]
+    } else {
+        &[0.0, 0.1, 0.2, 0.3, 0.5]
+    };
+    let mut rng = Rng64::new(0x4c);
+    let probe_inputs: Vec<Vec<f64>> = (0..inputs)
+        .map(|_| (0..dim).map(|_| rng.uniform()).collect())
+        .collect();
+
+    thresholds
+        .iter()
+        .map(|&frac| {
+            let mut flips_lsh = 0usize;
+            let mut total_lsh = 0usize;
+            let mut flips_tlsh = 0usize;
+            let mut total_definite = 0usize;
+            let mut x_bits = 0usize;
+            let mut total_bits = 0usize;
+            for (trial, x) in probe_inputs.iter().enumerate() {
+                let proj =
+                    StochasticProjection::new(dim, bits, &dev, &mut Rng64::new(77 + trial as u64));
+                let mut drifted = proj.clone();
+                drifted.relax(6.0, &mut rng);
+                let thr = proj.calibrate_threshold(std::slice::from_ref(x), frac);
+                let h0 = proj.hash(x);
+                let h1 = drifted.hash(x);
+                let t0 = proj.ternary_hash(x, thr);
+                let t1 = drifted.hash(x);
+                for i in 0..bits {
+                    total_lsh += 1;
+                    if h0[i] != h1[i] {
+                        flips_lsh += 1;
+                    }
+                    total_bits += 1;
+                    if t0[i] == 0 {
+                        x_bits += 1;
+                    } else {
+                        total_definite += 1;
+                        if t0[i] != t1[i] {
+                            flips_tlsh += 1;
+                        }
+                    }
+                }
+            }
+            StabilityPoint {
+                threshold_frac: frac,
+                lsh_flip_rate: flips_lsh as f64 / total_lsh.max(1) as f64,
+                tlsh_flip_rate: flips_tlsh as f64 / total_definite.max(1) as f64,
+                dont_care_rate: x_bits as f64 / total_bits.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// Prints the figure series.
+pub fn print(points: &[StabilityPoint]) {
+    println!("Fig. 4C — unstable hash bits: LSH vs ternary LSH under relaxation");
+    crate::rule(72);
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "threshold", "LSH flips", "TLSH flips", "X fraction"
+    );
+    for p in points {
+        println!(
+            "{:>12.2} {:>11.1}% {:>11.1}% {:>11.1}%",
+            p.threshold_frac,
+            p.lsh_flip_rate * 100.0,
+            p.tlsh_flip_rate * 100.0,
+            p.dont_care_rate * 100.0
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tlsh_reduces_flip_rate() {
+        let pts = run(true);
+        let base = pts.iter().find(|p| p.threshold_frac == 0.0).expect("base");
+        let tlsh = pts.iter().find(|p| p.threshold_frac == 0.3).expect("tlsh");
+        assert!(base.lsh_flip_rate > 0.0, "relaxation should flip bits");
+        assert!(
+            tlsh.tlsh_flip_rate < base.lsh_flip_rate,
+            "tlsh {} vs lsh {}",
+            tlsh.tlsh_flip_rate,
+            base.lsh_flip_rate
+        );
+        assert!(tlsh.dont_care_rate > 0.0 && tlsh.dont_care_rate < 0.9);
+    }
+}

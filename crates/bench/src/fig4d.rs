@@ -1,0 +1,137 @@
+//! Fig. 4D — linear correlation between hashed distance and true cosine
+//! distance over CNN embeddings.
+//!
+//! Paper shape: software LSH correlates best; the RRAM TLSH approaches
+//! it; plain RRAM LSH (with relaxation-unstable bits) trails.
+
+use xlda_crossbar::stochastic::StochasticProjection;
+use xlda_datagen::fewshot::FewShotSpec;
+use xlda_device::rram::Rram;
+use xlda_mann::controller::{train_controller, TrainConfig};
+use xlda_mann::lsh::{
+    correlation_with_cosine, correlation_with_cosine_drifted, RramLsh, RramTlsh, SoftwareLsh,
+};
+use xlda_num::rng::Rng64;
+
+/// Correlation results for the three hashers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrelationResult {
+    /// Software sign-random-projection LSH.
+    pub software: f64,
+    /// RRAM stochastic-crossbar LSH (after relaxation).
+    pub rram_lsh: f64,
+    /// RRAM ternary LSH (after relaxation).
+    pub rram_tlsh: f64,
+}
+
+/// Trains a small controller, extracts embeddings, and measures the
+/// Pearson correlation of each hashing scheme with cosine distance.
+pub fn run(quick: bool) -> CorrelationResult {
+    let spec = FewShotSpec {
+        background_classes: if quick { 6 } else { 12 },
+        eval_classes: if quick { 8 } else { 16 },
+        samples_per_class: if quick { 6 } else { 12 },
+        ..FewShotSpec::default()
+    };
+    let data = spec.generate();
+    let (net, _) = train_controller(
+        &data,
+        &TrainConfig {
+            epochs: if quick { 2 } else { 4 },
+            ..TrainConfig::default()
+        },
+    );
+    // Embeddings of all evaluation images (ReLU-shifted for the RRAM
+    // crossbars, matching the hardware path).
+    let vectors: Vec<Vec<f64>> = data
+        .eval
+        .iter()
+        .flat_map(|class| class.iter())
+        .map(|img| net.embed(img))
+        .collect();
+    let dim = net.emb_dim();
+    let bits = if quick { 128 } else { 256 };
+    let pairs = if quick { 300 } else { 1500 };
+
+    let mut rng = Rng64::new(0x4d);
+    let sw = SoftwareLsh::new(dim, bits, &mut rng);
+    let software = correlation_with_cosine(&sw, &vectors, pairs, &mut Rng64::new(1));
+
+    // Stored memories are hashed at enrollment; queries are hashed after
+    // the devices have relaxed — the comparison Fig. 4C/4D is about.
+    let dev = Rram::taox();
+    let proj = StochasticProjection::new(dim, bits, &dev, &mut Rng64::new(2));
+    let mut drifted = proj.clone();
+    drifted.relax(6.0, &mut Rng64::new(3));
+    let shifted: Vec<Vec<f64>> = vectors
+        .iter()
+        .take(8)
+        .map(|v| v.iter().map(|&x| x.max(0.0)).collect())
+        .collect();
+    // A conservative don't-care threshold: masks only the most
+    // marginal (unstable) bits.
+    let thr = proj.calibrate_threshold(&shifted, 0.1);
+
+    let enroll_lsh = RramLsh {
+        projection: proj.clone(),
+    };
+    let query_lsh = RramLsh {
+        projection: drifted,
+    };
+    let rram_lsh = correlation_with_cosine_drifted(
+        &enroll_lsh,
+        &query_lsh,
+        &vectors,
+        pairs,
+        &mut Rng64::new(4),
+    );
+    let enroll_tlsh = RramTlsh {
+        projection: proj,
+        threshold: thr,
+    };
+    let rram_tlsh = correlation_with_cosine_drifted(
+        &enroll_tlsh,
+        &query_lsh,
+        &vectors,
+        pairs,
+        &mut Rng64::new(4),
+    );
+    CorrelationResult {
+        software,
+        rram_lsh,
+        rram_tlsh,
+    }
+}
+
+/// Prints the figure values.
+pub fn print(r: &CorrelationResult) {
+    println!("Fig. 4D — correlation of hashed distance with cosine distance");
+    crate::rule(56);
+    println!("{:>20} {:>12}", "hasher", "pearson r");
+    println!("{:>20} {:>12.3}", "software LSH", r.software);
+    println!("{:>20} {:>12.3}", "RRAM TLSH", r.rram_tlsh);
+    println!("{:>20} {:>12.3}", "RRAM LSH", r.rram_lsh);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_paper() {
+        let r = run(true);
+        assert!(r.software > 0.6, "software r {}", r.software);
+        assert!(
+            r.rram_tlsh >= r.rram_lsh - 0.02,
+            "tlsh {} lsh {}",
+            r.rram_tlsh,
+            r.rram_lsh
+        );
+        assert!(
+            r.software >= r.rram_tlsh - 0.05,
+            "software {} tlsh {}",
+            r.software,
+            r.rram_tlsh
+        );
+    }
+}

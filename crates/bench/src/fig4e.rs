@@ -1,0 +1,135 @@
+//! Fig. 4E — few-shot accuracy vs hash signature length, plus the
+//! latency advantage of the in-memory pipeline.
+//!
+//! Paper shape: short hashes lose accuracy versus the software cosine
+//! skyline; slightly longer signatures recover iso-accuracy; the RRAM
+//! pipeline delivers a large latency improvement.
+
+use xlda_core::evaluate::{mann_candidates, MannScenario};
+use xlda_core::fom::Candidate;
+use xlda_datagen::fewshot::FewShotSpec;
+use xlda_mann::controller::{train_controller, TrainConfig};
+use xlda_mann::episode::{accuracy_vs_bits, evaluate, EpisodeConfig, MannVariant};
+
+/// Complete Fig. 4E output.
+#[derive(Debug, Clone)]
+pub struct Fig4e {
+    /// Software cosine skyline accuracy.
+    pub cosine_accuracy: f64,
+    /// (hash bits, accuracy) for the RRAM ternary-LSH pipeline.
+    pub rram_sweep: Vec<(usize, f64)>,
+    /// (hash bits, accuracy) for exact software LSH.
+    pub software_sweep: Vec<(usize, f64)>,
+    /// Latency/energy candidates (GPU vs RRAM pipeline).
+    pub platforms: Vec<Candidate>,
+}
+
+/// Runs the hash-length sweep and the platform comparison.
+pub fn run(quick: bool) -> Fig4e {
+    let spec = FewShotSpec {
+        background_classes: if quick { 6 } else { 16 },
+        eval_classes: if quick { 8 } else { 20 },
+        samples_per_class: if quick { 6 } else { 14 },
+        ..FewShotSpec::default()
+    };
+    let data = spec.generate();
+    let (net, _) = train_controller(
+        &data,
+        &TrainConfig {
+            epochs: if quick { 2 } else { 5 },
+            ..TrainConfig::default()
+        },
+    );
+    let config = EpisodeConfig {
+        episodes: if quick { 8 } else { 40 },
+        ..EpisodeConfig::default()
+    };
+    let bit_axis: &[usize] = if quick {
+        &[16, 128]
+    } else {
+        &[16, 32, 64, 128, 256, 512]
+    };
+
+    let cosine_accuracy = evaluate(&net, &data, MannVariant::SoftwareCosine, &config);
+    let software_sweep = accuracy_vs_bits(&net, &data, bit_axis, &config, |bits| {
+        MannVariant::SoftwareLsh { bits }
+    });
+    let rram_sweep = accuracy_vs_bits(&net, &data, bit_axis, &config, |bits| {
+        MannVariant::RramTlsh {
+            bits,
+            relax_decades: 3.0,
+            threshold_frac: 0.2,
+        }
+    });
+
+    let best_rram = rram_sweep
+        .iter()
+        .map(|&(_, a)| a)
+        .fold(0.0f64, f64::max);
+    let platforms = mann_candidates(&MannScenario {
+        acc_software: cosine_accuracy,
+        acc_rram: best_rram,
+        ..MannScenario::default()
+    });
+    Fig4e {
+        cosine_accuracy,
+        rram_sweep,
+        software_sweep,
+        platforms,
+    }
+}
+
+/// Prints the figure series.
+pub fn print(r: &Fig4e) {
+    println!("Fig. 4E — few-shot accuracy vs hash length (5-way 1-shot)");
+    crate::rule(64);
+    println!(
+        "software cosine skyline: {:.1}%",
+        r.cosine_accuracy * 100.0
+    );
+    println!("{:>10} {:>14} {:>14}", "bits", "software LSH", "RRAM TLSH");
+    for ((bits, sw), (_, rram)) in r.software_sweep.iter().zip(&r.rram_sweep) {
+        println!(
+            "{:>10} {:>13.1}% {:>13.1}%",
+            bits,
+            sw * 100.0,
+            rram * 100.0
+        );
+    }
+    println!();
+    println!("Platform comparison:");
+    for c in &r.platforms {
+        println!(
+            "{:>24}: latency {}, energy {}, accuracy {:.1}%",
+            c.name,
+            crate::fmt_time(c.fom.latency_s),
+            crate::fmt_energy(c.fom.energy_j),
+            c.fom.accuracy * 100.0
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longer_hashes_approach_cosine_and_rram_is_fast() {
+        let r = run(true);
+        let (short_bits, short_acc) = r.rram_sweep[0];
+        let (long_bits, long_acc) = *r.rram_sweep.last().expect("sweep");
+        assert!(long_bits > short_bits);
+        assert!(long_acc >= short_acc - 0.02, "short {short_acc} long {long_acc}");
+        // Longer hashes approach the skyline.
+        assert!(
+            long_acc >= r.cosine_accuracy - 0.15,
+            "long {} cosine {}",
+            long_acc,
+            r.cosine_accuracy
+        );
+        // Latency advantage of the in-memory pipeline.
+        let gpu = &r.platforms[0].fom;
+        let rram = &r.platforms[1].fom;
+        assert!(rram.latency_s < gpu.latency_s / 10.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Fig. 5 — validation of the Eva-CAM-style model against published
+//! CAM silicon.
+//!
+//! Paper claim: projections within ~20 % of measured / SPICE data.
+
+use xlda_evacam::validate::{validate_all, ValidationRow};
+
+/// Runs the validation table.
+///
+/// # Panics
+///
+/// Panics if a reference configuration fails to model — that would
+/// itself be a validation failure.
+pub fn run(_quick: bool) -> Vec<ValidationRow> {
+    validate_all().expect("reference chips must model")
+}
+
+/// Prints the validation table in the paper's layout.
+pub fn print(rows: &[ValidationRow]) {
+    println!("Fig. 5 — Eva-CAM validation against published NV-CAM chips");
+    crate::rule(94);
+    println!(
+        "{:>16} {:>14} {:>10} {:>14} {:>10} {:>14} {:>10}",
+        "chip", "area (µm²)", "err", "latency", "err", "energy", "err"
+    );
+    let fmt_err = |e: Option<f64>| match e {
+        Some(v) => format!("{:+.1}%", v * 100.0),
+        None => "—".to_string(),
+    };
+    for r in rows {
+        println!(
+            "{:>16} {:>14.0} {:>10} {:>14} {:>10} {:>14} {:>10}",
+            r.label,
+            r.model_area_um2,
+            fmt_err(r.area_error),
+            crate::fmt_time(r.model_latency_s),
+            fmt_err(r.latency_error),
+            crate::fmt_energy(r.model_energy_j),
+            fmt_err(r.energy_error),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_errors_within_band() {
+        let rows = run(true);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(
+                r.worst_error() <= 0.20,
+                "{}: worst error {:.1}%",
+                r.label,
+                r.worst_error() * 100.0
+            );
+        }
+    }
+}

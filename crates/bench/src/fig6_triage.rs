@@ -1,0 +1,132 @@
+//! Fig. 6 / Sec. VII — top-down triage and bottom-up device levers.
+//!
+//! Top-down: profile workloads, recommend an architecture lane, and
+//! prioritize device metrics. Bottom-up: perturb device parameters of a
+//! CAM matchline and rank the levers by application-visible impact.
+
+use xlda_circuit::matchline::MatchlineConfig;
+use xlda_circuit::tech::TechNode;
+use xlda_core::profile::{
+    device_priorities, recommend, ArchRecommendation, DeviceMetric, WorkloadProfile,
+};
+use xlda_core::sensitivity::{matchline_sensitivity, prioritized_levers, DeviceLever, SensitivityRow};
+use xlda_syssim::workload::{cnn_trace, hdc_trace, mann_trace, transformer_trace};
+
+/// Top-down row: one workload's profile and recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriageRow {
+    /// Workload name.
+    pub workload: String,
+    /// Computational profile.
+    pub profile: WorkloadProfile,
+    /// Recommended architecture lane.
+    pub recommendation: ArchRecommendation,
+    /// Device metrics in priority order.
+    pub metrics: Vec<DeviceMetric>,
+}
+
+/// Complete Fig. 6 output.
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    /// Top-down triage rows.
+    pub triage: Vec<TriageRow>,
+    /// Bottom-up matchline sensitivity rows (2× perturbations).
+    pub sensitivity: Vec<SensitivityRow>,
+    /// Device levers ranked by impact.
+    pub levers: Vec<(DeviceLever, f64)>,
+}
+
+/// Runs both directions of the Fig. 6 flow.
+pub fn run(_quick: bool) -> Fig6 {
+    let workloads = [
+        (cnn_trace(8), 0.0001),
+        (transformer_trace(4, 512, 256), 0.0001),
+        (hdc_trace(617, 4096, 500), 0.001),
+        (mann_trace(65_000, 64, 256, 5000), 0.05),
+    ];
+    let triage = workloads
+        .iter()
+        .map(|(w, wpr)| {
+            let profile = WorkloadProfile::from_workload(w, *wpr);
+            TriageRow {
+                workload: w.name.clone(),
+                recommendation: recommend(&profile),
+                metrics: device_priorities(&profile),
+                profile,
+            }
+        })
+        .collect();
+
+    let config = MatchlineConfig::default();
+    let tech = TechNode::n40();
+    let sensitivity = matchline_sensitivity(&config, &tech, 128, 2.0);
+    let levers = prioritized_levers(&config, &tech, 128, 2.0);
+    Fig6 {
+        triage,
+        sensitivity,
+        levers,
+    }
+}
+
+/// Prints both flows.
+pub fn print(r: &Fig6) {
+    println!("Fig. 6 — top-down: workload profile -> architecture & device priorities");
+    crate::rule(96);
+    println!(
+        "{:>18} {:>8} {:>8} {:>8} {:>22} {:>22}",
+        "workload", "MVM", "search", "other", "architecture", "top device metric"
+    );
+    for t in &r.triage {
+        println!(
+            "{:>18} {:>7.0}% {:>7.0}% {:>7.0}% {:>22} {:>22}",
+            t.workload,
+            t.profile.mvm_fraction * 100.0,
+            t.profile.search_fraction * 100.0,
+            t.profile.other_fraction * 100.0,
+            format!("{:?}", t.recommendation),
+            format!("{:?}", t.metrics[0]),
+        );
+    }
+    println!();
+    println!("Bottom-up: device levers on a 128-cell CAM matchline (2x perturbation)");
+    crate::rule(78);
+    println!(
+        "{:>10} {:>16} {:>16} {:>18}",
+        "lever", "latency change", "margin change", "mismatch headroom"
+    );
+    for s in &r.sensitivity {
+        println!(
+            "{:>10} {:>15.1}% {:>15.1}% {:>17.1}%",
+            s.lever.label(),
+            s.latency_change * 100.0,
+            s.margin_change * 100.0,
+            s.mismatch_limit_change * 100.0
+        );
+    }
+    println!();
+    println!("Lever priority (total application-visible impact):");
+    for (i, (lever, impact)) in r.levers.iter().enumerate() {
+        println!("  {}. {} (impact {impact:.2})", i + 1, lever.label());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triage_covers_the_lanes() {
+        let r = run(true);
+        assert_eq!(r.triage.len(), 4);
+        // CNN -> crossbar; HDC (many classes) -> mixed pipeline.
+        assert_eq!(r.triage[0].recommendation, ArchRecommendation::CrossbarImc);
+        assert_eq!(
+            r.triage[2].recommendation,
+            ArchRecommendation::CrossbarPlusAm
+        );
+        // Sensitivity covers all three levers, ranked.
+        assert_eq!(r.sensitivity.len(), 3);
+        assert_eq!(r.levers.len(), 3);
+        assert!(r.levers[0].1 >= r.levers[2].1);
+    }
+}

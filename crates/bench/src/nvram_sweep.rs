@@ -1,0 +1,98 @@
+//! Sec. VI (memory lane) — NVSim-style FOM sweep across technologies and
+//! capacities.
+//!
+//! Supports the DSE narrative: which technology wins the conventional
+//! RAM/cache lane at each capacity point, and where flash's density
+//! stops compensating for its write cost.
+
+use xlda_nvram::{OptTarget, RamArray, RamCell, RamConfig, RamReport};
+
+/// One sweep row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RamRow {
+    /// Cell label.
+    pub cell: String,
+    /// Capacity in MiB.
+    pub capacity_mib: f64,
+    /// Figures of merit.
+    pub report: RamReport,
+}
+
+/// Sweeps cells × capacities with a read-latency objective.
+pub fn run(quick: bool) -> Vec<RamRow> {
+    let cells = [
+        RamCell::Sram6T,
+        RamCell::Rram1T1R,
+        RamCell::Pcm1T1R,
+        RamCell::Mram1T1R,
+        RamCell::Fefet1T,
+        RamCell::Nand3D { layers: 64 },
+    ];
+    let capacities_mib: &[u64] = if quick { &[1, 16] } else { &[1, 4, 16, 64] };
+    let mut rows = Vec::new();
+    for cell in cells {
+        for &mib in capacities_mib {
+            let config = RamConfig {
+                capacity_bits: mib * 8 * (1 << 20),
+                word_bits: 64,
+                cell,
+                ..RamConfig::default()
+            };
+            let ram = RamArray::auto_organize(&config, OptTarget::ReadLatency)
+                .expect("sweep configs organize");
+            rows.push(RamRow {
+                cell: cell.label(),
+                capacity_mib: mib as f64,
+                report: ram.report(),
+            });
+        }
+    }
+    rows
+}
+
+/// Prints the sweep table.
+pub fn print(rows: &[RamRow]) {
+    println!("Sec. VI — RAM-lane technology sweep (read-latency optimized)");
+    crate::rule(100);
+    println!(
+        "{:>14} {:>8} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "cell", "MiB", "read lat", "write lat", "read E", "write E", "area mm²"
+    );
+    for r in rows {
+        println!(
+            "{:>14} {:>8.0} {:>12} {:>12} {:>12} {:>12} {:>10.3}",
+            r.cell,
+            r.capacity_mib,
+            crate::fmt_time(r.report.read_latency_s),
+            crate::fmt_time(r.report.write_latency_s),
+            crate::fmt_energy(r.report.read_energy_j),
+            crate::fmt_energy(r.report.write_energy_j),
+            r.report.area_mm2
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_reproduces_known_orderings() {
+        let rows = run(true);
+        let find = |cell: &str, mib: f64| {
+            rows.iter()
+                .find(|r| r.cell == cell && r.capacity_mib == mib)
+                .expect("row")
+        };
+        // Flash: densest but unusable write latency (the paper's example
+        // for culling design points).
+        let nand = find("3D-NAND-64L", 16.0);
+        let rram = find("RRAM-1T1R", 16.0);
+        assert!(nand.report.area_mm2 < rram.report.area_mm2);
+        assert!(nand.report.write_latency_s > 100.0 * rram.report.write_latency_s);
+        // SRAM: fastest writes, biggest area.
+        let sram = find("SRAM-6T", 16.0);
+        assert!(sram.report.write_latency_s < rram.report.write_latency_s);
+        assert!(sram.report.area_mm2 > rram.report.area_mm2);
+    }
+}

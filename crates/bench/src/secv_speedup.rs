@@ -1,0 +1,87 @@
+//! Sec. V — system-level crossbar offload speedup.
+//!
+//! Paper claim (via ALPINE/gem5-X): analog crossbars speed up benchmark
+//! convolutional networks by up to ~20×; LSTMs and transformers gain
+//! less because a smaller fraction of their operations offloads.
+
+use xlda_syssim::study::{amdahl_sweep, benchmark_suite, SpeedupRow};
+use xlda_syssim::workload::{cnn_trace, hdc_trace, lstm_trace, mann_trace, transformer_trace};
+
+/// Complete Sec. V output.
+#[derive(Debug, Clone)]
+pub struct SecV {
+    /// Per-workload speedup rows.
+    pub rows: Vec<SpeedupRow>,
+    /// Amdahl sensitivity (offload fraction, speedup).
+    pub amdahl: Vec<(f64, f64)>,
+}
+
+/// Runs the benchmark suite and the Amdahl sweep.
+pub fn run(quick: bool) -> SecV {
+    let layers = if quick { 6 } else { 12 };
+    let rows = benchmark_suite(&[
+        cnn_trace(layers),
+        lstm_trace(if quick { 8 } else { 32 }, 512),
+        transformer_trace(if quick { 2 } else { 6 }, 512, 256),
+        hdc_trace(617, 4096, 26),
+        mann_trace(65_000, 64, 256, 125),
+    ]);
+    let amdahl = amdahl_sweep(if quick {
+        &[0.5, 0.99]
+    } else {
+        &[0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999]
+    });
+    SecV { rows, amdahl }
+}
+
+/// Prints the study tables.
+pub fn print(r: &SecV) {
+    println!("Sec. V — end-to-end speedup from tightly coupled analog crossbars");
+    crate::rule(86);
+    println!(
+        "{:>18} {:>10} {:>12} {:>12} {:>9} {:>9}",
+        "workload", "offload", "CPU time", "accel time", "speedup", "E gain"
+    );
+    for row in &r.rows {
+        println!(
+            "{:>18} {:>9.1}% {:>12} {:>12} {:>8.1}x {:>8.1}x",
+            row.workload,
+            row.offload_fraction * 100.0,
+            crate::fmt_time(row.cpu_time_s),
+            crate::fmt_time(row.accel_time_s),
+            row.speedup,
+            row.energy_gain
+        );
+    }
+    println!();
+    println!("Amdahl sensitivity (synthetic workload):");
+    for (f, s) in &r.amdahl {
+        println!("  offloadable {:>5.1}% -> speedup {s:.2}x", f * 100.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cnn_hits_papers_headline_band() {
+        let r = run(true);
+        let cnn = &r.rows[0];
+        assert!(
+            cnn.speedup > 8.0 && cnn.speedup < 40.0,
+            "cnn speedup {}",
+            cnn.speedup
+        );
+        // CNN gains more than LSTM (less offloadable work).
+        assert!(cnn.speedup > r.rows[1].speedup);
+        // All accelerated workloads gain something.
+        assert!(r.rows.iter().all(|row| row.speedup > 1.0));
+    }
+
+    #[test]
+    fn amdahl_monotone() {
+        let r = run(true);
+        assert!(r.amdahl[1].1 > r.amdahl[0].1);
+    }
+}

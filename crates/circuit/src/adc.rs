@@ -1,0 +1,172 @@
+//! Data-converter figure-of-merit models.
+//!
+//! Crossbar peripheries dominate analog in-memory compute cost: every
+//! column needs an ADC (or shares one by multiplexing) and every row a
+//! DAC or pulse-width modulator. We use standard SAR-ADC scaling: latency
+//! linear in bit count, energy exponential in resolution via the
+//! Walden figure of merit.
+
+use crate::tech::TechNode;
+
+/// Successive-approximation ADC model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SarAdc {
+    /// Resolution in bits.
+    pub bits: u8,
+    /// Sampling rate (samples/s) the latency model assumes per bit-cycle.
+    pub bit_cycle_s: f64,
+    /// Walden figure of merit (J per conversion step).
+    pub fom_j_per_step: f64,
+    tech: TechNode,
+}
+
+impl SarAdc {
+    /// Creates an ADC of the given resolution.
+    ///
+    /// The bit-cycle time is anchored to the technology (a SAR loop is a
+    /// comparator + DAC settle, ~20 FO1), and the Walden FoM to ~30 fJ per
+    /// conversion step — representative of published array peripheries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0` or `bits > 14`.
+    pub fn new(bits: u8, tech: &TechNode) -> Self {
+        assert!((1..=14).contains(&bits), "resolution out of model range");
+        Self {
+            bits,
+            bit_cycle_s: 20.0 * tech.fo1_delay(),
+            fom_j_per_step: 30e-15,
+            tech: tech.clone(),
+        }
+    }
+
+    /// Conversion latency (s): one cycle per bit plus sampling.
+    pub fn latency(&self) -> f64 {
+        (self.bits as f64 + 1.0) * self.bit_cycle_s
+    }
+
+    /// Energy per conversion (J): `FoM * 2^bits`.
+    pub fn energy(&self) -> f64 {
+        self.fom_j_per_step * (1u64 << self.bits) as f64
+    }
+
+    /// Layout area (m²), growing with the capacitive DAC: `~A0 * 2^bits`
+    /// with a floor for comparator and logic.
+    pub fn area(&self) -> f64 {
+        let f2 = self.tech.f2_area_m2();
+        (400.0 + 60.0 * (1u64 << self.bits) as f64) * f2
+    }
+
+    /// Quantizes `x` in `[lo, hi]` to the ADC's code grid, returning the
+    /// reconstructed analog value. Values outside the range clip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn quantize(&self, x: f64, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "bad quantization range");
+        let levels = (1u64 << self.bits) as f64 - 1.0;
+        let t = ((x - lo) / (hi - lo)).clamp(0.0, 1.0);
+        let code = (t * levels).round();
+        lo + code / levels * (hi - lo)
+    }
+}
+
+/// Row-driver DAC (or pulse-width modulator) model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowDac {
+    /// Resolution in bits (1 = binary pulse).
+    pub bits: u8,
+    tech: TechNode,
+}
+
+impl RowDac {
+    /// Creates a row DAC of the given input resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0` or `bits > 8`.
+    pub fn new(bits: u8, tech: &TechNode) -> Self {
+        assert!((1..=8).contains(&bits), "resolution out of model range");
+        Self {
+            bits,
+            tech: tech.clone(),
+        }
+    }
+
+    /// Settling latency (s). Multi-bit inputs are applied as
+    /// pulse-width-modulated wordline pulses: latency scales with
+    /// `2^bits` pulse slots.
+    pub fn latency(&self) -> f64 {
+        let slot = 10.0 * self.tech.fo1_delay();
+        ((1u64 << self.bits) - 1).max(1) as f64 * slot
+    }
+
+    /// Energy per applied input (J), dominated by driving the line.
+    pub fn energy(&self, c_line: f64) -> f64 {
+        self.tech.switch_energy(c_line) * self.bits as f64
+    }
+
+    /// Layout area (m²).
+    pub fn area(&self) -> f64 {
+        (100.0 + 40.0 * self.bits as f64) * self.tech.f2_area_m2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> TechNode {
+        TechNode::n40()
+    }
+
+    #[test]
+    fn adc_energy_exponential_in_bits() {
+        let t = tech();
+        let a4 = SarAdc::new(4, &t);
+        let a8 = SarAdc::new(8, &t);
+        assert!((a8.energy() / a4.energy() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adc_latency_linear_in_bits() {
+        let t = tech();
+        let a4 = SarAdc::new(4, &t);
+        let a8 = SarAdc::new(8, &t);
+        assert!((a8.latency() / a4.latency() - 9.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantize_reconstructs_grid() {
+        let a = SarAdc::new(2, &tech()); // 4 levels: 0, 1/3, 2/3, 1
+        assert_eq!(a.quantize(0.0, 0.0, 1.0), 0.0);
+        assert!((a.quantize(0.30, 0.0, 1.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(a.quantize(2.0, 0.0, 1.0), 1.0); // clips
+        assert_eq!(a.quantize(-1.0, 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn quantize_error_bounded_by_half_lsb() {
+        let a = SarAdc::new(6, &tech());
+        let lsb = 1.0 / 63.0;
+        for i in 0..100 {
+            let x = i as f64 / 99.0;
+            assert!((a.quantize(x, 0.0, 1.0) - x).abs() <= lsb / 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn dac_pwm_latency_exponential() {
+        let t = tech();
+        let d1 = RowDac::new(1, &t);
+        let d4 = RowDac::new(4, &t);
+        assert!((d4.latency() / d1.latency() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of model range")]
+    fn adc_zero_bits_panics() {
+        SarAdc::new(0, &tech());
+    }
+}

@@ -1,0 +1,143 @@
+//! Row/address decoder model.
+//!
+//! A decoder selecting 1-of-N wordlines is modeled as a tree of NAND
+//! pre-decoders followed by a final NOR/driver stage, in the NVSim style:
+//! delay and energy grow logarithmically in N, area linearly.
+
+use crate::gate::{BufferChain, Gate, GateKind};
+use crate::tech::TechNode;
+
+/// Analytical 1-of-N decoder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decoder {
+    outputs: usize,
+    address_bits: usize,
+    tech: TechNode,
+    /// Capacitive load on each decoded output (F), e.g. a wordline.
+    pub output_load: f64,
+}
+
+impl Decoder {
+    /// Creates a decoder with `outputs` decoded lines, each driving
+    /// `output_load` farads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outputs` is zero or the load is negative.
+    pub fn new(outputs: usize, output_load: f64, tech: &TechNode) -> Self {
+        assert!(outputs > 0, "decoder needs at least one output");
+        assert!(output_load >= 0.0, "negative load");
+        let address_bits = (outputs as f64).log2().ceil() as usize;
+        Self {
+            outputs,
+            address_bits: address_bits.max(1),
+            tech: tech.clone(),
+            output_load,
+        }
+    }
+
+    /// Number of decoded outputs.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// Address width in bits.
+    pub fn address_bits(&self) -> usize {
+        self.address_bits
+    }
+
+    /// Number of 2-input NAND levels in the decode tree.
+    fn levels(&self) -> usize {
+        // Pairs of address bits decoded per level.
+        self.address_bits.div_ceil(2).max(1)
+    }
+
+    /// Decode delay (s): NAND tree plus the output driver chain.
+    pub fn delay(&self) -> f64 {
+        let nand = Gate::new(GateKind::Nand(2), 2.0, &self.tech);
+        let inter_cap = nand.input_cap() * 2.0;
+        let tree = self.levels() as f64 * nand.delay(inter_cap);
+        let driver = self.driver().delay();
+        tree + driver
+    }
+
+    /// Energy (J) per decode operation.
+    ///
+    /// One path through the tree switches, plus the selected driver.
+    pub fn energy(&self) -> f64 {
+        let nand = Gate::new(GateKind::Nand(2), 2.0, &self.tech);
+        let inter_cap = nand.input_cap() * 2.0;
+        let tree = self.levels() as f64 * nand.switching_energy(inter_cap);
+        tree + self.driver().energy()
+    }
+
+    /// Leakage power (W) of the whole decoder.
+    pub fn leakage_power(&self) -> f64 {
+        let nand = Gate::new(GateKind::Nand(2), 2.0, &self.tech);
+        // Roughly 2(N-1) gates in a full tree plus N drivers.
+        let gates = 2.0 * (self.outputs as f64 - 1.0).max(1.0);
+        gates * nand.leakage_power()
+    }
+
+    /// Area (m²): tree gates plus one driver chain per output.
+    pub fn area(&self) -> f64 {
+        let nand = Gate::new(GateKind::Nand(2), 2.0, &self.tech);
+        let gates = 2.0 * (self.outputs as f64 - 1.0).max(1.0);
+        gates * nand.area() + self.outputs as f64 * self.driver().area()
+    }
+
+    fn driver(&self) -> BufferChain {
+        let c_in = self.tech.gate_cap(3.0 * self.tech.min_width_um) * 2.0;
+        BufferChain::size_for(c_in, self.output_load.max(c_in), &self.tech)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> TechNode {
+        TechNode::n40()
+    }
+
+    #[test]
+    fn address_bits_ceil_log2() {
+        let d = Decoder::new(100, 1e-15, &tech());
+        assert_eq!(d.address_bits(), 7);
+        assert_eq!(d.outputs(), 100);
+    }
+
+    #[test]
+    fn delay_grows_logarithmically() {
+        let t = tech();
+        let d64 = Decoder::new(64, 10e-15, &t);
+        let d4096 = Decoder::new(4096, 10e-15, &t);
+        // 4096 outputs is 64x more rows but only 2x the address bits.
+        assert!(d4096.delay() > d64.delay());
+        assert!(d4096.delay() < 3.0 * d64.delay());
+    }
+
+    #[test]
+    fn area_grows_roughly_linearly() {
+        let t = tech();
+        let d64 = Decoder::new(64, 10e-15, &t);
+        let d256 = Decoder::new(256, 10e-15, &t);
+        let ratio = d256.area() / d64.area();
+        assert!(ratio > 3.0 && ratio < 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn heavier_wordline_costs_more_energy() {
+        let t = tech();
+        let light = Decoder::new(128, 5e-15, &t);
+        let heavy = Decoder::new(128, 500e-15, &t);
+        assert!(heavy.energy() > light.energy());
+        assert!(heavy.delay() > light.delay());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one output")]
+    fn zero_outputs_panics() {
+        Decoder::new(0, 1e-15, &tech());
+    }
+}

@@ -1,0 +1,324 @@
+//! Process-technology parameter tables.
+//!
+//! Values are representative of published ITRS/PTM-class numbers at each
+//! node and of the parameter tables shipped with NVSim-family tools. They
+//! are *triage-grade*: intended to rank design options and expose scaling
+//! trends, not to replace SPICE sign-off (the same positioning the paper
+//! gives its analytical tools in Sec. VI).
+
+/// Electrical parameters of a CMOS process node.
+///
+/// All values are in SI units (meters, volts, amperes, farads, ohms).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechNode {
+    /// Feature size in nanometers (e.g. 40.0 for the 40 nm node).
+    pub feature_nm: f64,
+    /// Nominal supply voltage (V).
+    pub vdd: f64,
+    /// NMOS on-current per micron of width (A/µm).
+    pub ion_n_per_um: f64,
+    /// PMOS on-current per micron of width (A/µm).
+    pub ion_p_per_um: f64,
+    /// Off-state leakage per micron of width (A/µm).
+    pub ioff_per_um: f64,
+    /// Gate capacitance per micron of width (F/µm).
+    pub cgate_per_um: f64,
+    /// Drain junction capacitance per micron of width (F/µm).
+    pub cdrain_per_um: f64,
+    /// Wire resistance per micron at intermediate metal (Ω/µm).
+    pub wire_r_per_um: f64,
+    /// Wire capacitance per micron at intermediate metal (F/µm).
+    pub wire_c_per_um: f64,
+    /// Minimum transistor width (µm).
+    pub min_width_um: f64,
+}
+
+impl TechNode {
+    /// 130 nm node.
+    pub fn n130() -> Self {
+        Self {
+            feature_nm: 130.0,
+            vdd: 1.3,
+            ion_n_per_um: 0.60e-3, // 600 µA/µm
+            ion_p_per_um: 0.30e-3,
+            ioff_per_um: 1e-8, // 10 nA/µm
+            cgate_per_um: 1.6e-15,
+            cdrain_per_um: 1.2e-15,
+            wire_r_per_um: 0.4,
+            wire_c_per_um: 0.23e-15,
+            min_width_um: 0.26,
+        }
+    }
+
+    /// 90 nm node (used by the PCM and MRAM reference chips in Fig. 5).
+    pub fn n90() -> Self {
+        Self {
+            feature_nm: 90.0,
+            vdd: 1.2,
+            ion_n_per_um: 0.75e-3,
+            ion_p_per_um: 0.36e-3,
+            ioff_per_um: 2e-8,
+            cgate_per_um: 1.3e-15,
+            cdrain_per_um: 1.0e-15,
+            wire_r_per_um: 0.8,
+            wire_c_per_um: 0.22e-15,
+            min_width_um: 0.18,
+        }
+    }
+
+    /// 65 nm node.
+    pub fn n65() -> Self {
+        Self {
+            feature_nm: 65.0,
+            vdd: 1.1,
+            ion_n_per_um: 0.90e-3,
+            ion_p_per_um: 0.45e-3,
+            ioff_per_um: 4e-8,
+            cgate_per_um: 1.1e-15,
+            cdrain_per_um: 0.85e-15,
+            wire_r_per_um: 1.4,
+            wire_c_per_um: 0.21e-15,
+            min_width_um: 0.13,
+        }
+    }
+
+    /// 45 nm node.
+    pub fn n45() -> Self {
+        Self {
+            feature_nm: 45.0,
+            vdd: 1.0,
+            ion_n_per_um: 1.05e-3,
+            ion_p_per_um: 0.52e-3,
+            ioff_per_um: 8e-8,
+            cgate_per_um: 0.95e-15,
+            cdrain_per_um: 0.72e-15,
+            wire_r_per_um: 2.5,
+            wire_c_per_um: 0.20e-15,
+            min_width_um: 0.09,
+        }
+    }
+
+    /// 40 nm node (used by the RRAM reference chip in Fig. 5).
+    pub fn n40() -> Self {
+        Self {
+            feature_nm: 40.0,
+            vdd: 1.0,
+            ion_n_per_um: 1.10e-3,
+            ion_p_per_um: 0.55e-3,
+            ioff_per_um: 1e-7,
+            cgate_per_um: 0.90e-15,
+            cdrain_per_um: 0.68e-15,
+            wire_r_per_um: 3.0,
+            wire_c_per_um: 0.20e-15,
+            min_width_um: 0.08,
+        }
+    }
+
+    /// 32 nm node.
+    pub fn n32() -> Self {
+        Self {
+            feature_nm: 32.0,
+            vdd: 0.95,
+            ion_n_per_um: 1.20e-3,
+            ion_p_per_um: 0.62e-3,
+            ioff_per_um: 1.5e-7,
+            cgate_per_um: 0.80e-15,
+            cdrain_per_um: 0.60e-15,
+            wire_r_per_um: 4.2,
+            wire_c_per_um: 0.19e-15,
+            min_width_um: 0.064,
+        }
+    }
+
+    /// 22 nm node.
+    pub fn n22() -> Self {
+        Self {
+            feature_nm: 22.0,
+            vdd: 0.9,
+            ion_n_per_um: 1.35e-3,
+            ion_p_per_um: 0.72e-3,
+            ioff_per_um: 2e-7,
+            cgate_per_um: 0.70e-15,
+            cdrain_per_um: 0.52e-15,
+            wire_r_per_um: 6.0,
+            wire_c_per_um: 0.18e-15,
+            min_width_um: 0.044,
+        }
+    }
+
+    /// Looks up a preset node by feature size in nanometers.
+    ///
+    /// Returns `None` when the node is not in the table.
+    pub fn by_feature_nm(nm: u32) -> Option<Self> {
+        match nm {
+            130 => Some(Self::n130()),
+            90 => Some(Self::n90()),
+            65 => Some(Self::n65()),
+            45 => Some(Self::n45()),
+            40 => Some(Self::n40()),
+            32 => Some(Self::n32()),
+            22 => Some(Self::n22()),
+            _ => None,
+        }
+    }
+
+    /// All preset nodes, largest to smallest.
+    pub fn all() -> Vec<Self> {
+        vec![
+            Self::n130(),
+            Self::n90(),
+            Self::n65(),
+            Self::n45(),
+            Self::n40(),
+            Self::n32(),
+            Self::n22(),
+        ]
+    }
+
+    /// Feature size in meters.
+    pub fn feature_m(&self) -> f64 {
+        self.feature_nm * 1e-9
+    }
+
+    /// Area of one F² in square meters.
+    pub fn f2_area_m2(&self) -> f64 {
+        self.feature_m() * self.feature_m()
+    }
+
+    /// On-resistance (Ω) of an NMOS of width `w_um` microns, estimated as
+    /// `Vdd / Ion(w)` — the standard switch-model approximation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w_um` is not positive.
+    pub fn nmos_on_resistance(&self, w_um: f64) -> f64 {
+        assert!(w_um > 0.0, "width must be positive");
+        self.vdd / (self.ion_n_per_um * w_um)
+    }
+
+    /// On-resistance (Ω) of a PMOS of width `w_um` microns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w_um` is not positive.
+    pub fn pmos_on_resistance(&self, w_um: f64) -> f64 {
+        assert!(w_um > 0.0, "width must be positive");
+        self.vdd / (self.ion_p_per_um * w_um)
+    }
+
+    /// Gate capacitance (F) of a transistor of width `w_um` microns.
+    pub fn gate_cap(&self, w_um: f64) -> f64 {
+        self.cgate_per_um * w_um
+    }
+
+    /// Drain capacitance (F) of a transistor of width `w_um` microns.
+    pub fn drain_cap(&self, w_um: f64) -> f64 {
+        self.cdrain_per_um * w_um
+    }
+
+    /// Leakage current (A) of a transistor of width `w_um` microns.
+    pub fn leakage(&self, w_um: f64) -> f64 {
+        self.ioff_per_um * w_um
+    }
+
+    /// Intrinsic FO1 inverter delay estimate (s): `R_on * (Cg + Cd)` for a
+    /// minimum-size inverter (PMOS twice NMOS width).
+    pub fn fo1_delay(&self) -> f64 {
+        let wn = self.min_width_um;
+        let wp = 2.0 * wn;
+        let r = 0.5 * (self.nmos_on_resistance(wn) + self.pmos_on_resistance(wp));
+        let c = self.gate_cap(wn + wp) + self.drain_cap(wn + wp);
+        0.69 * r * c
+    }
+
+    /// Switching energy (J) to charge capacitance `c` to Vdd.
+    pub fn switch_energy(&self, c: f64) -> f64 {
+        c * self.vdd * self.vdd
+    }
+}
+
+impl Default for TechNode {
+    /// Defaults to the 40 nm node, the technology of the paper's primary
+    /// RRAM validation target.
+    fn default() -> Self {
+        Self::n40()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_cover_expected_nodes() {
+        let nodes = TechNode::all();
+        assert_eq!(nodes.len(), 7);
+        let nms: Vec<f64> = nodes.iter().map(|n| n.feature_nm).collect();
+        assert_eq!(nms, vec![130.0, 90.0, 65.0, 45.0, 40.0, 32.0, 22.0]);
+    }
+
+    #[test]
+    fn lookup_by_feature() {
+        assert_eq!(TechNode::by_feature_nm(40), Some(TechNode::n40()));
+        assert_eq!(TechNode::by_feature_nm(28), None);
+    }
+
+    #[test]
+    fn vdd_scales_down_with_node() {
+        let nodes = TechNode::all();
+        for w in nodes.windows(2) {
+            assert!(w[0].vdd >= w[1].vdd, "Vdd must not grow when scaling");
+        }
+    }
+
+    #[test]
+    fn fo1_delay_improves_with_scaling() {
+        // Gate delay shrinks monotonically across our table.
+        let nodes = TechNode::all();
+        for w in nodes.windows(2) {
+            assert!(
+                w[0].fo1_delay() > w[1].fo1_delay(),
+                "{} nm FO1 should exceed {} nm",
+                w[0].feature_nm,
+                w[1].feature_nm
+            );
+        }
+    }
+
+    #[test]
+    fn fo1_delay_plausible_range() {
+        // All nodes: FO1 in the 0.1 ps .. 50 ps window.
+        for n in TechNode::all() {
+            let d = n.fo1_delay();
+            assert!(d > 0.1e-12 && d < 50e-12, "{} nm FO1 = {d}", n.feature_nm);
+        }
+    }
+
+    #[test]
+    fn wire_gets_more_resistive_with_scaling() {
+        let nodes = TechNode::all();
+        for w in nodes.windows(2) {
+            assert!(w[0].wire_r_per_um < w[1].wire_r_per_um);
+        }
+    }
+
+    #[test]
+    fn on_resistance_inverse_in_width() {
+        let t = TechNode::n40();
+        let r1 = t.nmos_on_resistance(1.0);
+        let r2 = t.nmos_on_resistance(2.0);
+        assert!((r1 / r2 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        TechNode::n40().nmos_on_resistance(0.0);
+    }
+
+    #[test]
+    fn switch_energy_cv2() {
+        let t = TechNode::n40();
+        assert!((t.switch_energy(1e-15) - 1e-15).abs() < 1e-18); // Vdd = 1.0
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the circuit substrate.
+
+use proptest::prelude::*;
+use xlda_circuit::adc::SarAdc;
+use xlda_circuit::gate::BufferChain;
+use xlda_circuit::matchline::{Matchline, MatchlineConfig};
+use xlda_circuit::senseamp::SenseAmp;
+use xlda_circuit::tech::TechNode;
+use xlda_circuit::wire::Wire;
+
+fn arb_tech() -> impl Strategy<Value = TechNode> {
+    prop::sample::select(vec![
+        TechNode::n130(),
+        TechNode::n90(),
+        TechNode::n65(),
+        TechNode::n45(),
+        TechNode::n40(),
+        TechNode::n32(),
+        TechNode::n22(),
+    ])
+}
+
+fn arb_ml_config() -> impl Strategy<Value = MatchlineConfig> {
+    (1e-6f64..1e-4, 1e-10f64..1e-7, 0.05e-15f64..0.5e-15, 0.2f64..0.8).prop_map(
+        |(g_on, g_off, c_cell, v_ref_frac)| MatchlineConfig {
+            g_on,
+            g_off: g_off.min(g_on / 10.0),
+            c_cell,
+            precharge_frac: 1.0,
+            v_ref_frac,
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn matchline_discharge_monotone_in_mismatches(
+        cfg in arb_ml_config(),
+        tech in arb_tech(),
+        cells in 2usize..512,
+    ) {
+        let ml = Matchline::new(cfg, &tech, cells);
+        let mut prev = ml.discharge_time(1);
+        for m in 2..cells.min(16) {
+            let t = ml.discharge_time(m);
+            prop_assert!(t <= prev, "t({m}) = {t} > t({}) = {prev}", m - 1);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn matchline_voltage_never_exceeds_precharge(
+        cfg in arb_ml_config(),
+        tech in arb_tech(),
+        cells in 2usize..256,
+        t_ns in 0.0f64..100.0,
+        m_frac in 0.0f64..1.0,
+    ) {
+        let ml = Matchline::new(cfg, &tech, cells);
+        let m = ((cells as f64) * m_frac) as usize;
+        let v = ml.voltage_at(t_ns * 1e-9, m.min(cells));
+        prop_assert!(v >= 0.0 && v <= ml.precharge_voltage() + 1e-12);
+    }
+
+    #[test]
+    fn best_sense_time_is_optimal(
+        cfg in arb_ml_config(),
+        tech in arb_tech(),
+        cells in 8usize..128,
+        m in 0usize..6,
+    ) {
+        prop_assume!(m + 1 < cells);
+        let ml = Matchline::new(cfg, &tech, cells);
+        let t_star = ml.best_sense_time(m);
+        prop_assume!(t_star.is_finite() && t_star > 0.0);
+        let best = ml.voltage_margin(t_star, m);
+        for factor in [0.5, 0.9, 1.1, 2.0] {
+            prop_assert!(ml.voltage_margin(t_star * factor, m) <= best + 1e-12);
+        }
+    }
+
+    #[test]
+    fn mismatch_limit_monotone_in_length(
+        cfg in arb_ml_config(),
+        tech in arb_tech(),
+    ) {
+        let sa = SenseAmp::voltage_latch(&tech);
+        let short = Matchline::new(cfg, &tech, 16).mismatch_limit(&sa);
+        let long = Matchline::new(cfg, &tech, 256).mismatch_limit(&sa);
+        prop_assert!(long <= short, "short {short} long {long}");
+    }
+
+    #[test]
+    fn adc_quantize_error_within_half_lsb(
+        bits in 1u8..12,
+        tech in arb_tech(),
+        x in 0.0f64..1.0,
+    ) {
+        let adc = SarAdc::new(bits, &tech);
+        let lsb = 1.0 / ((1u64 << bits) - 1) as f64;
+        let q = adc.quantize(x, 0.0, 1.0);
+        prop_assert!((q - x).abs() <= lsb / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn adc_quantize_is_idempotent(bits in 1u8..12, tech in arb_tech(), x in -2.0f64..2.0) {
+        let adc = SarAdc::new(bits, &tech);
+        let q = adc.quantize(x, -1.0, 1.0);
+        prop_assert!((adc.quantize(q, -1.0, 1.0) - q).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wire_delay_monotone_in_length(tech in arb_tech(), len_um in 1.0f64..5000.0) {
+        let short = Wire::new(len_um * 1e-6, &tech);
+        let long = Wire::new(2.0 * len_um * 1e-6, &tech);
+        prop_assert!(long.elmore_delay() > short.elmore_delay());
+        prop_assert!(long.capacitance() > short.capacitance());
+    }
+
+    #[test]
+    fn buffer_chain_positive_and_bounded(
+        tech in arb_tech(),
+        load_ff in 0.1f64..10_000.0,
+    ) {
+        let c_in = tech.gate_cap(3.0 * tech.min_width_um);
+        let chain = BufferChain::size_for(c_in, load_ff * 1e-15, &tech);
+        prop_assert!(chain.stages() >= 1);
+        prop_assert!(chain.delay() > 0.0 && chain.delay() < 1e-6);
+        prop_assert!(chain.energy() > 0.0);
+    }
+
+    #[test]
+    fn sense_amp_latency_monotone_in_margin(tech in arb_tech(), dv in 1e-3f64..0.5) {
+        let sa = SenseAmp::voltage_latch(&tech);
+        prop_assert!(sa.latency(dv) >= sa.latency(dv * 2.0));
+    }
+}

@@ -1,0 +1,543 @@
+//! Cross-layer candidate evaluators.
+//!
+//! These functions assemble end-to-end FOMs for concrete design points by
+//! composing the substrate crates: baseline platform models for
+//! software mappings, the crossbar macro model for in-memory encoding,
+//! and the Eva-CAM array model for associative search. They generate the
+//! candidate sets behind the paper's platform comparisons (Fig. 3H for
+//! HDC, the latency side of Fig. 4E for the MANN).
+
+use crate::fom::{Candidate, Fom};
+use xlda_baseline::{HybridPipeline, Kernel, Platform};
+use xlda_nvram::{OptTarget, RamArray, RamCell, RamConfig};
+use xlda_circuit::tech::TechNode;
+use xlda_crossbar::macro_model::CrossbarMacro;
+use xlda_crossbar::CrossbarConfig;
+use xlda_evacam::{CamArray, CamCellDesign, CamConfig, DataKind, MatchKind};
+
+/// Scenario parameters for the HDC platform comparison (Fig. 3H).
+///
+/// HV dimensions are the *iso-accuracy sized* lengths: lower-precision
+/// cells need longer hypervectors to reach the same accuracy (and 1-bit
+/// cannot reach it at all), per Sec. III. The accuracy numbers are
+/// produced by the `xlda-hdc` simulation and passed in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HdcScenario {
+    /// Input feature dimensionality.
+    pub dim_in: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// HV length for the software / hybrid / MLP baselines.
+    pub hv_dim_sw: usize,
+    /// HV length giving iso-accuracy with 3-bit cells.
+    pub hv_dim_3b: usize,
+    /// HV length giving (near-)iso-accuracy with 2-bit cells.
+    pub hv_dim_2b: usize,
+    /// HV length used for the 1-bit SRAM CAM design point.
+    pub hv_dim_1b: usize,
+    /// Simulated accuracies for each design point.
+    pub acc_sw: f64,
+    /// 3-bit CAM accuracy.
+    pub acc_3b: f64,
+    /// 2-bit CAM accuracy.
+    pub acc_2b: f64,
+    /// 1-bit CAM accuracy.
+    pub acc_1b: f64,
+    /// MLP baseline accuracy.
+    pub acc_mlp: f64,
+    /// Process node for the dedicated hardware.
+    pub tech: TechNode,
+}
+
+impl Default for HdcScenario {
+    /// ISOLET-like shape with representative simulated accuracies.
+    fn default() -> Self {
+        Self {
+            dim_in: 617,
+            classes: 26,
+            hv_dim_sw: 4096,
+            hv_dim_3b: 2048,
+            hv_dim_2b: 4096,
+            hv_dim_1b: 4096,
+            acc_sw: 0.93,
+            acc_3b: 0.93,
+            acc_2b: 0.92,
+            acc_1b: 0.87,
+            acc_mlp: 0.93,
+            tech: TechNode::n40(),
+        }
+    }
+}
+
+/// Latency/energy of HDC inference on a software platform.
+fn hdc_on_platform(s: &HdcScenario, platform: &Platform, batch: usize, hv: usize) -> (f64, f64) {
+    let encode = Kernel::mvm(hv, s.dim_in);
+    let search = Kernel::search(s.classes, hv, 4);
+    let t = platform.time_per_item(&encode, batch) + platform.time_per_item(&search, batch);
+    let e = (platform.energy(&encode, batch) + platform.energy(&search, batch)) / batch as f64;
+    (t, e)
+}
+
+/// Latency/energy/area of HDC inference on a crossbar encoder plus a CAM
+/// associative memory.
+///
+/// # Panics
+///
+/// Panics if the CAM configuration cannot be modeled (the shipped design
+/// points always can).
+fn hdc_on_cam(
+    s: &HdcScenario,
+    design: CamCellDesign,
+    data: DataKind,
+    hv: usize,
+) -> (f64, f64, f64) {
+    // Encoding: random-projection MVM on analog crossbar tiles.
+    let xbar_cfg = CrossbarConfig {
+        rows: 256,
+        cols: 256,
+        ..CrossbarConfig::default()
+    };
+    let xmacro = CrossbarMacro::new(&xbar_cfg, &s.tech, 8);
+    let tiles_rows = s.dim_in.div_ceil(256);
+    let tiles_cols = hv.div_ceil(256);
+    let mvm = xmacro.mvm_cost();
+    // Column tiles run in parallel macros; row tiles accumulate serially.
+    let t_encode = tiles_rows as f64 * mvm.latency_s;
+    let e_encode = (tiles_rows * tiles_cols) as f64 * mvm.energy_j;
+    let a_encode = (tiles_rows * tiles_cols) as f64 * xmacro.area_m2() * 1e6; // mm²
+
+    // Search: one CAM holding `classes` words of `hv` cells.
+    let bits = data.bits_per_cell() as usize;
+    let cam = CamArray::new(CamConfig {
+        words: s.classes,
+        bits_per_word: hv * bits,
+        design,
+        data,
+        match_kind: MatchKind::Best { max_distance: 8 },
+        row_banks: 1,
+        tech: s.tech.clone(),
+    })
+    .expect("shipped HDC CAM design points must model");
+    let rep = cam.report();
+    (
+        t_encode + rep.search_latency_s,
+        e_encode + rep.search_energy_j,
+        a_encode + rep.area_um2 * 1e-6,
+    )
+}
+
+/// Builds the full Fig. 3H candidate set.
+pub fn hdc_candidates(s: &HdcScenario) -> Vec<Candidate> {
+    let gpu = Platform::gpu();
+    let mut out = Vec::new();
+
+    let (t, e) = hdc_on_platform(s, &gpu, 1, s.hv_dim_sw);
+    out.push(Candidate::new(
+        "GPU HDC (batch 1)",
+        Fom {
+            latency_s: t,
+            energy_j: e,
+            area_mm2: 0.0,
+            accuracy: s.acc_sw,
+        },
+    ));
+
+    let (t, e) = hdc_on_platform(s, &gpu, 1000, s.hv_dim_sw);
+    out.push(Candidate::new(
+        "GPU HDC (batch 1000)",
+        Fom {
+            latency_s: t,
+            energy_j: e,
+            area_mm2: 0.0,
+            accuracy: s.acc_sw,
+        },
+    ));
+
+    // TPU encodes (dense MVM), GPU searches.
+    let hybrid = HybridPipeline::tpu_gpu();
+    let encode = Kernel::mvm(s.hv_dim_sw, s.dim_in);
+    let search = Kernel::search(s.classes, s.hv_dim_sw, 4);
+    let batch = 1000;
+    out.push(Candidate::new(
+        "TPU-GPU hybrid (batch 1000)",
+        Fom {
+            latency_s: hybrid.time(&encode, &search, batch) / batch as f64,
+            energy_j: hybrid.energy(&encode, &search, batch) / batch as f64,
+            area_mm2: 0.0,
+            accuracy: s.acc_sw,
+        },
+    ));
+
+    let (t, e, a) = hdc_on_cam(s, CamCellDesign::Fefet2T, DataKind::MultiBit(3), s.hv_dim_3b);
+    out.push(Candidate::new(
+        "3b FeFET CAM",
+        Fom {
+            latency_s: t,
+            energy_j: e,
+            area_mm2: a,
+            accuracy: s.acc_3b,
+        },
+    ));
+
+    let (t, e, a) = hdc_on_cam(s, CamCellDesign::Fefet2T, DataKind::MultiBit(2), s.hv_dim_2b);
+    out.push(Candidate::new(
+        "2b FeFET CAM",
+        Fom {
+            latency_s: t,
+            energy_j: e,
+            area_mm2: a,
+            accuracy: s.acc_2b,
+        },
+    ));
+
+    let (t, e, a) = hdc_on_cam(s, CamCellDesign::Sram16T, DataKind::Binary, s.hv_dim_1b);
+    out.push(Candidate::new(
+        "1b SRAM CAM",
+        Fom {
+            latency_s: t,
+            energy_j: e,
+            area_mm2: a,
+            accuracy: s.acc_1b,
+        },
+    ));
+
+    out.push(tpu_nvm_candidate(s, 1));
+
+    // MLP baseline: dim_in -> 512 -> classes on a GPU, batched.
+    let l1 = Kernel::mvm(512, s.dim_in);
+    let l2 = Kernel::mvm(s.classes, 512);
+    let t = gpu.time_per_item(&l1, 1000) + gpu.time_per_item(&l2, 1000);
+    let e = (gpu.energy(&l1, 1000) + gpu.energy(&l2, 1000)) / 1000.0;
+    out.push(Candidate::new(
+        "GPU MLP (batch 1000)",
+        Fom {
+            latency_s: t,
+            energy_j: e,
+            area_mm2: 0.0,
+            accuracy: s.acc_mlp,
+        },
+    ));
+
+    out
+}
+
+/// The paper's open question (Sec. III): "What if an existing
+/// architecture (e.g., a TPU) is backed by a dense or distributed
+/// non-volatile memory? Is this a better way to leverage an emerging
+/// technology?" — answered by evaluation.
+///
+/// Models a TPU-class systolic core whose weights (projection matrix and
+/// class HVs) reside in on-chip FeFET NVM instead of streaming from HBM:
+/// weight traffic moves at the aggregated on-chip array bandwidth and at
+/// NVM read energy, and the host-dispatch overhead shrinks (no off-chip
+/// weight staging). The framework's verdict (see the
+/// `nvm_backed_tpu_answers_the_open_question` test): it beats the GPU
+/// baselines — especially at batch 1 and in energy — but the technology-
+/// *enabled* CAM design point still wins, i.e. using the new device as
+/// plain dense memory captures only part of its value.
+pub fn tpu_nvm_candidate(s: &HdcScenario, batch: usize) -> Candidate {
+    let tpu = Platform::tpu();
+    // Weight footprint: bipolar projection (1 bit/element) + 4-bit class
+    // HVs, held in on-chip FeFET NVM.
+    let weight_bytes =
+        (s.dim_in * s.hv_dim_sw) as u64 / 8 + (s.classes * s.hv_dim_sw) as u64 / 2;
+    let ram = RamArray::auto_organize(
+        &RamConfig {
+            capacity_bits: weight_bytes * 8,
+            word_bits: 256,
+            cell: RamCell::Fefet1T,
+            tech: s.tech.clone(),
+        },
+        OptTarget::ReadLatency,
+    )
+    .expect("NVM weight store organizes");
+    let rep = ram.report();
+    // 16 mats stream in parallel: aggregated on-chip weight bandwidth.
+    let nvm_bw = 16.0 * (256.0 / 8.0) / rep.read_latency_s;
+    let flops = 2.0 * (s.dim_in * s.hv_dim_sw + s.classes * s.hv_dim_sw) as f64;
+    let t_compute = batch as f64 * flops / (tpu.peak_flops * tpu.efficiency);
+    let t_weights = weight_bytes as f64 / nvm_bw; // streamed once per batch
+    // On-chip dispatch only: no host weight staging.
+    let launch = 1e-6;
+    let latency = (launch + t_compute.max(t_weights)) / batch as f64;
+    let e_compute = tpu.active_power * (launch + t_compute.max(t_weights));
+    let e_weights = weight_bytes as f64 / 32.0 * rep.read_energy_j;
+    Candidate::new(
+        format!("TPU + on-chip NVM (batch {batch})"),
+        Fom {
+            latency_s: latency,
+            energy_j: (e_compute + e_weights) / batch as f64,
+            area_mm2: rep.area_mm2,
+            accuracy: s.acc_sw,
+        },
+    )
+}
+
+/// The paper's open question (Sec. III, (1)): "What is the best baseline
+/// architecture to compare to? (i.e., is an HDC model more likely to be
+/// deployed 'on the edge', making small batches more likely and a GPU
+/// less likely to be employed?)" — answered by building the edge
+/// candidate set: an edge-class GPU and a CPU at batch 1 against the
+/// same CAM design point.
+///
+/// The framework's verdict (see `edge_deployment_answers_open_question`):
+/// at the edge the software baselines get *worse* (no batching to
+/// amortize launch overhead, weaker silicon), so the CAM's advantage
+/// widens — the fair baseline question sharpens, rather than weakens,
+/// the technology case.
+pub fn edge_candidates(s: &HdcScenario) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for platform in [Platform::edge_gpu(), Platform::cpu()] {
+        let (t, e) = hdc_on_platform(s, &platform, 1, s.hv_dim_sw);
+        out.push(Candidate::new(
+            format!("{} HDC (batch 1)", platform.name),
+            Fom {
+                latency_s: t,
+                energy_j: e,
+                area_mm2: 0.0,
+                accuracy: s.acc_sw,
+            },
+        ));
+    }
+    let (t, e, a) = hdc_on_cam(s, CamCellDesign::Fefet2T, DataKind::MultiBit(3), s.hv_dim_3b);
+    out.push(Candidate::new(
+        "3b FeFET CAM",
+        Fom {
+            latency_s: t,
+            energy_j: e,
+            area_mm2: a,
+            accuracy: s.acc_3b,
+        },
+    ));
+    out
+}
+
+/// Scenario for the MANN latency comparison (Fig. 4E right axis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MannScenario {
+    /// CNN weight count.
+    pub weights: usize,
+    /// Embedding dimensionality.
+    pub emb_dim: usize,
+    /// Hash signature bits.
+    pub hash_bits: usize,
+    /// Stored memories (support entries).
+    pub entries: usize,
+    /// Accuracy of the software-cosine skyline.
+    pub acc_software: f64,
+    /// Accuracy of the RRAM hashing pipeline.
+    pub acc_rram: f64,
+    /// Process node.
+    pub tech: TechNode,
+}
+
+impl Default for MannScenario {
+    fn default() -> Self {
+        Self {
+            weights: 65_000,
+            emb_dim: 64,
+            hash_bits: 256,
+            entries: 125,
+            acc_software: 0.95,
+            acc_rram: 0.94,
+            tech: TechNode::n40(),
+        }
+    }
+}
+
+/// Builds the MANN platform candidates: GPU software stack vs. the
+/// all-RRAM in-memory pipeline.
+pub fn mann_candidates(s: &MannScenario) -> Vec<Candidate> {
+    let gpu = Platform::gpu();
+    // GPU path: CNN + exact cosine search over raw embeddings.
+    let cnn = Kernel {
+        flops_per_item: (s.weights as u64) * 100,
+        bytes_per_item: 28 * 28 * 4,
+        shared_bytes: (s.weights * 4) as u64,
+    };
+    let search = Kernel::search(s.entries, s.emb_dim, 4);
+    let t_gpu = gpu.time_per_item(&cnn, 1) + gpu.time_per_item(&search, 1);
+    let e_gpu = gpu.energy(&cnn, 1) + gpu.energy(&search, 1);
+
+    // RRAM path: CNN on crossbars, hashing on a stochastic crossbar, AM
+    // search in an RRAM TCAM.
+    let xbar_cfg = CrossbarConfig {
+        rows: 64,
+        cols: 64,
+        ..CrossbarConfig::default()
+    };
+    let xmacro = CrossbarMacro::new(&xbar_cfg, &s.tech, 8);
+    let mvm = xmacro.mvm_cost();
+    // Paper: >65k weights across 36 64x64 crossbars; layers pipeline but
+    // inference visits each layer once.
+    let cnn_tiles = s.weights.div_ceil(64 * 64).max(1);
+    let layer_depth = 4.0;
+    let t_cnn = layer_depth * mvm.latency_s;
+    let e_cnn = cnn_tiles as f64 * mvm.energy_j;
+    let hash_tiles = (s.emb_dim.div_ceil(64) * (2 * s.hash_bits).div_ceil(64)).max(1);
+    let t_hash = mvm.latency_s;
+    let e_hash = hash_tiles as f64 * mvm.energy_j;
+    let cam = CamArray::new(CamConfig {
+        words: s.entries,
+        bits_per_word: s.hash_bits,
+        design: CamCellDesign::Rram2T2R,
+        data: DataKind::Ternary,
+        match_kind: MatchKind::Best { max_distance: 4 },
+        row_banks: 1,
+        tech: s.tech.clone(),
+    })
+    .expect("MANN TCAM design point must model");
+    let rep = cam.report();
+    let area = (cnn_tiles + hash_tiles) as f64 * xmacro.area_m2() * 1e6 + rep.area_um2 * 1e-6;
+
+    vec![
+        Candidate::new(
+            "GPU MANN (batch 1)",
+            Fom {
+                latency_s: t_gpu,
+                energy_j: e_gpu,
+                area_mm2: 0.0,
+                accuracy: s.acc_software,
+            },
+        ),
+        Candidate::new(
+            "RRAM in-memory MANN",
+            Fom {
+                latency_s: t_cnn + t_hash + rep.search_latency_s,
+                energy_j: e_cnn + e_hash + rep.search_energy_j,
+                area_mm2: area,
+                accuracy: s.acc_rram,
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hdc_candidate_set_is_complete_and_valid() {
+        let cands = hdc_candidates(&HdcScenario::default());
+        assert_eq!(cands.len(), 8);
+        for c in &cands {
+            assert!(c.fom.is_valid(), "{}: {:?}", c.name, c.fom);
+            assert!(c.fom.latency_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn fig3h_shape_batching_helps_gpu() {
+        let cands = hdc_candidates(&HdcScenario::default());
+        let find = |n: &str| {
+            cands
+                .iter()
+                .find(|c| c.name.contains(n))
+                .unwrap_or_else(|| panic!("{n} missing"))
+                .fom
+        };
+        let b1 = find("batch 1)");
+        let b1000 = find("batch 1000)");
+        assert!(b1000.latency_s < b1.latency_s / 10.0);
+    }
+
+    #[test]
+    fn fig3h_shape_3b_cam_beats_gpu_latency() {
+        // The headline Fig. 3H result: the 3-bit FeFET CAM design point
+        // beats even batched GPU inference at iso-accuracy.
+        let cands = hdc_candidates(&HdcScenario::default());
+        let find = |n: &str| cands.iter().find(|c| c.name.contains(n)).expect("exists");
+        let cam3 = find("3b FeFET");
+        let gpu_b1 = find("GPU HDC (batch 1)");
+        let gpu_b1000 = find("GPU HDC (batch 1000)");
+        assert!(cam3.fom.latency_s < gpu_b1.fom.latency_s / 100.0);
+        assert!(cam3.fom.latency_s < gpu_b1000.fom.latency_s);
+        assert!(cam3.fom.accuracy >= gpu_b1.fom.accuracy - 1e-9);
+    }
+
+    #[test]
+    fn fig3h_shape_2b_needs_longer_hvs_and_is_slower_than_3b() {
+        let cands = hdc_candidates(&HdcScenario::default());
+        let find = |n: &str| cands.iter().find(|c| c.name.contains(n)).expect("exists");
+        let cam3 = find("3b FeFET");
+        let cam2 = find("2b FeFET");
+        assert!(cam2.fom.latency_s > cam3.fom.latency_s);
+        assert!(cam2.fom.energy_j > cam3.fom.energy_j);
+    }
+
+    #[test]
+    fn fig3h_shape_1b_sram_fast_but_inaccurate() {
+        let cands = hdc_candidates(&HdcScenario::default());
+        let find = |n: &str| cands.iter().find(|c| c.name.contains(n)).expect("exists");
+        let sram = find("1b SRAM");
+        let cam3 = find("3b FeFET");
+        assert!(sram.fom.accuracy < cam3.fom.accuracy);
+        assert!(sram.fom.area_mm2 > cam3.fom.area_mm2); // 16T cells
+    }
+
+    #[test]
+    fn fig3h_shape_hybrid_nominal_improvement() {
+        let cands = hdc_candidates(&HdcScenario::default());
+        let find = |n: &str| cands.iter().find(|c| c.name.contains(n)).expect("exists");
+        let gpu = find("GPU HDC (batch 1000)");
+        let hybrid = find("TPU-GPU");
+        assert!(hybrid.fom.latency_s < gpu.fom.latency_s);
+        assert!(hybrid.fom.latency_s > gpu.fom.latency_s / 10.0); // nominal, not drastic
+    }
+
+    #[test]
+    fn edge_deployment_answers_open_question() {
+        // Sec. III open question (1): at the edge (batch 1, weaker
+        // silicon) the software baselines slow down, so the CAM's
+        // advantage is even larger than against the datacenter GPU.
+        let s = HdcScenario::default();
+        let edge = edge_candidates(&s);
+        assert_eq!(edge.len(), 3);
+        let cam = edge.iter().find(|c| c.name.contains("CAM")).expect("cam");
+        let edge_gpu = edge
+            .iter()
+            .find(|c| c.name.contains("edge-GPU"))
+            .expect("edge gpu");
+        let datacenter = hdc_candidates(&s);
+        let dc_gpu_b1000 = datacenter
+            .iter()
+            .find(|c| c.name.contains("batch 1000)") && c.name.contains("GPU HDC"))
+            .expect("dc gpu");
+        let edge_advantage = edge_gpu.fom.latency_s / cam.fom.latency_s;
+        let dc_advantage = dc_gpu_b1000.fom.latency_s / cam.fom.latency_s;
+        assert!(
+            edge_advantage > dc_advantage,
+            "edge {edge_advantage:.0}x vs dc {dc_advantage:.0}x"
+        );
+        assert!(edge_advantage > 100.0);
+    }
+
+    #[test]
+    fn nvm_backed_tpu_answers_the_open_question() {
+        // Sec. III open question (2): an NVM-backed TPU is a *better
+        // baseline* (beats GPU batch-1 latency and batched GPU energy)
+        // but not a better *design point* than the FeFET CAM.
+        let s = HdcScenario::default();
+        let cands = hdc_candidates(&s);
+        let find = |n: &str| cands.iter().find(|c| c.name.contains(n)).expect("exists");
+        let nvm_tpu = find("TPU + on-chip NVM");
+        let gpu_b1 = find("GPU HDC (batch 1)");
+        let gpu_b1000 = find("GPU HDC (batch 1000)");
+        let cam = find("3b FeFET CAM");
+        assert!(nvm_tpu.fom.latency_s < gpu_b1.fom.latency_s / 5.0);
+        assert!(nvm_tpu.fom.energy_j < gpu_b1000.fom.energy_j);
+        assert!(cam.fom.latency_s < nvm_tpu.fom.latency_s / 10.0);
+        assert!(cam.fom.energy_j < nvm_tpu.fom.energy_j);
+    }
+
+    #[test]
+    fn mann_rram_pipeline_beats_gpu_latency() {
+        let cands = mann_candidates(&MannScenario::default());
+        assert_eq!(cands.len(), 2);
+        let gpu = &cands[0].fom;
+        let rram = &cands[1].fom;
+        assert!(rram.latency_s < gpu.latency_s / 10.0);
+        assert!(rram.energy_j < gpu.energy_j);
+        assert!(rram.accuracy >= gpu.accuracy - 0.02);
+    }
+}

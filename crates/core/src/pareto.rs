@@ -1,0 +1,100 @@
+//! Pareto-front extraction over evaluated candidates.
+
+use crate::fom::Candidate;
+
+/// Indices of the Pareto-optimal candidates (not dominated by any other).
+///
+/// Order follows the input. Duplicate FOMs all survive (none strictly
+/// dominates its copy).
+pub fn pareto_front(candidates: &[Candidate]) -> Vec<usize> {
+    (0..candidates.len())
+        .filter(|&i| {
+            !candidates
+                .iter()
+                .enumerate()
+                .any(|(j, c)| j != i && c.fom.dominates(&candidates[i].fom))
+        })
+        .collect()
+}
+
+/// Splits candidates into Pareto layers: layer 0 is the front, layer 1 is
+/// the front once layer 0 is removed, and so on.
+pub fn pareto_layers(candidates: &[Candidate]) -> Vec<Vec<usize>> {
+    let mut remaining: Vec<usize> = (0..candidates.len()).collect();
+    let mut layers = Vec::new();
+    while !remaining.is_empty() {
+        let layer: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&i| {
+                !remaining
+                    .iter()
+                    .any(|&j| j != i && candidates[j].fom.dominates(&candidates[i].fom))
+            })
+            .collect();
+        if layer.is_empty() {
+            // Cannot happen with a strict dominance relation, but guard
+            // against pathological inputs (e.g. NaN) to avoid looping.
+            layers.push(remaining.clone());
+            break;
+        }
+        remaining.retain(|i| !layer.contains(i));
+        layers.push(layer);
+    }
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fom::Fom;
+
+    fn cand(name: &str, l: f64, e: f64, acc: f64) -> Candidate {
+        Candidate::new(
+            name,
+            Fom {
+                latency_s: l,
+                energy_j: e,
+                area_mm2: 1.0,
+                accuracy: acc,
+            },
+        )
+    }
+
+    #[test]
+    fn front_excludes_dominated() {
+        let cs = vec![
+            cand("good", 1.0, 1.0, 0.9),
+            cand("dominated", 2.0, 2.0, 0.8),
+            cand("tradeoff", 0.5, 3.0, 0.9),
+        ];
+        let front = pareto_front(&cs);
+        assert_eq!(front, vec![0, 2]);
+    }
+
+    #[test]
+    fn identical_points_coexist() {
+        let cs = vec![cand("a", 1.0, 1.0, 0.9), cand("b", 1.0, 1.0, 0.9)];
+        assert_eq!(pareto_front(&cs).len(), 2);
+    }
+
+    #[test]
+    fn layers_partition_everything() {
+        let cs = vec![
+            cand("l0", 1.0, 1.0, 0.9),
+            cand("l1", 2.0, 2.0, 0.8),
+            cand("l2", 3.0, 3.0, 0.7),
+        ];
+        let layers = pareto_layers(&cs);
+        assert_eq!(layers.len(), 3);
+        let total: usize = layers.iter().map(|l| l.len()).sum();
+        assert_eq!(total, 3);
+        assert_eq!(layers[0], vec![0]);
+    }
+
+    #[test]
+    fn empty_input_empty_front() {
+        assert!(pareto_front(&[]).is_empty());
+        assert!(pareto_layers(&[]).is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Report emitters: Markdown and CSV tables from evaluated candidates.
+//!
+//! The triage pipeline's consumers are humans and spreadsheets; these
+//! helpers turn a candidate set (plus optional ranking) into the two
+//! formats the figure harnesses and downstream users need.
+
+use crate::fom::Candidate;
+use crate::triage::Ranked;
+
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.3} ns", s * 1e9)
+    }
+}
+
+fn fmt_energy(j: f64) -> String {
+    if j >= 1e-3 {
+        format!("{:.3} mJ", j * 1e3)
+    } else if j >= 1e-6 {
+        format!("{:.3} µJ", j * 1e6)
+    } else if j >= 1e-9 {
+        format!("{:.3} nJ", j * 1e9)
+    } else {
+        format!("{:.3} pJ", j * 1e12)
+    }
+}
+
+/// Renders candidates as a GitHub-flavored Markdown table.
+///
+/// # Examples
+///
+/// ```
+/// use xlda_core::fom::{Candidate, Fom};
+/// use xlda_core::report::to_markdown;
+///
+/// let c = Candidate::new("demo", Fom {
+///     latency_s: 1e-6, energy_j: 1e-9, area_mm2: 0.5, accuracy: 0.9,
+/// });
+/// let md = to_markdown(&[c]);
+/// assert!(md.contains("| demo |"));
+/// ```
+pub fn to_markdown(candidates: &[Candidate]) -> String {
+    let mut out = String::from(
+        "| design point | latency | energy | area (mm²) | accuracy |\n|---|---|---|---|---|\n",
+    );
+    for c in candidates {
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.3} | {:.1} % |\n",
+            c.name,
+            fmt_time(c.fom.latency_s),
+            fmt_energy(c.fom.energy_j),
+            c.fom.area_mm2,
+            c.fom.accuracy * 100.0
+        ));
+    }
+    out
+}
+
+/// Renders candidates as CSV (SI units, machine-consumable).
+///
+/// Names containing commas or quotes are quoted per RFC 4180.
+pub fn to_csv(candidates: &[Candidate]) -> String {
+    let mut out = String::from("name,latency_s,energy_j,area_mm2,accuracy\n");
+    for c in candidates {
+        let name = if c.name.contains(',') || c.name.contains('"') {
+            format!("\"{}\"", c.name.replace('"', "\"\""))
+        } else {
+            c.name.clone()
+        };
+        out.push_str(&format!(
+            "{},{:e},{:e},{:e},{}\n",
+            name, c.fom.latency_s, c.fom.energy_j, c.fom.area_mm2, c.fom.accuracy
+        ));
+    }
+    out
+}
+
+/// Renders a ranking as a numbered Markdown list, flagging candidates
+/// below the accuracy floor.
+pub fn ranking_to_markdown(ranking: &[Ranked]) -> String {
+    let mut out = String::new();
+    for (i, r) in ranking.iter().enumerate() {
+        let flag = if r.meets_floor {
+            ""
+        } else {
+            " *(below accuracy floor)*"
+        };
+        out.push_str(&format!("{}. {}{}\n", i + 1, r.name, flag));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fom::Fom;
+    use crate::triage::{rank, Objective};
+
+    fn cands() -> Vec<Candidate> {
+        vec![
+            Candidate::new(
+                "fast, small",
+                Fom {
+                    latency_s: 12e-9,
+                    energy_j: 27e-9,
+                    area_mm2: 0.05,
+                    accuracy: 0.93,
+                },
+            ),
+            Candidate::new(
+                "slow",
+                Fom {
+                    latency_s: 31e-6,
+                    energy_j: 9.5e-3,
+                    area_mm2: 0.0,
+                    accuracy: 0.93,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn markdown_has_header_and_rows() {
+        let md = to_markdown(&cands());
+        assert!(md.starts_with("| design point |"));
+        assert_eq!(md.lines().count(), 4);
+        assert!(md.contains("12.000 ns"));
+        assert!(md.contains("9.500 mJ"));
+    }
+
+    #[test]
+    fn csv_quotes_commas_and_parses_back() {
+        let csv = to_csv(&cands());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("\"fast, small\""));
+        // Every data line has exactly 5 fields outside quotes.
+        let fields = lines[2].split(',').count();
+        assert_eq!(fields, 5);
+        // Values round-trip through parse.
+        let lat: f64 = lines[2].split(',').nth(1).expect("field").parse().expect("parses");
+        assert!((lat - 31e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_markdown_flags_floor_violations() {
+        let mut cs = cands();
+        cs[1].fom.accuracy = 0.5;
+        let ranking = rank(&cs, &Objective::latency_first(Some(0.9)));
+        let md = ranking_to_markdown(&ranking);
+        assert!(md.starts_with("1. fast, small\n"));
+        assert!(md.contains("below accuracy floor"));
+    }
+}

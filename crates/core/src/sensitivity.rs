@@ -1,0 +1,191 @@
+//! Bottom-up device-metric sensitivity analysis (Fig. 6 linkage).
+//!
+//! Top-down profiling says which architecture fits a workload; the
+//! complementary bottom-up question is *which device-level improvement
+//! buys the most at the application level*. This module perturbs the
+//! device parameters of a CAM design point and reports the swing in the
+//! array-level FOMs that bound application behaviour — giving the
+//! materials/device collaborators a prioritized list of levers
+//! (the third-to-fourth column linkage in Fig. 6).
+
+use xlda_circuit::matchline::{Matchline, MatchlineConfig};
+use xlda_circuit::senseamp::SenseAmp;
+use xlda_circuit::tech::TechNode;
+
+/// The device-level levers exposed to the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceLever {
+    /// On-state conductance (drive strength).
+    OnConductance,
+    /// Off-state leakage (on/off ratio).
+    OffConductance,
+    /// Cell capacitance contribution.
+    CellCapacitance,
+}
+
+impl DeviceLever {
+    /// All levers.
+    pub fn all() -> [DeviceLever; 3] {
+        [
+            DeviceLever::OnConductance,
+            DeviceLever::OffConductance,
+            DeviceLever::CellCapacitance,
+        ]
+    }
+
+    /// Short label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DeviceLever::OnConductance => "g_on",
+            DeviceLever::OffConductance => "g_off",
+            DeviceLever::CellCapacitance => "c_cell",
+        }
+    }
+}
+
+/// Result of perturbing one lever by a factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensitivityRow {
+    /// Perturbed lever.
+    pub lever: DeviceLever,
+    /// Multiplicative factor applied.
+    pub factor: f64,
+    /// Relative change in search (discharge) time.
+    pub latency_change: f64,
+    /// Relative change in best sense margin at distance 4.
+    pub margin_change: f64,
+    /// Relative change in the mismatch limit (array-size headroom).
+    pub mismatch_limit_change: f64,
+}
+
+fn apply(config: &MatchlineConfig, lever: DeviceLever, factor: f64) -> MatchlineConfig {
+    let mut c = *config;
+    match lever {
+        DeviceLever::OnConductance => c.g_on *= factor,
+        DeviceLever::OffConductance => c.g_off *= factor,
+        DeviceLever::CellCapacitance => c.c_cell *= factor,
+    }
+    // Keep the configuration physical.
+    if c.g_off >= c.g_on {
+        c.g_off = c.g_on / 2.0;
+    }
+    c
+}
+
+fn probe(config: &MatchlineConfig, tech: &TechNode, cells: usize) -> (f64, f64, usize) {
+    let ml = Matchline::new(*config, tech, cells);
+    let sa = SenseAmp::voltage_latch(tech);
+    let m = 4.min(cells - 1);
+    (
+        ml.discharge_time(1),
+        ml.best_margin(m),
+        ml.mismatch_limit(&sa),
+    )
+}
+
+/// Sweeps every lever by `factor` on a `cells`-long matchline and
+/// reports the application-visible swings.
+///
+/// # Panics
+///
+/// Panics if `factor` is not positive or `cells < 2`.
+pub fn matchline_sensitivity(
+    config: &MatchlineConfig,
+    tech: &TechNode,
+    cells: usize,
+    factor: f64,
+) -> Vec<SensitivityRow> {
+    assert!(factor > 0.0, "factor must be positive");
+    assert!(cells >= 2, "need at least two cells");
+    let (t0, m0, lim0) = probe(config, tech, cells);
+    DeviceLever::all()
+        .iter()
+        .map(|&lever| {
+            let perturbed = apply(config, lever, factor);
+            let (t, m, lim) = probe(&perturbed, tech, cells);
+            SensitivityRow {
+                lever,
+                factor,
+                latency_change: t / t0 - 1.0,
+                margin_change: m / m0 - 1.0,
+                mismatch_limit_change: lim as f64 / lim0.max(1) as f64 - 1.0,
+            }
+        })
+        .collect()
+}
+
+/// Ranks levers by total application-visible impact magnitude.
+pub fn prioritized_levers(
+    config: &MatchlineConfig,
+    tech: &TechNode,
+    cells: usize,
+    factor: f64,
+) -> Vec<(DeviceLever, f64)> {
+    let mut impacts: Vec<(DeviceLever, f64)> = matchline_sensitivity(config, tech, cells, factor)
+        .into_iter()
+        .map(|r| {
+            (
+                r.lever,
+                r.latency_change.abs() + r.margin_change.abs() + r.mismatch_limit_change.abs(),
+            )
+        })
+        .collect();
+    impacts.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite impacts"));
+    impacts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> MatchlineConfig {
+        MatchlineConfig::default()
+    }
+
+    #[test]
+    fn doubling_g_on_speeds_discharge() {
+        let rows = matchline_sensitivity(&base(), &TechNode::n40(), 64, 2.0);
+        let g_on = rows
+            .iter()
+            .find(|r| r.lever == DeviceLever::OnConductance)
+            .expect("g_on row");
+        assert!(g_on.latency_change < -0.3, "{:?}", g_on);
+    }
+
+    #[test]
+    fn raising_leakage_hurts_margin_and_limit() {
+        let rows = matchline_sensitivity(&base(), &TechNode::n40(), 256, 100.0);
+        let g_off = rows
+            .iter()
+            .find(|r| r.lever == DeviceLever::OffConductance)
+            .expect("g_off row");
+        assert!(g_off.margin_change < 0.0, "{:?}", g_off);
+        assert!(g_off.mismatch_limit_change <= 0.0);
+    }
+
+    #[test]
+    fn capacitance_scales_latency_linearly() {
+        let rows = matchline_sensitivity(&base(), &TechNode::n40(), 64, 2.0);
+        let c = rows
+            .iter()
+            .find(|r| r.lever == DeviceLever::CellCapacitance)
+            .expect("c_cell row");
+        // Cell cap is most of the line cap: near-doubling of latency.
+        assert!(c.latency_change > 0.5 && c.latency_change < 1.1, "{:?}", c);
+    }
+
+    #[test]
+    fn prioritization_is_sorted_and_complete() {
+        let p = prioritized_levers(&base(), &TechNode::n40(), 64, 2.0);
+        assert_eq!(p.len(), 3);
+        for w in p.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be positive")]
+    fn bad_factor_panics() {
+        matchline_sensitivity(&base(), &TechNode::n40(), 64, 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Parallel design-space sweep utilities.
+//!
+//! DSE workloads are embarrassingly parallel (each design point evaluates
+//! independently) and highly redundant (sweeps revisit the same array
+//! configurations). [`par_map`] fans a sweep out across threads while
+//! preserving input order; [`Cache`] memoizes expensive evaluations
+//! across sweep points.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Evaluates `f` over `inputs` in parallel, preserving order.
+///
+/// The closure runs on scoped threads, so it may borrow from the
+/// caller's stack. Panics in workers propagate to the caller.
+pub fn par_map<I, O, F>(inputs: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    if inputs.is_empty() {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(inputs.len());
+    let chunk = inputs.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk_inputs in inputs.chunks(chunk) {
+            let f = &f;
+            handles.push(scope.spawn(move |_| chunk_inputs.iter().map(f).collect::<Vec<O>>()));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    })
+    .expect("sweep scope panicked")
+}
+
+/// A thread-safe memoization cache for sweep evaluations.
+///
+/// # Examples
+///
+/// ```
+/// use xlda_core::sweep::Cache;
+///
+/// let cache: Cache<u32, u64> = Cache::new();
+/// let v = cache.get_or_insert_with(7, || 7 * 7);
+/// assert_eq!(v, 49);
+/// assert_eq!(cache.len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Cache<K, V> {
+    map: RwLock<HashMap<K, V>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Cache<K, V> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self {
+            map: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Returns the cached value for `key`, computing and storing it with
+    /// `compute` on a miss.
+    ///
+    /// `compute` may run more than once under contention; the first
+    /// stored value wins, keeping results deterministic for pure
+    /// evaluators.
+    pub fn get_or_insert_with<F: FnOnce() -> V>(&self, key: K, compute: F) -> V {
+        if let Some(v) = self.map.read().get(&key) {
+            return v.clone();
+        }
+        let value = compute();
+        let mut guard = self.map.write();
+        guard.entry(key).or_insert(value).clone()
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_map_preserves_order() {
+        let inputs: Vec<u64> = (0..1000).collect();
+        let out = par_map(&inputs, |&x| x * x);
+        let expect: Vec<u64> = inputs.iter().map(|&x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn par_map_empty() {
+        let out: Vec<u64> = par_map(&Vec::<u64>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_map_borrows_from_stack() {
+        let base = [10u64, 20, 30];
+        let inputs = vec![0usize, 1, 2];
+        let out = par_map(&inputs, |&i| base[i] + 1);
+        assert_eq!(out, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn cache_hits_avoid_recompute() {
+        let cache: Cache<u32, u32> = Cache::new();
+        let calls = AtomicUsize::new(0);
+        for _ in 0..5 {
+            let v = cache.get_or_insert_with(1, || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                42
+            });
+            assert_eq!(v, 42);
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.len(), 1);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn cache_is_usable_from_par_map_workers() {
+        let cache: Cache<u64, u64> = Cache::new();
+        let inputs: Vec<u64> = (0..256).map(|i| i % 8).collect();
+        let out = par_map(&inputs, |&x| cache.get_or_insert_with(x, || x * 100));
+        assert_eq!(cache.len(), 8);
+        for (i, &v) in inputs.iter().zip(&out) {
+            assert_eq!(v, i * 100);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Weighted ranking ("triage") of evaluated candidates.
+//!
+//! The paper's analytical-modeling thesis (Sec. VI): with many
+//! device/architecture combinations, a fast well-calibrated model should
+//! *rank* options and prioritize the most promising for deep dives. This
+//! module scores candidates against a weighted objective with an
+//! optional iso-accuracy floor.
+
+use crate::fom::Candidate;
+
+/// Objective weights. Latency/energy/area contribute as normalized log
+/// ratios (scale-free); accuracy contributes linearly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objective {
+    /// Weight on log-latency.
+    pub w_latency: f64,
+    /// Weight on log-energy.
+    pub w_energy: f64,
+    /// Weight on log-area.
+    pub w_area: f64,
+    /// Weight on accuracy.
+    pub w_accuracy: f64,
+    /// Candidates below this accuracy are excluded outright (the
+    /// "iso-accuracy" constraint the paper applies in Fig. 3H).
+    pub iso_accuracy_floor: Option<f64>,
+}
+
+impl Objective {
+    /// Latency-dominant objective with an optional accuracy floor.
+    pub fn latency_first(iso_accuracy_floor: Option<f64>) -> Self {
+        Self {
+            w_latency: 1.0,
+            w_energy: 0.25,
+            w_area: 0.1,
+            w_accuracy: 2.0,
+            iso_accuracy_floor,
+        }
+    }
+
+    /// Energy-dominant objective (edge deployment).
+    pub fn energy_first(iso_accuracy_floor: Option<f64>) -> Self {
+        Self {
+            w_latency: 0.25,
+            w_energy: 1.0,
+            w_area: 0.25,
+            w_accuracy: 2.0,
+            iso_accuracy_floor,
+        }
+    }
+}
+
+/// One ranked candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ranked {
+    /// Candidate name.
+    pub name: String,
+    /// Composite score (higher is better).
+    pub score: f64,
+    /// Index into the original candidate slice.
+    pub index: usize,
+    /// Whether the candidate met the accuracy floor.
+    pub meets_floor: bool,
+}
+
+/// Ranks candidates under an objective, best first.
+///
+/// Candidates failing the accuracy floor are still returned (flagged and
+/// sorted last) so reports can show *why* a fast design point loses.
+pub fn rank(candidates: &[Candidate], objective: &Objective) -> Vec<Ranked> {
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    // Normalize against the geometric best on each axis.
+    let min_pos = |f: fn(&Candidate) -> f64| {
+        candidates
+            .iter()
+            .map(f)
+            .filter(|&v| v > 0.0)
+            .fold(f64::INFINITY, f64::min)
+    };
+    let l0 = min_pos(|c| c.fom.latency_s).max(1e-15);
+    let e0 = min_pos(|c| c.fom.energy_j).max(1e-18);
+    let a0 = min_pos(|c| c.fom.area_mm2).max(1e-6);
+
+    let mut ranked: Vec<Ranked> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let lat_pen = (c.fom.latency_s.max(1e-15) / l0).ln();
+            let eng_pen = (c.fom.energy_j.max(1e-18) / e0).ln();
+            let area_pen = (c.fom.area_mm2.max(1e-6) / a0).ln();
+            let score = -objective.w_latency * lat_pen - objective.w_energy * eng_pen
+                - objective.w_area * area_pen
+                + objective.w_accuracy * c.fom.accuracy;
+            let meets_floor = objective
+                .iso_accuracy_floor
+                .is_none_or(|f| c.fom.accuracy >= f);
+            Ranked {
+                name: c.name.clone(),
+                score,
+                index: i,
+                meets_floor,
+            }
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.meets_floor
+            .cmp(&a.meets_floor)
+            .then(b.score.partial_cmp(&a.score).expect("finite scores"))
+    });
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fom::Fom;
+
+    fn cand(name: &str, l: f64, e: f64, acc: f64) -> Candidate {
+        Candidate::new(
+            name,
+            Fom {
+                latency_s: l,
+                energy_j: e,
+                area_mm2: 1.0,
+                accuracy: acc,
+            },
+        )
+    }
+
+    #[test]
+    fn faster_candidate_ranks_higher_at_iso_accuracy() {
+        let cs = vec![cand("slow", 1e-3, 1e-3, 0.9), cand("fast", 1e-6, 1e-3, 0.9)];
+        let r = rank(&cs, &Objective::latency_first(None));
+        assert_eq!(r[0].name, "fast");
+    }
+
+    #[test]
+    fn accuracy_floor_pushes_violators_last() {
+        let cs = vec![
+            cand("fast-inaccurate", 1e-9, 1e-9, 0.5),
+            cand("slow-accurate", 1e-3, 1e-3, 0.95),
+        ];
+        let r = rank(&cs, &Objective::latency_first(Some(0.9)));
+        assert_eq!(r[0].name, "slow-accurate");
+        assert!(!r[1].meets_floor);
+    }
+
+    #[test]
+    fn energy_objective_changes_winner() {
+        let cs = vec![
+            cand("fast-hungry", 1e-6, 1e-2, 0.9),
+            cand("slow-frugal", 1e-4, 1e-7, 0.9),
+        ];
+        let lat = rank(&cs, &Objective::latency_first(None));
+        let eng = rank(&cs, &Objective::energy_first(None));
+        assert_eq!(lat[0].name, "fast-hungry");
+        assert_eq!(eng[0].name, "slow-frugal");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(rank(&[], &Objective::latency_first(None)).is_empty());
+    }
+
+    #[test]
+    fn triage_of_fig3h_prefers_3b_cam() {
+        // End-to-end: the triage framework should surface the paper's
+        // conclusion from the Fig. 3H candidate set.
+        let cands = crate::evaluate::hdc_candidates(&crate::evaluate::HdcScenario::default());
+        let r = rank(&cands, &Objective::latency_first(Some(0.9)));
+        assert_eq!(r[0].name, "3b FeFET CAM", "ranking: {r:#?}");
+    }
+}

@@ -1,0 +1,169 @@
+//! NeuroSim-style macro model: per-operation latency, energy, and area of
+//! a crossbar MVM core including its data converters.
+
+use crate::CrossbarConfig;
+use xlda_circuit::adc::{RowDac, SarAdc};
+use xlda_circuit::tech::TechNode;
+use xlda_circuit::wire::Wire;
+
+/// Figure-of-merit model of one crossbar compute core.
+#[derive(Debug, Clone)]
+pub struct CrossbarMacro {
+    config: CrossbarConfig,
+    tech: TechNode,
+    dac: RowDac,
+    adc: SarAdc,
+    /// Columns sharing one ADC through a mux (1 = ADC per column).
+    pub adc_share: usize,
+}
+
+/// Per-MVM figures of merit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MvmCost {
+    /// Latency of one full matrix-vector product (s).
+    pub latency_s: f64,
+    /// Energy of one full matrix-vector product (J).
+    pub energy_j: f64,
+}
+
+impl CrossbarMacro {
+    /// Builds the macro model at a process node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `adc_share` is zero or ADC bits are zero (macro model
+    /// needs converters).
+    pub fn new(config: &CrossbarConfig, tech: &TechNode, adc_share: usize) -> Self {
+        assert!(adc_share > 0, "adc_share must be positive");
+        assert!(config.adc_bits > 0, "macro model requires an output ADC");
+        Self {
+            config: config.clone(),
+            tech: tech.clone(),
+            dac: RowDac::new(config.dac_bits, tech),
+            adc: SarAdc::new(config.adc_bits, tech),
+            adc_share,
+        }
+    }
+
+    fn row_line(&self) -> Wire {
+        // Crosspoint pitch ~ 2F for a 4F² resistive cell.
+        let pitch = 2.0 * self.tech.feature_m();
+        Wire::new(self.config.cols as f64 * pitch, &self.tech)
+    }
+
+    fn col_line(&self) -> Wire {
+        let pitch = 2.0 * self.tech.feature_m();
+        Wire::new(self.config.rows as f64 * pitch, &self.tech)
+    }
+
+    /// Array settling time: the RC of the worst-case column loaded by all
+    /// devices at maximum conductance.
+    pub fn settle_time(&self) -> f64 {
+        let wire = self.col_line();
+        let g_total = self.config.rows as f64 * self.config.device.g_max;
+        let c_line = wire.capacitance() + self.config.rows as f64 * 0.1e-15;
+        // Conservative: 3 time constants of R_eq * C.
+        3.0 * c_line / g_total.max(1e-9) + wire.elmore_delay()
+    }
+
+    /// Cost of one full `rows x cols` analog MVM.
+    pub fn mvm_cost(&self) -> MvmCost {
+        let conversions = self.config.cols.div_ceil(self.adc_share);
+        let latency = self.dac.latency()
+            + self.settle_time()
+            + self.adc.latency() * self.adc_share as f64;
+        // Array static burn during evaluation: average half-on devices.
+        let g_avg = 0.5 * (self.config.device.g_max + self.config.device.g_min);
+        let i_array = self.config.rows as f64
+            * self.config.cols as f64
+            * g_avg
+            * self.config.v_read
+            * 0.5;
+        let t_eval = self.dac.latency() + self.settle_time();
+        let e_array = i_array * self.config.v_read * t_eval;
+        let e_dac = self.config.rows as f64 * self.dac.energy(self.row_line().capacitance());
+        let e_adc = conversions as f64 * self.adc.energy() * self.adc_share as f64;
+        MvmCost {
+            latency_s: latency,
+            energy_j: e_array + e_dac + e_adc,
+        }
+    }
+
+    /// Area of the core (m²): array plus converters and muxes.
+    pub fn area_m2(&self) -> f64 {
+        let f2 = self.tech.f2_area_m2();
+        let cell = self.config.device.cell_area_f2();
+        let array = (self.config.rows * self.config.cols) as f64 * cell * f2;
+        let dacs = self.config.rows as f64 * self.dac.area();
+        let adcs = (self.config.cols.div_ceil(self.adc_share)) as f64 * self.adc.area();
+        let mux = self.config.cols as f64 * 10.0 * f2;
+        (array + dacs + adcs + mux) * 1.2
+    }
+
+    /// Energy to program the full array once (J).
+    pub fn program_energy(&self) -> f64 {
+        (self.config.rows * self.config.cols) as f64 * 2.0 * self.config.device.write_energy()
+    }
+
+    /// Time to program the full array row-by-row (s).
+    pub fn program_time(&self) -> f64 {
+        self.config.rows as f64 * self.config.device.write_latency() * 2.0
+    }
+}
+
+// Pull the trait into scope for device FOM access inside this module.
+use xlda_device::MemoryDevice;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(rows: usize, cols: usize, share: usize) -> CrossbarMacro {
+        let cfg = CrossbarConfig {
+            rows,
+            cols,
+            ..CrossbarConfig::default()
+        };
+        CrossbarMacro::new(&cfg, &TechNode::n40(), share)
+    }
+
+    #[test]
+    fn mvm_cost_positive_and_scales() {
+        let small = mk(64, 64, 8).mvm_cost();
+        let big = mk(256, 256, 8).mvm_cost();
+        assert!(small.latency_s > 0.0 && small.energy_j > 0.0);
+        assert!(big.energy_j > small.energy_j);
+    }
+
+    #[test]
+    fn adc_sharing_trades_latency_for_area() {
+        let dedicated = mk(64, 64, 1);
+        let shared = mk(64, 64, 16);
+        assert!(shared.mvm_cost().latency_s > dedicated.mvm_cost().latency_s);
+        assert!(shared.area_m2() < dedicated.area_m2());
+    }
+
+    #[test]
+    fn amortized_mvm_beats_digital_energy_scale() {
+        // The analog core should compute a 64x64 MVM for far less energy
+        // than 4096 digital MACs at ~1 pJ each would cost with off-chip
+        // weight fetches (the paper's EIE-style motivation).
+        let cost = mk(64, 64, 8).mvm_cost();
+        let digital_with_dram = 4096.0 * 2e-12;
+        assert!(cost.energy_j < digital_with_dram, "{}", cost.energy_j);
+    }
+
+    #[test]
+    fn program_cost_scales_with_cells() {
+        let a = mk(64, 64, 8);
+        let b = mk(128, 128, 8);
+        assert!(b.program_energy() > 3.9 * a.program_energy());
+        assert!(b.program_time() > a.program_time());
+    }
+
+    #[test]
+    #[should_panic(expected = "adc_share")]
+    fn zero_share_panics() {
+        mk(64, 64, 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the crossbar simulator.
+
+use proptest::prelude::*;
+use xlda_crossbar::stochastic::{ternary_hamming, StochasticProjection};
+use xlda_crossbar::{Crossbar, CrossbarConfig, Fidelity};
+use xlda_device::rram::Rram;
+use xlda_num::matrix::Matrix;
+use xlda_num::rng::Rng64;
+
+fn arb_shape() -> impl Strategy<Value = (usize, usize)> {
+    (2usize..32, 2usize..24)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ideal_mvm_equals_linear_algebra((rows, cols) in arb_shape(), seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let cfg = CrossbarConfig { rows, cols, ..CrossbarConfig::default() };
+        let w = Matrix::random_normal(rows, cols, 0.0, 0.5, &mut rng);
+        let xbar = Crossbar::program(&cfg, &w, &mut rng);
+        let x = rng.normal_vec(rows, 0.0, 0.5);
+        let y = xbar.mvm(&x, Fidelity::Ideal);
+        let expect = w.transpose().matvec(&x);
+        for (a, b) in y.iter().zip(&expect) {
+            prop_assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn nonideal_mvm_is_finite_and_bounded((rows, cols) in arb_shape(), seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let cfg = CrossbarConfig { rows, cols, ..CrossbarConfig::default() };
+        let w = Matrix::random_normal(rows, cols, 0.0, 0.5, &mut rng);
+        let xbar = Crossbar::program(&cfg, &w, &mut rng);
+        let x = rng.normal_vec(rows, 0.0, 0.5);
+        for fid in [Fidelity::Fast, Fidelity::Full] {
+            let y = xbar.mvm(&x, fid);
+            prop_assert_eq!(y.len(), cols);
+            for v in y {
+                prop_assert!(v.is_finite());
+                // IR drop and quantization attenuate — results stay within
+                // a loose physical envelope of the weight scale.
+                prop_assert!(v.abs() < 1e4);
+            }
+        }
+    }
+
+    #[test]
+    fn programmed_conductances_in_device_window((rows, cols) in arb_shape(), seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let cfg = CrossbarConfig { rows, cols, ..CrossbarConfig::default() };
+        let dev = Rram::taox();
+        let w = Matrix::random_normal(rows, cols, 0.0, 1.0, &mut rng);
+        let xbar = Crossbar::program(&cfg, &w, &mut rng);
+        for &g in xbar.g_pos().as_slice().iter().chain(xbar.g_neg().as_slice()) {
+            prop_assert!((dev.g_min..=dev.g_max).contains(&g));
+        }
+    }
+
+    #[test]
+    fn mvm_is_deterministic((rows, cols) in arb_shape(), seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let cfg = CrossbarConfig { rows, cols, ..CrossbarConfig::default() };
+        let w = Matrix::random_normal(rows, cols, 0.0, 0.5, &mut rng);
+        let xbar = Crossbar::program(&cfg, &w, &mut rng);
+        let x = rng.normal_vec(rows, 0.0, 0.5);
+        prop_assert_eq!(xbar.mvm(&x, Fidelity::Fast), xbar.mvm(&x, Fidelity::Fast));
+    }
+
+    #[test]
+    fn hash_entries_are_ternary(dim in 2usize..64, bits in 1usize..32, seed in any::<u64>()) {
+        let dev = Rram::taox();
+        let mut rng = Rng64::new(seed);
+        let proj = StochasticProjection::new(dim, bits, &dev, &mut rng);
+        let x: Vec<f64> = (0..dim).map(|_| rng.uniform()).collect();
+        let h = proj.hash(&x);
+        prop_assert_eq!(h.len(), bits);
+        prop_assert!(h.iter().all(|&b| b == 1 || b == -1));
+        let t = proj.ternary_hash(&x, 1e-6);
+        prop_assert!(t.iter().all(|&b| (-1..=1).contains(&b)));
+    }
+
+    #[test]
+    fn ternary_hamming_bounds_and_symmetry(
+        a in prop::collection::vec(-1i8..=1, 1..64),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng64::new(seed);
+        let b: Vec<i8> = a.iter().map(|_| (rng.index(3) as i8) - 1).collect();
+        let d = ternary_hamming(&a, &b);
+        prop_assert!(d <= a.len());
+        prop_assert_eq!(d, ternary_hamming(&b, &a));
+        prop_assert_eq!(ternary_hamming(&a, &a), 0);
+    }
+
+    #[test]
+    fn raising_threshold_never_increases_definite_bits(
+        dim in 4usize..48,
+        bits in 2usize..24,
+        seed in any::<u64>(),
+    ) {
+        let dev = Rram::taox();
+        let mut rng = Rng64::new(seed);
+        let proj = StochasticProjection::new(dim, bits, &dev, &mut rng);
+        let x: Vec<f64> = (0..dim).map(|_| rng.uniform()).collect();
+        let thr = proj.calibrate_threshold(std::slice::from_ref(&x), 0.3);
+        let lo = proj.ternary_hash(&x, thr);
+        let hi = proj.ternary_hash(&x, thr * 2.0);
+        let definite = |s: &[i8]| s.iter().filter(|&&b| b != 0).count();
+        prop_assert!(definite(&hi) <= definite(&lo));
+    }
+}

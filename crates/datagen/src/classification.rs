@@ -1,0 +1,278 @@
+//! Cluster-structured classification datasets.
+//!
+//! Each class is a random prototype direction on the unit hypersphere;
+//! samples are the prototype plus isotropic Gaussian noise, re-normalized.
+//! The `noise` parameter controls intra/inter-class geometry: small noise
+//! means tight, separable clusters; large noise approaches chance level.
+
+use xlda_num::matrix::Matrix;
+use xlda_num::rng::Rng64;
+
+/// Specification of a synthetic classification dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassificationSpec {
+    /// Human-readable name (reports and figures).
+    pub name: &'static str,
+    /// Number of classes.
+    pub classes: usize,
+    /// Feature dimensionality.
+    pub dim: usize,
+    /// Training samples per class.
+    pub train_per_class: usize,
+    /// Test samples per class.
+    pub test_per_class: usize,
+    /// Intra-class noise sigma relative to the unit prototype.
+    pub noise: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl ClassificationSpec {
+    /// ISOLET-like: 26 classes, 617 features (spoken-letter shaped).
+    pub fn isolet_like() -> Self {
+        Self {
+            name: "isolet-like",
+            classes: 26,
+            dim: 617,
+            train_per_class: 60,
+            test_per_class: 20,
+            noise: 0.9,
+            seed: 0x150_1e7,
+        }
+    }
+
+    /// UCI-HAR-like: 6 classes, 561 features (activity recognition).
+    pub fn ucihar_like() -> Self {
+        Self {
+            name: "ucihar-like",
+            classes: 6,
+            dim: 561,
+            train_per_class: 120,
+            test_per_class: 40,
+            noise: 0.8,
+            seed: 0x4a12,
+        }
+    }
+
+    /// Language-identification-like: 21 classes, 1024 n-gram features.
+    pub fn language_like() -> Self {
+        Self {
+            name: "language-like",
+            classes: 21,
+            dim: 1024,
+            train_per_class: 50,
+            test_per_class: 25,
+            noise: 0.7,
+            seed: 0x1a6_0a6e,
+        }
+    }
+
+    /// EMG-gesture-like: 5 classes, 256 features (small edge workload).
+    pub fn emg_like() -> Self {
+        Self {
+            name: "emg-like",
+            classes: 5,
+            dim: 256,
+            train_per_class: 80,
+            test_per_class: 30,
+            noise: 0.75,
+            seed: 0xe396,
+        }
+    }
+
+    /// The four HDC benchmark stand-ins used across Fig. 3 experiments.
+    pub fn hdc_suite() -> Vec<Self> {
+        vec![
+            Self::isolet_like(),
+            Self::ucihar_like(),
+            Self::language_like(),
+            Self::emg_like(),
+        ]
+    }
+
+    /// Generates the dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if classes, dim, or per-class counts are zero.
+    pub fn generate(&self) -> Dataset {
+        assert!(
+            self.classes > 0 && self.dim > 0,
+            "classes and dim must be positive"
+        );
+        assert!(
+            self.train_per_class > 0 && self.test_per_class > 0,
+            "per-class sample counts must be positive"
+        );
+        let mut rng = Rng64::new(self.seed);
+        // Class prototypes: random unit vectors.
+        let mut prototypes = Matrix::zeros(self.classes, self.dim);
+        for c in 0..self.classes {
+            let v = rng.normal_vec(self.dim, 0.0, 1.0);
+            let n = xlda_num::matrix::norm(&v);
+            for (slot, x) in prototypes.row_mut(c).iter_mut().zip(&v) {
+                *slot = x / n;
+            }
+        }
+        let sample = |class: usize, rng: &mut Rng64| -> Vec<f64> {
+            let proto = prototypes.row(class);
+            let mut v: Vec<f64> = proto
+                .iter()
+                .map(|&p| p + rng.normal(0.0, self.noise / (self.dim as f64).sqrt()))
+                .collect();
+            let n = xlda_num::matrix::norm(&v).max(1e-12);
+            for x in &mut v {
+                *x /= n;
+            }
+            v
+        };
+
+        let mut train_x = Vec::new();
+        let mut train_y = Vec::new();
+        let mut test_x = Vec::new();
+        let mut test_y = Vec::new();
+        for c in 0..self.classes {
+            for _ in 0..self.train_per_class {
+                train_x.extend(sample(c, &mut rng));
+                train_y.push(c);
+            }
+            for _ in 0..self.test_per_class {
+                test_x.extend(sample(c, &mut rng));
+                test_y.push(c);
+            }
+        }
+        Dataset {
+            name: self.name,
+            classes: self.classes,
+            train: Matrix::from_vec(train_y.len(), self.dim, train_x),
+            train_labels: train_y,
+            test: Matrix::from_vec(test_y.len(), self.dim, test_x),
+            test_labels: test_y,
+        }
+    }
+}
+
+/// A generated dataset: row-per-sample feature matrices plus labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Number of classes.
+    pub classes: usize,
+    /// Training features, one sample per row.
+    pub train: Matrix,
+    /// Training labels.
+    pub train_labels: Vec<usize>,
+    /// Test features, one sample per row.
+    pub test: Matrix,
+    /// Test labels.
+    pub test_labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.train.cols()
+    }
+
+    /// Nearest-prototype (centroid, cosine) classification accuracy on
+    /// the test set — the software skyline for this dataset.
+    pub fn centroid_accuracy(&self) -> f64 {
+        let mut centroids = Matrix::zeros(self.classes, self.dim());
+        let mut counts = vec![0usize; self.classes];
+        for (i, &c) in self.train_labels.iter().enumerate() {
+            let row = self.train.row(i);
+            for (slot, &x) in centroids.row_mut(c).iter_mut().zip(row) {
+                *slot += x;
+            }
+            counts[c] += 1;
+        }
+        for (c, &count) in counts.iter().enumerate() {
+            let n = count.max(1) as f64;
+            for slot in centroids.row_mut(c) {
+                *slot /= n;
+            }
+        }
+        let mut correct = 0usize;
+        for (i, &label) in self.test_labels.iter().enumerate() {
+            let x = self.test.row(i);
+            let mut best = 0usize;
+            let mut best_sim = f64::NEG_INFINITY;
+            for c in 0..self.classes {
+                let s = xlda_num::matrix::cosine_similarity(x, centroids.row(c));
+                if s > best_sim {
+                    best_sim = s;
+                    best = c;
+                }
+            }
+            if best == label {
+                correct += 1;
+            }
+        }
+        correct as f64 / self.test_labels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ClassificationSpec::emg_like().generate();
+        let b = ClassificationSpec::emg_like().generate();
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test_labels, b.test_labels);
+    }
+
+    #[test]
+    fn shapes_match_spec() {
+        let spec = ClassificationSpec::ucihar_like();
+        let d = spec.generate();
+        assert_eq!(d.train.rows(), spec.classes * spec.train_per_class);
+        assert_eq!(d.test.rows(), spec.classes * spec.test_per_class);
+        assert_eq!(d.dim(), spec.dim);
+        assert_eq!(d.classes, 6);
+    }
+
+    #[test]
+    fn samples_are_unit_norm() {
+        let d = ClassificationSpec::emg_like().generate();
+        for i in 0..d.train.rows() {
+            let n = xlda_num::matrix::norm(d.train.row(i));
+            assert!((n - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn presets_are_learnable_but_not_trivial() {
+        for spec in ClassificationSpec::hdc_suite() {
+            let acc = spec.generate().centroid_accuracy();
+            let chance = 1.0 / spec.classes as f64;
+            assert!(
+                acc > 0.85 && acc <= 1.0,
+                "{name}: accuracy {acc} (chance {chance})", name = spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn more_noise_less_accuracy() {
+        let mut spec = ClassificationSpec::emg_like();
+        spec.noise = 0.4;
+        let clean = spec.generate().centroid_accuracy();
+        spec.noise = 6.0;
+        let noisy = spec.generate().centroid_accuracy();
+        assert!(clean > noisy, "clean {clean} noisy {noisy}");
+        assert!(noisy < 1.0);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut spec = ClassificationSpec::emg_like();
+        let a = spec.generate();
+        spec.seed += 1;
+        let b = spec.generate();
+        assert_ne!(a.train, b.train);
+    }
+}

@@ -1,0 +1,296 @@
+//! Omniglot-like few-shot image data.
+//!
+//! Omniglot's defining property is *many classes, few samples each*, with
+//! classes defined by stroke structure. The generator reproduces that:
+//! each class is a prototype stroke drawing on a 28×28 canvas (a few
+//! random-walk strokes), and samples are redraws with jittered stroke
+//! control points plus pixel noise — analogous to different writers.
+//!
+//! Classes are split into a *background* set (for training the CNN
+//! feature extractor) and an *evaluation* set (for episodes), mirroring
+//! the standard Omniglot protocol the paper's MANN study follows.
+
+use xlda_num::rng::Rng64;
+
+/// Image side length in pixels.
+pub const IMAGE_SIDE: usize = 28;
+
+/// Specification of a few-shot image dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FewShotSpec {
+    /// Classes reserved for training the feature extractor.
+    pub background_classes: usize,
+    /// Classes reserved for few-shot episodes.
+    pub eval_classes: usize,
+    /// Samples drawn per class.
+    pub samples_per_class: usize,
+    /// Stroke jitter (pixels, one sigma) between samples of a class.
+    pub jitter: f64,
+    /// Additive pixel noise sigma.
+    pub pixel_noise: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for FewShotSpec {
+    /// A laptop-scale Omniglot stand-in: 64 background + 32 eval classes,
+    /// 20 samples each.
+    fn default() -> Self {
+        Self {
+            background_classes: 64,
+            eval_classes: 32,
+            samples_per_class: 20,
+            jitter: 1.0,
+            pixel_noise: 0.05,
+            seed: 0x03_1907,
+        }
+    }
+}
+
+/// One grayscale image (values in `[0, 1]`, row-major 28×28).
+pub type Image = Vec<f64>;
+
+/// A generated few-shot dataset.
+#[derive(Debug, Clone)]
+pub struct ImageSet {
+    /// Background-split images, grouped per class.
+    pub background: Vec<Vec<Image>>,
+    /// Evaluation-split images, grouped per class.
+    pub eval: Vec<Vec<Image>>,
+}
+
+/// Stroke prototype: a list of poly-line control points per stroke.
+#[derive(Debug, Clone)]
+struct ClassPrototype {
+    strokes: Vec<Vec<(f64, f64)>>,
+}
+
+impl ClassPrototype {
+    fn random(rng: &mut Rng64) -> Self {
+        let stroke_count = 2 + rng.index(3); // 2..=4 strokes
+        let strokes = (0..stroke_count)
+            .map(|_| {
+                let points = 3 + rng.index(3); // 3..=5 control points
+                let mut x = 4.0 + rng.uniform() * 20.0;
+                let mut y = 4.0 + rng.uniform() * 20.0;
+                let mut pts = vec![(x, y)];
+                for _ in 1..points {
+                    x = (x + rng.normal(0.0, 6.0)).clamp(2.0, 26.0);
+                    y = (y + rng.normal(0.0, 6.0)).clamp(2.0, 26.0);
+                    pts.push((x, y));
+                }
+                pts
+            })
+            .collect();
+        Self { strokes }
+    }
+
+    /// Renders the prototype with per-point jitter into a 28×28 canvas.
+    fn render(&self, jitter: f64, pixel_noise: f64, rng: &mut Rng64) -> Image {
+        let mut img = vec![0.0; IMAGE_SIDE * IMAGE_SIDE];
+        for stroke in &self.strokes {
+            let jittered: Vec<(f64, f64)> = stroke
+                .iter()
+                .map(|&(x, y)| {
+                    (
+                        (x + rng.normal(0.0, jitter)).clamp(0.0, 27.0),
+                        (y + rng.normal(0.0, jitter)).clamp(0.0, 27.0),
+                    )
+                })
+                .collect();
+            for seg in jittered.windows(2) {
+                draw_line(&mut img, seg[0], seg[1]);
+            }
+        }
+        if pixel_noise > 0.0 {
+            for p in &mut img {
+                *p = (*p + rng.normal(0.0, pixel_noise)).clamp(0.0, 1.0);
+            }
+        }
+        img
+    }
+}
+
+/// Draws an anti-aliased-ish line by stamping soft dots along the segment.
+fn draw_line(img: &mut [f64], a: (f64, f64), b: (f64, f64)) {
+    let dist = ((b.0 - a.0).powi(2) + (b.1 - a.1).powi(2)).sqrt();
+    let steps = (dist * 2.0).ceil().max(1.0) as usize;
+    for s in 0..=steps {
+        let t = s as f64 / steps as f64;
+        let x = a.0 + t * (b.0 - a.0);
+        let y = a.1 + t * (b.1 - a.1);
+        stamp(img, x, y);
+    }
+}
+
+fn stamp(img: &mut [f64], x: f64, y: f64) {
+    let xi = x.round() as i64;
+    let yi = y.round() as i64;
+    for dy in -1..=1i64 {
+        for dx in -1..=1i64 {
+            let (px, py) = (xi + dx, yi + dy);
+            if (0..IMAGE_SIDE as i64).contains(&px) && (0..IMAGE_SIDE as i64).contains(&py) {
+                let w = if dx == 0 && dy == 0 { 1.0 } else { 0.35 };
+                let idx = (py as usize) * IMAGE_SIDE + px as usize;
+                img[idx] = (img[idx] + w).min(1.0);
+            }
+        }
+    }
+}
+
+impl FewShotSpec {
+    /// Generates the dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any class or sample count is zero.
+    pub fn generate(&self) -> ImageSet {
+        assert!(
+            self.background_classes > 0 && self.eval_classes > 0,
+            "class counts must be positive"
+        );
+        assert!(self.samples_per_class > 0, "need at least one sample");
+        let mut rng = Rng64::new(self.seed);
+        let gen_split = |classes: usize, rng: &mut Rng64| -> Vec<Vec<Image>> {
+            (0..classes)
+                .map(|_| {
+                    let proto = ClassPrototype::random(rng);
+                    (0..self.samples_per_class)
+                        .map(|_| proto.render(self.jitter, self.pixel_noise, rng))
+                        .collect()
+                })
+                .collect()
+        };
+        let background = gen_split(self.background_classes, &mut rng);
+        let eval = gen_split(self.eval_classes, &mut rng);
+        ImageSet { background, eval }
+    }
+}
+
+/// One N-way K-shot episode: support set (learning) and query set (test).
+#[derive(Debug, Clone)]
+pub struct Episode {
+    /// Support images with episode-local labels `0..n_way`.
+    pub support: Vec<(Image, usize)>,
+    /// Query images with episode-local labels.
+    pub query: Vec<(Image, usize)>,
+    /// Number of classes in the episode.
+    pub n_way: usize,
+}
+
+impl ImageSet {
+    /// Samples an `n_way`-way `k_shot`-shot episode with `queries_per_way`
+    /// query images per class from the evaluation split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the evaluation split has fewer than `n_way` classes or a
+    /// class has fewer than `k_shot + queries_per_way` samples.
+    pub fn sample_episode(
+        &self,
+        n_way: usize,
+        k_shot: usize,
+        queries_per_way: usize,
+        rng: &mut Rng64,
+    ) -> Episode {
+        assert!(n_way <= self.eval.len(), "not enough evaluation classes");
+        let need = k_shot + queries_per_way;
+        let class_ids = rng.sample_indices(self.eval.len(), n_way);
+        let mut support = Vec::new();
+        let mut query = Vec::new();
+        for (local, &cid) in class_ids.iter().enumerate() {
+            let class = &self.eval[cid];
+            assert!(class.len() >= need, "class too small for episode");
+            let picks = rng.sample_indices(class.len(), need);
+            for &p in &picks[..k_shot] {
+                support.push((class[p].clone(), local));
+            }
+            for &p in &picks[k_shot..] {
+                query.push((class[p].clone(), local));
+            }
+        }
+        Episode {
+            support,
+            query,
+            n_way,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlda_num::stats::mean;
+
+    fn small_spec() -> FewShotSpec {
+        FewShotSpec {
+            background_classes: 6,
+            eval_classes: 8,
+            samples_per_class: 10,
+            ..FewShotSpec::default()
+        }
+    }
+
+    #[test]
+    fn generation_deterministic_and_shaped() {
+        let a = small_spec().generate();
+        let b = small_spec().generate();
+        assert_eq!(a.background.len(), 6);
+        assert_eq!(a.eval.len(), 8);
+        assert_eq!(a.background[0].len(), 10);
+        assert_eq!(a.background[0][0].len(), IMAGE_SIDE * IMAGE_SIDE);
+        assert_eq!(a.background[2][3], b.background[2][3]);
+    }
+
+    #[test]
+    fn pixels_in_unit_range_and_nonempty() {
+        let set = small_spec().generate();
+        for img in &set.eval[0] {
+            assert!(img.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            // Strokes must actually draw something.
+            assert!(mean(img) > 0.01, "blank image");
+        }
+    }
+
+    #[test]
+    fn same_class_images_more_similar_than_cross_class() {
+        let set = FewShotSpec {
+            pixel_noise: 0.0,
+            ..small_spec()
+        }
+        .generate();
+        let d = |a: &Image, b: &Image| xlda_num::matrix::squared_euclidean(a, b);
+        let within = d(&set.eval[0][0], &set.eval[0][1]);
+        let across = d(&set.eval[0][0], &set.eval[1][0]);
+        assert!(within < across, "within {within} across {across}");
+    }
+
+    #[test]
+    fn episode_shapes() {
+        let set = small_spec().generate();
+        let mut rng = Rng64::new(5);
+        let ep = set.sample_episode(5, 1, 4, &mut rng);
+        assert_eq!(ep.n_way, 5);
+        assert_eq!(ep.support.len(), 5);
+        assert_eq!(ep.query.len(), 20);
+        // Labels are episode-local.
+        assert!(ep.support.iter().all(|(_, l)| *l < 5));
+        assert!(ep.query.iter().all(|(_, l)| *l < 5));
+    }
+
+    #[test]
+    fn episodes_vary_with_rng() {
+        let set = small_spec().generate();
+        let mut rng = Rng64::new(6);
+        let a = set.sample_episode(3, 1, 2, &mut rng);
+        let b = set.sample_episode(3, 1, 2, &mut rng);
+        assert!(a.support[0].0 != b.support[0].0 || a.query[0].0 != b.query[0].0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough evaluation classes")]
+    fn too_many_ways_panics() {
+        let set = small_spec().generate();
+        set.sample_episode(100, 1, 1, &mut Rng64::new(7));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the dataset generators.
+
+use proptest::prelude::*;
+use xlda_datagen::classification::ClassificationSpec;
+use xlda_datagen::fewshot::{FewShotSpec, IMAGE_SIDE};
+use xlda_num::rng::Rng64;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn classification_shapes_always_match_spec(
+        classes in 2usize..10,
+        dim in 8usize..128,
+        train in 2usize..20,
+        test in 1usize..10,
+        noise in 0.1f64..4.0,
+        seed in any::<u64>(),
+    ) {
+        let spec = ClassificationSpec {
+            name: "prop",
+            classes,
+            dim,
+            train_per_class: train,
+            test_per_class: test,
+            noise,
+            seed,
+        };
+        let d = spec.generate();
+        prop_assert_eq!(d.train.rows(), classes * train);
+        prop_assert_eq!(d.test.rows(), classes * test);
+        prop_assert_eq!(d.dim(), dim);
+        prop_assert!(d.train_labels.iter().all(|&l| l < classes));
+        prop_assert!(d.test_labels.iter().all(|&l| l < classes));
+        // Every class appears in both splits.
+        for c in 0..classes {
+            prop_assert!(d.train_labels.iter().filter(|&&l| l == c).count() == train);
+            prop_assert!(d.test_labels.iter().filter(|&&l| l == c).count() == test);
+        }
+    }
+
+    #[test]
+    fn classification_samples_unit_norm(
+        classes in 2usize..6,
+        dim in 8usize..64,
+        noise in 0.1f64..4.0,
+        seed in any::<u64>(),
+    ) {
+        let spec = ClassificationSpec {
+            name: "prop",
+            classes,
+            dim,
+            train_per_class: 3,
+            test_per_class: 2,
+            noise,
+            seed,
+        };
+        let d = spec.generate();
+        for i in 0..d.train.rows() {
+            let n = xlda_num::matrix::norm(d.train.row(i));
+            prop_assert!((n - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_the_spec(seed in any::<u64>()) {
+        let mut spec = ClassificationSpec::emg_like();
+        spec.seed = seed;
+        spec.train_per_class = 4;
+        spec.test_per_class = 2;
+        let a = spec.generate();
+        let b = spec.generate();
+        prop_assert_eq!(a.train, b.train);
+        prop_assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn images_are_valid_grayscale(
+        bg in 1usize..5,
+        ev in 2usize..6,
+        samples in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let set = FewShotSpec {
+            background_classes: bg,
+            eval_classes: ev,
+            samples_per_class: samples,
+            seed,
+            ..FewShotSpec::default()
+        }
+        .generate();
+        prop_assert_eq!(set.background.len(), bg);
+        prop_assert_eq!(set.eval.len(), ev);
+        for class in set.background.iter().chain(set.eval.iter()) {
+            prop_assert_eq!(class.len(), samples);
+            for img in class {
+                prop_assert_eq!(img.len(), IMAGE_SIDE * IMAGE_SIDE);
+                prop_assert!(img.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            }
+        }
+    }
+
+    #[test]
+    fn episodes_have_consistent_structure(
+        n_way in 2usize..5,
+        k_shot in 1usize..3,
+        queries in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let set = FewShotSpec {
+            background_classes: 2,
+            eval_classes: 6,
+            samples_per_class: 8,
+            ..FewShotSpec::default()
+        }
+        .generate();
+        let mut rng = Rng64::new(seed);
+        let ep = set.sample_episode(n_way, k_shot, queries, &mut rng);
+        prop_assert_eq!(ep.support.len(), n_way * k_shot);
+        prop_assert_eq!(ep.query.len(), n_way * queries);
+        for label in 0..n_way {
+            prop_assert_eq!(
+                ep.support.iter().filter(|(_, l)| *l == label).count(),
+                k_shot
+            );
+            prop_assert_eq!(
+                ep.query.iter().filter(|(_, l)| *l == label).count(),
+                queries
+            );
+        }
+    }
+}

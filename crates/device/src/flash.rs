@@ -1,0 +1,184 @@
+//! Floating-gate flash device model.
+//!
+//! Flash is the *mature* non-volatile contender in the design space
+//! (paper Secs. I, II-B): extremely dense and multi-level capable, but
+//! with high program voltages, very slow writes, and low endurance — the
+//! combination the paper cites when ruling flash out as CPU/GPU main
+//! memory while keeping it in play for AM designs.
+
+use crate::mlc::{MultiLevelCell, StateVariable};
+use crate::{DeviceKind, MemoryDevice};
+
+/// Analytical floating-gate flash model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Flash {
+    flavor: &'static str,
+    /// Low end of the programmable V_th window (V).
+    pub vth_lo: f64,
+    /// High end of the programmable V_th window (V).
+    pub vth_hi: f64,
+    /// One-sigma V_th programming spread after verify (V).
+    pub sigma_vth: f64,
+    /// On conductance (S).
+    pub g_on: f64,
+    /// Off conductance (S).
+    pub g_off: f64,
+    write_voltage: f64,
+    write_latency: f64,
+    write_energy: f64,
+    read_voltage: f64,
+    endurance: f64,
+    retention: f64,
+    cell_area_f2: f64,
+    max_bits: u8,
+}
+
+impl Flash {
+    /// NOR flash preset (random-access capable, AM-friendly).
+    pub fn nor() -> Self {
+        Self {
+            flavor: "NOR-Flash",
+            vth_lo: 1.0,
+            vth_hi: 7.0,
+            sigma_vth: 0.15,
+            g_on: 5e-5,
+            g_off: 5e-10,
+            write_voltage: 10.0,
+            write_latency: 10e-6,
+            write_energy: 50e-12,
+            read_voltage: 4.5,
+            endurance: 1e5,
+            retention: 10.0 * 365.25 * 86400.0,
+            cell_area_f2: 10.0,
+            max_bits: 2,
+        }
+    }
+
+    /// 3D NAND flash preset (densest, slowest; basis of the 3D NAND
+    /// EX-TCAM designs the paper cites).
+    pub fn nand3d() -> Self {
+        Self {
+            flavor: "3D-NAND-Flash",
+            vth_lo: 0.5,
+            vth_hi: 6.5,
+            sigma_vth: 0.20,
+            g_on: 2e-5,
+            g_off: 2e-10,
+            write_voltage: 18.0,
+            write_latency: 100e-6,
+            write_energy: 200e-12,
+            read_voltage: 5.0,
+            endurance: 3e3,
+            retention: 10.0 * 365.25 * 86400.0,
+            // Effective footprint after stacking amortization.
+            cell_area_f2: 1.5,
+            max_bits: 4,
+        }
+    }
+
+    /// Multi-level cell over the V_th window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `1..=4`.
+    pub fn mlc(&self, bits: u8) -> MultiLevelCell {
+        MultiLevelCell::uniform(
+            StateVariable::ThresholdVoltage,
+            bits,
+            self.vth_lo,
+            self.vth_hi,
+            self.sigma_vth,
+        )
+    }
+}
+
+impl MemoryDevice for Flash {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::Flash
+    }
+
+    fn terminals(&self) -> u8 {
+        3
+    }
+
+    fn g_on(&self) -> f64 {
+        self.g_on
+    }
+
+    fn g_off(&self) -> f64 {
+        self.g_off
+    }
+
+    fn write_voltage(&self) -> f64 {
+        self.write_voltage
+    }
+
+    fn write_latency(&self) -> f64 {
+        self.write_latency
+    }
+
+    fn write_energy(&self) -> f64 {
+        self.write_energy
+    }
+
+    fn read_voltage(&self) -> f64 {
+        self.read_voltage
+    }
+
+    fn endurance(&self) -> f64 {
+        self.endurance
+    }
+
+    fn retention(&self) -> f64 {
+        self.retention
+    }
+
+    fn cell_area_f2(&self) -> f64 {
+        self.cell_area_f2
+    }
+
+    fn max_bits_per_cell(&self) -> u8 {
+        self.max_bits
+    }
+
+    fn name(&self) -> &str {
+        self.flavor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fefet::Fefet;
+
+    #[test]
+    fn flash_writes_are_slow_and_high_voltage() {
+        let f = Flash::nor();
+        let fe = Fefet::silicon();
+        assert!(f.write_voltage() > fe.write_voltage());
+        assert!(f.write_latency() > 10.0 * fe.write_latency());
+        assert!(f.endurance() <= fe.endurance());
+    }
+
+    #[test]
+    fn nand_denser_but_worse_endurance_than_nor() {
+        let nor = Flash::nor();
+        let nand = Flash::nand3d();
+        assert!(nand.cell_area_f2() < nor.cell_area_f2());
+        assert!(nand.endurance() < nor.endurance());
+        assert!(nand.max_bits_per_cell() > nor.max_bits_per_cell());
+    }
+
+    #[test]
+    fn wide_window_supports_mlc_despite_spread() {
+        let f = Flash::nand3d();
+        let c = f.mlc(3);
+        // 6 V window / 7 gaps ~ 0.86 V spacing vs 0.2 V sigma: workable.
+        assert!(c.max_error_rate() < 0.05);
+    }
+
+    #[test]
+    fn huge_on_off_ratio() {
+        assert!(Flash::nor().on_off_ratio() > 1e4);
+    }
+}

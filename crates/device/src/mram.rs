@@ -1,0 +1,130 @@
+//! Spin-transfer-torque MRAM device model.
+//!
+//! STT-MRAM offers near-SRAM speed and effectively unlimited endurance,
+//! but its tunneling magnetoresistance ratio (TMR) gives an on/off ratio
+//! of only ~2-3×. That tiny ratio is what limits MRAM CAM matchline
+//! sense margins (paper Sec. VI discusses exactly this as the driver of
+//! the *mismatch limit*), and it restricts the device to a single bit.
+
+use crate::{DeviceKind, MemoryDevice};
+
+/// Analytical STT-MRAM model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mram {
+    flavor: &'static str,
+    /// Parallel-state (low resistance) conductance (S).
+    pub g_p: f64,
+    /// Anti-parallel-state conductance (S).
+    pub g_ap: f64,
+    write_voltage: f64,
+    write_latency: f64,
+    write_energy: f64,
+    read_voltage: f64,
+    endurance: f64,
+    retention: f64,
+    cell_area_f2: f64,
+}
+
+impl Mram {
+    /// Perpendicular STT-MRAM preset (90 nm class, matching the 4T2R
+    /// Fig. 5 reference chip).
+    pub fn stt() -> Self {
+        Self {
+            flavor: "STT-MRAM",
+            g_p: 400e-6,   // ~2.5 kΩ
+            g_ap: 160e-6,  // ~6.25 kΩ: TMR ~ 150 %
+            write_voltage: 0.6,
+            write_latency: 5e-9,
+            write_energy: 0.3e-12,
+            read_voltage: 0.1,
+            endurance: 1e15,
+            retention: 10.0 * 365.25 * 86400.0,
+            cell_area_f2: 30.0,
+        }
+    }
+
+    /// Tunneling magnetoresistance ratio: `(R_ap - R_p) / R_p`.
+    pub fn tmr(&self) -> f64 {
+        self.g_p / self.g_ap - 1.0
+    }
+}
+
+impl MemoryDevice for Mram {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::Mram
+    }
+
+    fn terminals(&self) -> u8 {
+        2
+    }
+
+    fn g_on(&self) -> f64 {
+        self.g_p
+    }
+
+    fn g_off(&self) -> f64 {
+        self.g_ap
+    }
+
+    fn write_voltage(&self) -> f64 {
+        self.write_voltage
+    }
+
+    fn write_latency(&self) -> f64 {
+        self.write_latency
+    }
+
+    fn write_energy(&self) -> f64 {
+        self.write_energy
+    }
+
+    fn read_voltage(&self) -> f64 {
+        self.read_voltage
+    }
+
+    fn endurance(&self) -> f64 {
+        self.endurance
+    }
+
+    fn retention(&self) -> f64 {
+        self.retention
+    }
+
+    fn cell_area_f2(&self) -> f64 {
+        self.cell_area_f2
+    }
+
+    fn max_bits_per_cell(&self) -> u8 {
+        1
+    }
+
+    fn name(&self) -> &str {
+        self.flavor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_on_off_ratio() {
+        let d = Mram::stt();
+        assert!(d.on_off_ratio() < 5.0, "MRAM ratio should be small");
+        assert!(d.on_off_ratio() > 1.5);
+    }
+
+    #[test]
+    fn tmr_plausible() {
+        let d = Mram::stt();
+        assert!((d.tmr() - 1.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn fast_write_extreme_endurance() {
+        let d = Mram::stt();
+        assert!(d.write_latency() <= 10e-9);
+        assert!(d.endurance() >= 1e15);
+        assert_eq!(d.max_bits_per_cell(), 1);
+    }
+}

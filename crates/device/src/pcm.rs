@@ -1,0 +1,224 @@
+//! Phase-change memory device model.
+//!
+//! PCM stores state in the crystalline/amorphous phase of a chalcogenide
+//! (typically GST). It behaves much like RRAM at the array level (paper
+//! Sec. II-B) with two distinguishing non-idealities: slow crystallizing
+//! SET pulses and resistance *drift* — the amorphous resistance grows as a
+//! power law in time, which erodes multi-level windows.
+
+use crate::mlc::{MultiLevelCell, StateVariable};
+use crate::{DeviceKind, MemoryDevice};
+
+/// Analytical PCM model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pcm {
+    flavor: &'static str,
+    /// Crystalline (SET) conductance (S).
+    pub g_set: f64,
+    /// Amorphous (RESET) conductance (S).
+    pub g_reset: f64,
+    /// Programming spread as a fraction of target conductance.
+    pub sigma_rel: f64,
+    /// Drift exponent ν in `R(t) = R0 (t/t0)^ν` for amorphous states.
+    pub drift_nu: f64,
+    write_voltage: f64,
+    write_latency: f64,
+    write_energy: f64,
+    read_voltage: f64,
+    endurance: f64,
+    retention: f64,
+    cell_area_f2: f64,
+}
+
+impl Pcm {
+    /// Ge₂Sb₂Te₅ preset (90 nm class, matching the Fig. 5 reference chip).
+    pub fn gst() -> Self {
+        Self {
+            flavor: "GST-PCM",
+            g_set: 100e-6,
+            g_reset: 0.5e-6,
+            sigma_rel: 0.06,
+            drift_nu: 0.05,
+            write_voltage: 3.0,
+            // SET (crystallization) dominates: ~150 ns.
+            write_latency: 150e-9,
+            write_energy: 5e-12,
+            read_voltage: 0.2,
+            endurance: 1e9,
+            retention: 10.0 * 365.25 * 86400.0,
+            cell_area_f2: 4.0,
+        }
+    }
+
+    /// Conductance of an amorphous-phase state after `t_s` seconds,
+    /// relative to its value at `t0_s` (resistance drift).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both times are positive.
+    pub fn drifted_conductance(&self, g0: f64, t0_s: f64, t_s: f64) -> f64 {
+        assert!(t0_s > 0.0 && t_s > 0.0, "times must be positive");
+        // R grows as (t/t0)^nu, so G shrinks correspondingly.
+        g0 * (t_s / t0_s).powf(-self.drift_nu)
+    }
+
+    /// Multi-level cell over the conductance window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `1..=4`.
+    pub fn mlc(&self, bits: u8) -> MultiLevelCell {
+        let cell = MultiLevelCell::uniform(
+            StateVariable::Conductance,
+            bits,
+            self.g_reset,
+            self.g_set,
+            0.0,
+        );
+        let sigma = cell
+            .levels()
+            .iter()
+            .map(|&g| self.sigma_rel * g)
+            .fold(0.0, f64::max);
+        cell.with_sigma(sigma)
+    }
+}
+
+impl MemoryDevice for Pcm {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::Pcm
+    }
+
+    fn terminals(&self) -> u8 {
+        2
+    }
+
+    fn g_on(&self) -> f64 {
+        self.g_set
+    }
+
+    fn g_off(&self) -> f64 {
+        self.g_reset
+    }
+
+    fn write_voltage(&self) -> f64 {
+        self.write_voltage
+    }
+
+    fn write_latency(&self) -> f64 {
+        self.write_latency
+    }
+
+    fn write_energy(&self) -> f64 {
+        self.write_energy
+    }
+
+    fn read_voltage(&self) -> f64 {
+        self.read_voltage
+    }
+
+    fn endurance(&self) -> f64 {
+        self.endurance
+    }
+
+    fn retention(&self) -> f64 {
+        self.retention
+    }
+
+    fn cell_area_f2(&self) -> f64 {
+        self.cell_area_f2
+    }
+
+    fn max_bits_per_cell(&self) -> u8 {
+        2
+    }
+
+    fn name(&self) -> &str {
+        self.flavor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_reduces_conductance_over_time() {
+        let d = Pcm::gst();
+        let g0 = 10e-6;
+        let g1 = d.drifted_conductance(g0, 1.0, 10.0);
+        let g2 = d.drifted_conductance(g0, 1.0, 1000.0);
+        assert!(g1 < g0);
+        assert!(g2 < g1);
+        // One decade at nu = 0.05 is ~11% resistance growth.
+        assert!((g0 / g1 - 10f64.powf(0.05)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drift_identity_at_reference_time() {
+        let d = Pcm::gst();
+        assert_eq!(d.drifted_conductance(5e-6, 2.0, 2.0), 5e-6);
+    }
+
+    #[test]
+    fn high_on_off_ratio() {
+        let d = Pcm::gst();
+        assert!(d.on_off_ratio() > 100.0);
+    }
+
+    #[test]
+    fn slow_set_pulse() {
+        // PCM SET latency exceeds RRAM's (crystallization time).
+        let pcm = Pcm::gst();
+        let rram = crate::rram::Rram::taox();
+        assert!(pcm.write_latency() > rram.write_latency());
+    }
+
+    #[test]
+    fn mlc_spans_window() {
+        let d = Pcm::gst();
+        let c = d.mlc(2);
+        assert_eq!(c.level_count(), 4);
+        assert!((c.level_target(0) - d.g_reset).abs() < 1e-12);
+        assert!((c.level_target(3) - d.g_set).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod retention_tests {
+    use super::*;
+    use crate::mlc::{MultiLevelCell, StateVariable};
+
+    #[test]
+    fn drift_erodes_mlc_windows_over_time() {
+        // Resistance drift shrinks all conductances multiplicatively, so
+        // absolute level spacing collapses while programming spread does
+        // not — multi-level PCM read errors grow with retention time.
+        let d = Pcm::gst();
+        let fresh = d.mlc(2);
+        let error_after = |decades: f64| {
+            let t = 10f64.powf(decades);
+            let drifted: Vec<f64> = fresh
+                .levels()
+                .iter()
+                .map(|&g| d.drifted_conductance(g, 1.0, t))
+                .collect();
+            MultiLevelCell::from_levels(StateVariable::Conductance, drifted, fresh.sigma())
+                .max_error_rate()
+        };
+        let day_one = error_after(0.0);
+        let year_later = error_after(7.5); // ~1 year in seconds
+        assert!(year_later > day_one, "day {day_one} year {year_later}");
+        // But 2-level (SLC) PCM barely notices: its window is huge.
+        let slc = d.mlc(1);
+        let slc_drifted: Vec<f64> = slc
+            .levels()
+            .iter()
+            .map(|&g| d.drifted_conductance(g, 1.0, 10f64.powf(7.5)))
+            .collect();
+        let slc_err =
+            MultiLevelCell::from_levels(StateVariable::Conductance, slc_drifted, slc.sigma())
+                .max_error_rate();
+        assert!(slc_err < 1e-3, "slc error {slc_err}");
+    }
+}

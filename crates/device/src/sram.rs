@@ -1,0 +1,145 @@
+//! Static RAM cell model.
+//!
+//! SRAM is the volatile CMOS baseline of the design space: the fastest
+//! and most endurant "device", but large (6T storage cell, 16T
+//! conventional CAM cell — the size/power pain point the paper cites in
+//! Sec. II-B1) and limited to one bit per cell. The 1-bit SRAM CAM in
+//! Fig. 3H is built from this model.
+
+use crate::{DeviceKind, MemoryDevice};
+
+/// Analytical SRAM cell model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sram {
+    flavor: &'static str,
+    g_on: f64,
+    g_off: f64,
+    write_latency: f64,
+    write_energy: f64,
+    vdd: f64,
+    cell_area_f2: f64,
+    /// Static leakage power per cell (W).
+    pub leakage_per_cell: f64,
+}
+
+impl Sram {
+    /// Standard 6T storage cell.
+    pub fn cell_6t() -> Self {
+        Self {
+            flavor: "6T-SRAM",
+            g_on: 1e-4,
+            g_off: 1e-9,
+            write_latency: 0.5e-9,
+            write_energy: 1e-15,
+            vdd: 1.0,
+            cell_area_f2: 146.0,
+            leakage_per_cell: 1e-9,
+        }
+    }
+
+    /// Conventional 16T CMOS CAM cell (storage + compare logic).
+    ///
+    /// This is the bulky, power-hungry cell that motivates NVM CAMs.
+    pub fn cam_cell_16t() -> Self {
+        Self {
+            flavor: "16T-SRAM-CAM",
+            g_on: 1e-4,
+            g_off: 1e-9,
+            write_latency: 0.5e-9,
+            write_energy: 2e-15,
+            vdd: 1.0,
+            cell_area_f2: 389.0,
+            leakage_per_cell: 2.5e-9,
+        }
+    }
+}
+
+impl MemoryDevice for Sram {
+    fn kind(&self) -> DeviceKind {
+        DeviceKind::Sram
+    }
+
+    fn terminals(&self) -> u8 {
+        3
+    }
+
+    fn is_volatile(&self) -> bool {
+        true
+    }
+
+    fn g_on(&self) -> f64 {
+        self.g_on
+    }
+
+    fn g_off(&self) -> f64 {
+        self.g_off
+    }
+
+    fn write_voltage(&self) -> f64 {
+        self.vdd
+    }
+
+    fn write_latency(&self) -> f64 {
+        self.write_latency
+    }
+
+    fn write_energy(&self) -> f64 {
+        self.write_energy
+    }
+
+    fn read_voltage(&self) -> f64 {
+        self.vdd
+    }
+
+    fn endurance(&self) -> f64 {
+        1e16
+    }
+
+    fn retention(&self) -> f64 {
+        0.0
+    }
+
+    fn cell_area_f2(&self) -> f64 {
+        self.cell_area_f2
+    }
+
+    fn max_bits_per_cell(&self) -> u8 {
+        1
+    }
+
+    fn name(&self) -> &str {
+        self.flavor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fefet::Fefet;
+
+    #[test]
+    fn sram_is_volatile_and_fast() {
+        let s = Sram::cell_6t();
+        assert!(s.is_volatile());
+        assert_eq!(s.retention(), 0.0);
+        assert!(s.write_latency() < Fefet::beol().write_latency());
+    }
+
+    #[test]
+    fn cam_cell_much_larger_than_fefet_cam() {
+        // 16T SRAM CAM vs 2-FeFET CAM (2 devices x ~12 F²).
+        let sram_cam = Sram::cam_cell_16t();
+        let fefet_cam_area = 2.0 * Fefet::silicon().cell_area_f2();
+        assert!(sram_cam.cell_area_f2() > 10.0 * fefet_cam_area);
+    }
+
+    #[test]
+    fn single_bit_only() {
+        assert_eq!(Sram::cell_6t().max_bits_per_cell(), 1);
+    }
+
+    #[test]
+    fn leaks_statically() {
+        assert!(Sram::cell_6t().leakage_per_cell > 0.0);
+    }
+}

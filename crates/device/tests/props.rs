@@ -1,0 +1,121 @@
+//! Property-based tests for the device models.
+
+use proptest::prelude::*;
+use xlda_device::fefet::Fefet;
+use xlda_device::mlc::{MultiLevelCell, StateVariable};
+use xlda_device::rram::Rram;
+use xlda_num::rng::Rng64;
+
+fn arb_cell() -> impl Strategy<Value = MultiLevelCell> {
+    (1u8..=4, 0.1f64..2.0, 0.0f64..0.3).prop_map(|(bits, window, sigma)| {
+        MultiLevelCell::uniform(StateVariable::ThresholdVoltage, bits, 0.2, 0.2 + window, sigma)
+    })
+}
+
+proptest! {
+    #[test]
+    fn zero_sigma_roundtrips_all_levels(bits in 1u8..=4, window in 0.1f64..2.0, seed in any::<u64>()) {
+        let cell = MultiLevelCell::uniform(StateVariable::Conductance, bits, 1.0, 1.0 + window, 0.0);
+        let mut rng = Rng64::new(seed);
+        for level in 0..cell.level_count() {
+            prop_assert_eq!(cell.program_read(level, &mut rng), level);
+        }
+    }
+
+    #[test]
+    fn readback_always_a_valid_level(cell in arb_cell(), seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        for _ in 0..50 {
+            let level = rng.index(cell.level_count());
+            let read = cell.program_read(level, &mut rng);
+            prop_assert!(read < cell.level_count());
+        }
+    }
+
+    #[test]
+    fn error_rate_is_probability_and_monotone_in_sigma(
+        bits in 1u8..=4,
+        sigma in 0.0f64..0.3,
+    ) {
+        let lo = MultiLevelCell::uniform(StateVariable::ThresholdVoltage, bits, 0.4, 1.6, sigma);
+        let hi = lo.with_sigma(sigma + 0.1);
+        for level in 0..lo.level_count() {
+            let e_lo = lo.level_error_rate(level);
+            let e_hi = hi.level_error_rate(level);
+            prop_assert!((0.0..=1.0).contains(&e_lo));
+            prop_assert!(e_hi >= e_lo - 1e-12);
+        }
+    }
+
+    #[test]
+    fn program_verified_tightens_distribution(
+        cell in arb_cell(),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(cell.sigma() > 0.01);
+        let mut rng = Rng64::new(seed);
+        let tol = cell.sigma() / 2.0;
+        let level = rng.index(cell.level_count());
+        let target = cell.level_target(level);
+        // With 16 attempts, nearly every write lands within tolerance.
+        let mut within = 0;
+        for _ in 0..50 {
+            let v = cell.program_verified(level, tol, 16, &mut rng);
+            if (v - target).abs() <= tol {
+                within += 1;
+            }
+        }
+        prop_assert!(within >= 45, "only {within}/50 within tolerance");
+    }
+
+    #[test]
+    fn fefet_cam_conductance_bounded_and_symmetric(dv in -3.0f64..3.0) {
+        let dev = Fefet::silicon();
+        let g = dev.cam_cell_conductance(dv);
+        prop_assert!(g >= dev.g_off && g <= dev.g_on);
+        prop_assert!((g - dev.cam_cell_conductance(-dv)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn fefet_cam_conductance_monotone_in_deviation(dv in 0.0f64..1.0) {
+        let dev = Fefet::silicon();
+        prop_assert!(dev.cam_cell_conductance(dv + 0.05) >= dev.cam_cell_conductance(dv));
+    }
+
+    #[test]
+    fn rram_program_stays_in_window(seed in any::<u64>(), t in 0.0f64..1.0) {
+        let dev = Rram::taox();
+        let target = dev.g_min + t * (dev.g_max - dev.g_min);
+        let mut rng = Rng64::new(seed);
+        for _ in 0..50 {
+            let g = dev.program(target, &mut rng);
+            prop_assert!((dev.g_min..=dev.g_max).contains(&g));
+        }
+    }
+
+    #[test]
+    fn rram_relax_stays_in_window(seed in any::<u64>(), t in 0.0f64..1.0, decades in 0.0f64..10.0) {
+        let dev = Rram::taox();
+        let g0 = dev.g_min + t * (dev.g_max - dev.g_min);
+        let mut rng = Rng64::new(seed);
+        let g = dev.relax(g0, decades, &mut rng);
+        prop_assert!((dev.g_min..=dev.g_max).contains(&g));
+    }
+
+    #[test]
+    fn rram_sigma_positive_everywhere(t in 0.0f64..1.0) {
+        let dev = Rram::taox();
+        let g = dev.g_min + t * (dev.g_max - dev.g_min);
+        prop_assert!(dev.programming_sigma(g) > 0.0);
+    }
+
+    #[test]
+    fn stochastic_hrs_in_window(seed in any::<u64>()) {
+        let dev = Rram::taox();
+        let mut rng = Rng64::new(seed);
+        for _ in 0..100 {
+            let g = dev.sample_stochastic_hrs(&mut rng);
+            prop_assert!((dev.g_min..=dev.g_max).contains(&g));
+        }
+    }
+}

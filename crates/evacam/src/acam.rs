@@ -1,0 +1,406 @@
+//! Functional analog CAM (ACAM) model.
+//!
+//! An ACAM cell stores an *interval*: two programmable thresholds define
+//! a lower and an upper bound, and an analog input voltage matches the
+//! cell iff it falls inside (paper Sec. II-B1: "the threshold voltage
+//! values in FeFETs define either upper or lower bounds, and an analog
+//! input matches stored cell data if it is within the bounds"). A word
+//! matches a query when *every* cell matches — which makes an ACAM row a
+//! conjunction of interval predicates, i.e. exactly one branch of a
+//! decision tree. That equivalence (memory row = tree root-to-leaf path)
+//! is the flagship ACAM application and powers the `acam_tree` example.
+//!
+//! The model includes the ACAM's characteristic non-idealities: bound
+//! programming variation and input noise blur the interval edges, so
+//! values near a boundary mis-match — the reason ACAMs "may suffer more
+//! from noise and variation effects" than MCAMs.
+
+use xlda_num::rng::Rng64;
+
+/// One analog interval cell: matches inputs in `[lo, hi]`.
+///
+/// Unbounded sides (the "don't care" direction) are modeled with
+/// infinities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcamCell {
+    /// Lower bound (−∞ for "no lower bound").
+    pub lo: f64,
+    /// Upper bound (+∞ for "no upper bound").
+    pub hi: f64,
+}
+
+impl AcamCell {
+    /// A cell matching everything (both thresholds disabled).
+    pub fn dont_care() -> Self {
+        Self {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+        }
+    }
+
+    /// A cell matching `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn interval(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "empty interval");
+        Self { lo, hi }
+    }
+
+    /// Whether `x` falls inside the stored interval (ideal cell).
+    pub fn matches(&self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+}
+
+/// ACAM array configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcamConfig {
+    /// One-sigma programming error on each stored bound (in input units).
+    pub bound_sigma: f64,
+    /// One-sigma noise added to each applied input (in input units).
+    pub input_noise: f64,
+}
+
+impl Default for AcamConfig {
+    /// 1 % of a unit input range on each error source.
+    fn default() -> Self {
+        Self {
+            bound_sigma: 0.01,
+            input_noise: 0.01,
+        }
+    }
+}
+
+/// A programmed analog CAM: one row of interval cells per stored word.
+#[derive(Debug, Clone)]
+pub struct AcamArray {
+    config: AcamConfig,
+    /// Programmed (variation-including) bounds per row.
+    rows: Vec<Vec<AcamCell>>,
+    /// Labels attached to rows (e.g. decision-tree leaf classes).
+    labels: Vec<usize>,
+    width: usize,
+}
+
+impl AcamArray {
+    /// Programs an ACAM from ideal rows, applying bound-programming
+    /// variation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are empty or ragged, or label count mismatches.
+    pub fn program(
+        rows: &[Vec<AcamCell>],
+        labels: &[usize],
+        config: AcamConfig,
+        rng: &mut Rng64,
+    ) -> Self {
+        assert!(!rows.is_empty(), "ACAM needs at least one row");
+        assert_eq!(rows.len(), labels.len(), "one label per row");
+        let width = rows[0].len();
+        assert!(width > 0, "rows need at least one cell");
+        let programmed = rows
+            .iter()
+            .map(|row| {
+                assert_eq!(row.len(), width, "ragged ACAM rows");
+                row.iter()
+                    .map(|cell| {
+                        let lo = if cell.lo.is_finite() {
+                            rng.normal(cell.lo, config.bound_sigma)
+                        } else {
+                            cell.lo
+                        };
+                        let hi = if cell.hi.is_finite() {
+                            rng.normal(cell.hi, config.bound_sigma)
+                        } else {
+                            cell.hi
+                        };
+                        // A noise-inverted interval (lo > hi) simply
+                        // matches nothing — both threshold comparisons
+                        // can never hold at once.
+                        AcamCell { lo, hi }
+                    })
+                    .collect()
+            })
+            .collect();
+        Self {
+            config,
+            rows: programmed,
+            labels: labels.to_vec(),
+            width,
+        }
+    }
+
+    /// Number of stored words.
+    pub fn words(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Cells per word.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Returns the labels of all rows matching the (noisy) query, in row
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query width mismatches.
+    pub fn search(&self, query: &[f64], rng: &mut Rng64) -> Vec<usize> {
+        assert_eq!(query.len(), self.width, "query width mismatch");
+        let noisy: Vec<f64> = query
+            .iter()
+            .map(|&x| rng.normal(x, self.config.input_noise))
+            .collect();
+        self.rows
+            .iter()
+            .zip(&self.labels)
+            .filter(|(row, _)| row.iter().zip(&noisy).all(|(c, &x)| c.matches(x)))
+            .map(|(_, &label)| label)
+            .collect()
+    }
+
+    /// Classifies a query: the label of the first matching row, if any.
+    pub fn classify(&self, query: &[f64], rng: &mut Rng64) -> Option<usize> {
+        self.search(query, rng).first().copied()
+    }
+}
+
+/// A node of an axis-aligned decision tree, compiled to ACAM rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeNode {
+    /// Internal split: `feature < threshold` goes left, else right.
+    Split {
+        /// Feature index compared at this node.
+        feature: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Subtree for `x[feature] < threshold`.
+        left: Box<TreeNode>,
+        /// Subtree for `x[feature] >= threshold`.
+        right: Box<TreeNode>,
+    },
+    /// Leaf with a class label.
+    Leaf {
+        /// Predicted class.
+        class: usize,
+    },
+}
+
+impl TreeNode {
+    /// Compiles the tree into ACAM rows: one row per root-to-leaf path,
+    /// with per-feature interval constraints intersected along the path.
+    ///
+    /// This is the standard tree-to-ACAM mapping: each leaf becomes one
+    /// word whose cells store the feature bounds of its decision region.
+    pub fn to_acam_rows(&self, features: usize) -> (Vec<Vec<AcamCell>>, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        let mut path = vec![AcamCell::dont_care(); features];
+        self.collect(&mut path, &mut rows, &mut labels);
+        (rows, labels)
+    }
+
+    fn collect(
+        &self,
+        path: &mut Vec<AcamCell>,
+        rows: &mut Vec<Vec<AcamCell>>,
+        labels: &mut Vec<usize>,
+    ) {
+        match self {
+            TreeNode::Leaf { class } => {
+                // Unreachable leaves (contradictory constraints along the
+                // path) compile to empty regions; skip them.
+                if path.iter().all(|c| c.lo <= c.hi) {
+                    rows.push(path.clone());
+                    labels.push(*class);
+                }
+            }
+            TreeNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                let saved = path[*feature];
+                path[*feature] = AcamCell {
+                    lo: saved.lo,
+                    hi: saved.hi.min(*threshold),
+                };
+                left.collect(path, rows, labels);
+                path[*feature] = AcamCell {
+                    lo: saved.lo.max(*threshold),
+                    hi: saved.hi,
+                };
+                right.collect(path, rows, labels);
+                path[*feature] = saved;
+            }
+        }
+    }
+
+    /// Software reference: evaluates the tree directly.
+    pub fn evaluate(&self, x: &[f64]) -> usize {
+        match self {
+            TreeNode::Leaf { class } => *class,
+            TreeNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                if x[*feature] < *threshold {
+                    left.evaluate(x)
+                } else {
+                    right.evaluate(x)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ideal() -> AcamConfig {
+        AcamConfig {
+            bound_sigma: 0.0,
+            input_noise: 0.0,
+        }
+    }
+
+    fn small_tree() -> TreeNode {
+        // f0 < 0.5 ? (f1 < 0.3 ? class0 : class1) : class2
+        TreeNode::Split {
+            feature: 0,
+            threshold: 0.5,
+            left: Box::new(TreeNode::Split {
+                feature: 1,
+                threshold: 0.3,
+                left: Box::new(TreeNode::Leaf { class: 0 }),
+                right: Box::new(TreeNode::Leaf { class: 1 }),
+            }),
+            right: Box::new(TreeNode::Leaf { class: 2 }),
+        }
+    }
+
+    #[test]
+    fn cell_matching_semantics() {
+        let c = AcamCell::interval(0.2, 0.6);
+        assert!(c.matches(0.2) && c.matches(0.4) && c.matches(0.6));
+        assert!(!c.matches(0.1) && !c.matches(0.7));
+        assert!(AcamCell::dont_care().matches(1e12));
+    }
+
+    #[test]
+    fn tree_compiles_to_one_row_per_leaf() {
+        let (rows, labels) = small_tree().to_acam_rows(2);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(labels, vec![0, 1, 2]);
+        // Unreachable leaves vanish: split twice on the same feature
+        // with contradictory thresholds.
+        let degenerate = TreeNode::Split {
+            feature: 0,
+            threshold: 0.3,
+            left: Box::new(TreeNode::Split {
+                feature: 0,
+                threshold: 0.6,
+                left: Box::new(TreeNode::Leaf { class: 0 }),
+                right: Box::new(TreeNode::Leaf { class: 9 }), // x<0.3 ∧ x≥0.6
+            }),
+            right: Box::new(TreeNode::Leaf { class: 1 }),
+        };
+        let (rows2, labels2) = degenerate.to_acam_rows(1);
+        assert_eq!(rows2.len(), 2);
+        assert!(!labels2.contains(&9));
+        // Leaf regions are disjoint: each point matches exactly one row.
+        let mut rng = Rng64::new(1);
+        let acam = AcamArray::program(&rows, &labels, ideal(), &mut rng);
+        for _ in 0..200 {
+            let q = [rng.uniform(), rng.uniform()];
+            assert_eq!(acam.search(&q, &mut rng).len(), 1, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn ideal_acam_agrees_with_software_tree() {
+        let tree = small_tree();
+        let (rows, labels) = tree.to_acam_rows(2);
+        let mut rng = Rng64::new(2);
+        let acam = AcamArray::program(&rows, &labels, ideal(), &mut rng);
+        for _ in 0..500 {
+            let q = [rng.uniform(), rng.uniform()];
+            assert_eq!(
+                acam.classify(&q, &mut rng),
+                Some(tree.evaluate(&q)),
+                "query {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn noise_only_hurts_near_boundaries() {
+        let tree = small_tree();
+        let (rows, labels) = tree.to_acam_rows(2);
+        let noisy_cfg = AcamConfig {
+            bound_sigma: 0.02,
+            input_noise: 0.02,
+        };
+        let mut rng = Rng64::new(3);
+        let acam = AcamArray::program(&rows, &labels, noisy_cfg, &mut rng);
+        // Far from every boundary: always correct.
+        for _ in 0..100 {
+            assert_eq!(acam.classify(&[0.9, 0.9], &mut rng), Some(2));
+        }
+        // Hugging the f0 = 0.5 boundary: sometimes wrong.
+        let mut wrong = 0;
+        for _ in 0..400 {
+            if acam.classify(&[0.505, 0.9], &mut rng) != Some(2) {
+                wrong += 1;
+            }
+        }
+        assert!(wrong > 0, "boundary queries should occasionally miss");
+    }
+
+    #[test]
+    fn accuracy_degrades_gracefully_with_variation() {
+        let tree = small_tree();
+        let (rows, labels) = tree.to_acam_rows(2);
+        let acc_at = |sigma: f64| {
+            let cfg = AcamConfig {
+                bound_sigma: sigma,
+                input_noise: sigma,
+            };
+            let mut rng = Rng64::new(4);
+            let acam = AcamArray::program(&rows, &labels, cfg, &mut rng);
+            let mut correct = 0;
+            let trials = 1000;
+            let mut qrng = Rng64::new(5);
+            for _ in 0..trials {
+                let q = [qrng.uniform(), qrng.uniform()];
+                if acam.classify(&q, &mut rng) == Some(tree.evaluate(&q)) {
+                    correct += 1;
+                }
+            }
+            correct as f64 / trials as f64
+        };
+        let clean = acc_at(0.0);
+        let mild = acc_at(0.02);
+        let severe = acc_at(0.2);
+        assert!(clean > 0.999);
+        assert!(mild > severe, "mild {mild} severe {severe}");
+        assert!(mild > 0.85, "mild noise accuracy {mild}");
+    }
+
+    #[test]
+    #[should_panic(expected = "query width mismatch")]
+    fn wrong_query_width_panics() {
+        let (rows, labels) = small_tree().to_acam_rows(2);
+        let mut rng = Rng64::new(6);
+        let acam = AcamArray::program(&rows, &labels, ideal(), &mut rng);
+        acam.search(&[0.5], &mut rng);
+    }
+}

@@ -1,0 +1,186 @@
+//! Validation against published CAM silicon (paper Fig. 5).
+//!
+//! The paper validates Eva-CAM against three fabricated chips; this module
+//! embeds the published measurements as reference constants, runs our
+//! model on matching configurations, and reports per-FOM errors. The
+//! acceptance band is the paper's own: projections within ~±20 % of
+//! measured data.
+
+use crate::array::CamArray;
+use crate::design::{CamCellDesign, CamConfig, DataKind, MatchKind};
+use xlda_circuit::tech::TechNode;
+
+/// A published reference chip with its measured figures of merit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceChip {
+    /// Display name matching the Fig. 5 row label.
+    pub label: &'static str,
+    /// Configuration the model is evaluated at.
+    pub config: CamConfig,
+    /// Measured area (µm²), if published.
+    pub actual_area_um2: Option<f64>,
+    /// Measured search latency (s), if published.
+    pub actual_latency_s: Option<f64>,
+    /// Measured search energy (J), if published.
+    pub actual_energy_j: Option<f64>,
+}
+
+/// One row of the validation table: modeled vs. measured with errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationRow {
+    /// Chip label.
+    pub label: &'static str,
+    /// Modeled area (µm²).
+    pub model_area_um2: f64,
+    /// Modeled search latency (s).
+    pub model_latency_s: f64,
+    /// Modeled search energy (J).
+    pub model_energy_j: f64,
+    /// Relative area error vs. measurement (`None` when unpublished).
+    pub area_error: Option<f64>,
+    /// Relative latency error vs. measurement.
+    pub latency_error: Option<f64>,
+    /// Relative energy error vs. measurement.
+    pub energy_error: Option<f64>,
+}
+
+impl ValidationRow {
+    /// Largest absolute relative error among the published FOMs.
+    pub fn worst_error(&self) -> f64 {
+        [self.area_error, self.latency_error, self.energy_error]
+            .iter()
+            .flatten()
+            .map(|e| e.abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The three Fig. 5 reference chips.
+///
+/// Measured values are the ones printed in the paper's table:
+/// - RRAM 2T2R @ 40 nm: area 98 000 µm², search latency ≥ 5 ns,
+///   search energy 270 pJ;
+/// - PCM 2T2R @ 90 nm (1 Mb, 0.41 µm²/cell): search latency 1.9 ns;
+/// - MRAM 4T2R @ 90 nm: area 17 200 µm², search latency 2.5 ns
+///   (printed as ps in the table; we keep the published magnitude and
+///   compare relative error only).
+pub fn reference_chips() -> Vec<ReferenceChip> {
+    vec![
+        ReferenceChip {
+            label: "RRAM 2T2R 40nm",
+            config: CamConfig {
+                words: 8192,
+                bits_per_word: 128,
+                design: CamCellDesign::Rram2T2R,
+                data: DataKind::Ternary,
+                match_kind: MatchKind::Exact,
+                row_banks: 1,
+                tech: TechNode::n40(),
+            },
+            actual_area_um2: Some(98_000.0),
+            // The paper prints latency ≥5 ns with no error entry (its own
+            // model projected 2-4.4 ns); we follow and score area+energy.
+            actual_latency_s: None,
+            actual_energy_j: Some(270e-12),
+        },
+        ReferenceChip {
+            label: "PCM 2T2R 90nm",
+            config: CamConfig {
+                words: 8192,
+                bits_per_word: 128,
+                design: CamCellDesign::Pcm2T2R,
+                data: DataKind::Ternary,
+                match_kind: MatchKind::Exact,
+                // The 1 Mb chip organizes words into banks; two banks
+                // reproduce its searchline depth.
+                row_banks: 2,
+                tech: TechNode::n90(),
+            },
+            actual_area_um2: None,
+            actual_latency_s: Some(1.9e-9),
+            actual_energy_j: None,
+        },
+        ReferenceChip {
+            label: "MRAM 4T2R 90nm",
+            config: CamConfig {
+                words: 128,
+                bits_per_word: 128,
+                design: CamCellDesign::Mram4T2R,
+                data: DataKind::Ternary,
+                match_kind: MatchKind::Exact,
+                row_banks: 1,
+                tech: TechNode::n90(),
+            },
+            actual_area_um2: Some(17_200.0),
+            actual_latency_s: Some(2.5e-9),
+            actual_energy_j: None,
+        },
+    ]
+}
+
+/// Runs the model on a reference chip and computes relative errors.
+///
+/// # Errors
+///
+/// Propagates [`crate::CamError`] if the reference configuration cannot
+/// be modeled (which would itself be a validation failure).
+pub fn validate_chip(chip: &ReferenceChip) -> Result<ValidationRow, crate::CamError> {
+    let cam = CamArray::new(chip.config.clone())?;
+    let report = cam.report();
+    let rel = |model: f64, actual: Option<f64>| actual.map(|a| (model - a) / a);
+    Ok(ValidationRow {
+        label: chip.label,
+        model_area_um2: report.area_um2,
+        model_latency_s: report.search_latency_s,
+        model_energy_j: report.search_energy_j,
+        area_error: rel(report.area_um2, chip.actual_area_um2),
+        latency_error: rel(report.search_latency_s, chip.actual_latency_s),
+        energy_error: rel(report.search_energy_j, chip.actual_energy_j),
+    })
+}
+
+/// Validates all reference chips (the full Fig. 5 table).
+///
+/// # Errors
+///
+/// Propagates the first modeling error.
+pub fn validate_all() -> Result<Vec<ValidationRow>, crate::CamError> {
+    reference_chips().iter().map(validate_chip).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_reference_configs_model() {
+        let rows = validate_all().expect("reference chips must model");
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn errors_within_paper_band() {
+        // Fig. 5's own claim: projections within ~20 % of measured data.
+        for row in validate_all().unwrap() {
+            assert!(
+                row.worst_error() <= 0.25,
+                "{}: worst error {:.1}% (area {:?}, lat {:?}, energy {:?})",
+                row.label,
+                row.worst_error() * 100.0,
+                row.area_error,
+                row.latency_error,
+                row.energy_error
+            );
+        }
+    }
+
+    #[test]
+    fn rram_chip_magnitudes() {
+        let rows = validate_all().unwrap();
+        let rram = &rows[0];
+        // Sanity: model should land in the right order of magnitude.
+        assert!(rram.model_area_um2 > 2e4 && rram.model_area_um2 < 4e5);
+        assert!(rram.model_energy_j > 5e-11 && rram.model_energy_j < 2e-9);
+        assert!(rram.model_latency_s > 5e-10 && rram.model_latency_s < 2e-8);
+    }
+}

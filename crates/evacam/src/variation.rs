@@ -1,0 +1,271 @@
+//! Variation-aware array-size prediction — the paper's proposed Eva-CAM
+//! enhancement (Sec. VI, closing paragraphs).
+//!
+//! The deterministic mismatch limit in [`crate::CamArray`] assumes nominal
+//! cells. Real devices vary: each pull-down path's conductance is a random
+//! variable, so two words with adjacent mismatch counts have *overlapping*
+//! discharge distributions, and the probability of mis-ordering them grows
+//! with array width. This module integrates device-variation
+//! distributions into the matchline model, exactly as the paper
+//! prescribes ("the distributions of device variations will be integrated
+//! into circuit models along with array size and mismatch limit
+//! prediction formulae"):
+//!
+//! - [`sensing_error_probability`] — Monte-Carlo estimate of the
+//!   probability that a word with `m+1` mismatches out-discharges a word
+//!   with `m` mismatches;
+//! - [`analytic_error_probability`] — closed-form Gaussian approximation
+//!   of the same quantity (the "prediction formula");
+//! - [`max_cells_with_variation`] — the variation-aware array-width
+//!   limit: the largest matchline that keeps the sensing error below a
+//!   target at the required distance resolution.
+
+use xlda_circuit::matchline::MatchlineConfig;
+use xlda_num::rng::Rng64;
+use xlda_num::stats::q_function;
+
+/// Device-variation description for a CAM cell's pull-down path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellVariation {
+    /// Relative one-sigma spread of the on-conductance.
+    pub sigma_g_on_rel: f64,
+    /// Relative one-sigma spread of the off-conductance (leakage).
+    pub sigma_g_off_rel: f64,
+}
+
+impl Default for CellVariation {
+    /// Representative spreads: 10 % on-path, 30 % leakage.
+    fn default() -> Self {
+        Self {
+            sigma_g_on_rel: 0.10,
+            sigma_g_off_rel: 0.30,
+        }
+    }
+}
+
+/// Samples the total pull-down conductance of a word with `mismatches`
+/// mismatching cells out of `cells`.
+fn sample_conductance(
+    config: &MatchlineConfig,
+    variation: &CellVariation,
+    cells: usize,
+    mismatches: usize,
+    rng: &mut Rng64,
+) -> f64 {
+    let mut g = 0.0;
+    for _ in 0..mismatches {
+        g += (config.g_on * (1.0 + rng.normal(0.0, variation.sigma_g_on_rel))).max(0.0);
+    }
+    for _ in 0..(cells - mismatches) {
+        g += (config.g_off * (1.0 + rng.normal(0.0, variation.sigma_g_off_rel))).max(0.0);
+    }
+    g
+}
+
+/// Monte-Carlo probability that a word with `m + 1` mismatches discharges
+/// *slower* than a word with `m` mismatches (a best-match mis-ordering).
+///
+/// Discharge rate is proportional to total pull-down conductance, so the
+/// event reduces to `G(m+1) < G(m)` across the two words' variation
+/// draws.
+///
+/// # Panics
+///
+/// Panics if `m + 1 > cells` or `trials == 0`.
+pub fn sensing_error_probability(
+    config: &MatchlineConfig,
+    variation: &CellVariation,
+    cells: usize,
+    m: usize,
+    trials: usize,
+    rng: &mut Rng64,
+) -> f64 {
+    assert!(m < cells, "mismatch count exceeds cells");
+    assert!(trials > 0, "need at least one trial");
+    let mut errors = 0usize;
+    for _ in 0..trials {
+        let g_m = sample_conductance(config, variation, cells, m, rng);
+        let g_m1 = sample_conductance(config, variation, cells, m + 1, rng);
+        if g_m1 < g_m {
+            errors += 1;
+        }
+    }
+    errors as f64 / trials as f64
+}
+
+/// Closed-form Gaussian approximation of [`sensing_error_probability`]
+/// — the array-size "prediction formula".
+///
+/// Both words' conductances are sums of independent cell draws, hence
+/// approximately Gaussian with
+/// `mean Δ = g_on − g_off` and
+/// `var = (2m+1)·(σ_on·g_on)² + (2(n−m)−1)·(σ_off·g_off)²`;
+/// the mis-ordering probability is `Q(Δ / σ)`.
+pub fn analytic_error_probability(
+    config: &MatchlineConfig,
+    variation: &CellVariation,
+    cells: usize,
+    m: usize,
+) -> f64 {
+    assert!(m < cells, "mismatch count exceeds cells");
+    let s_on = variation.sigma_g_on_rel * config.g_on;
+    let s_off = variation.sigma_g_off_rel * config.g_off;
+    let delta = config.g_on - config.g_off;
+    let var = (2 * m + 1) as f64 * s_on * s_on
+        + (2 * (cells - m) - 1) as f64 * s_off * s_off;
+    if var <= 0.0 {
+        return 0.0;
+    }
+    q_function(delta / var.sqrt())
+}
+
+/// Largest matchline length whose analytic sensing-error probability at
+/// distance `m` stays below `target_error`.
+///
+/// Returns `None` when even a `(m+1)`-cell line exceeds the target —
+/// the technology cannot support the requested resolution at all.
+pub fn max_cells_with_variation(
+    config: &MatchlineConfig,
+    variation: &CellVariation,
+    m: usize,
+    target_error: f64,
+) -> Option<usize> {
+    let ok = |n: usize| analytic_error_probability(config, variation, n, m) <= target_error;
+    let mut lo = m + 1;
+    if !ok(lo) {
+        return None;
+    }
+    let mut hi = lo;
+    while hi < 1 << 22 && ok(hi * 2) {
+        hi *= 2;
+    }
+    if hi >= 1 << 22 {
+        return Some(hi);
+    }
+    let mut upper = hi * 2;
+    while lo + 1 < upper {
+        let mid = lo + (upper - lo) / 2;
+        if ok(mid) {
+            lo = mid;
+        } else {
+            upper = mid;
+        }
+    }
+    Some(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fefet_like() -> MatchlineConfig {
+        MatchlineConfig::default() // 20 µS / 2 nS
+    }
+
+    fn mram_like() -> MatchlineConfig {
+        MatchlineConfig {
+            g_on: 25e-6,
+            g_off: 10e-6,
+            ..MatchlineConfig::default()
+        }
+    }
+
+    #[test]
+    fn monte_carlo_matches_analytic() {
+        let cfg = mram_like();
+        let var = CellVariation::default();
+        let mut rng = Rng64::new(1);
+        for (cells, m) in [(64usize, 2usize), (128, 4), (256, 8)] {
+            let mc = sensing_error_probability(&cfg, &var, cells, m, 20_000, &mut rng);
+            let an = analytic_error_probability(&cfg, &var, cells, m);
+            assert!(
+                (mc - an).abs() < 0.02 + 0.2 * an,
+                "cells {cells} m {m}: mc {mc} vs analytic {an}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_grows_with_array_width() {
+        let cfg = mram_like();
+        let var = CellVariation::default();
+        let narrow = analytic_error_probability(&cfg, &var, 32, 2);
+        let wide = analytic_error_probability(&cfg, &var, 512, 2);
+        assert!(wide > narrow, "narrow {narrow} wide {wide}");
+    }
+
+    #[test]
+    fn error_grows_with_required_distance() {
+        // With a high on/off ratio, the on-path spread dominates, and
+        // distinguishing m vs m+1 gets harder as m grows (more varying
+        // on-paths on both lines) — the BE/TH-match limit of Sec. VI.
+        let cfg = fefet_like();
+        let var = CellVariation::default();
+        let near = analytic_error_probability(&cfg, &var, 128, 1);
+        let far = analytic_error_probability(&cfg, &var, 128, 16);
+        assert!(far > near, "near {near} far {far}");
+    }
+
+    #[test]
+    fn high_on_off_ratio_devices_support_wider_arrays() {
+        let var = CellVariation::default();
+        let fefet = max_cells_with_variation(&fefet_like(), &var, 4, 1e-3)
+            .expect("FeFET supports distance 4");
+        let mram = max_cells_with_variation(&mram_like(), &var, 4, 1e-3).unwrap_or(5);
+        assert!(
+            fefet > 4 * mram,
+            "FeFET limit {fefet} should dwarf MRAM limit {mram}"
+        );
+    }
+
+    #[test]
+    fn tighter_error_targets_shrink_the_limit() {
+        let cfg = mram_like();
+        let var = CellVariation::default();
+        let loose = max_cells_with_variation(&cfg, &var, 2, 1e-2).expect("loose target");
+        let tight = max_cells_with_variation(&cfg, &var, 2, 1e-5).unwrap_or(3);
+        assert!(tight <= loose, "tight {tight} loose {loose}");
+    }
+
+    #[test]
+    fn more_variation_more_errors() {
+        let cfg = mram_like();
+        let calm = CellVariation {
+            sigma_g_on_rel: 0.02,
+            sigma_g_off_rel: 0.05,
+        };
+        let noisy = CellVariation {
+            sigma_g_on_rel: 0.25,
+            sigma_g_off_rel: 0.50,
+        };
+        let e_calm = analytic_error_probability(&cfg, &calm, 128, 4);
+        let e_noisy = analytic_error_probability(&cfg, &noisy, 128, 4);
+        assert!(e_noisy > e_calm);
+    }
+
+    #[test]
+    fn impossible_resolution_returns_none() {
+        // Absurd variation: even tiny lines cannot resolve distances.
+        let cfg = mram_like();
+        let var = CellVariation {
+            sigma_g_on_rel: 3.0,
+            sigma_g_off_rel: 3.0,
+        };
+        assert_eq!(max_cells_with_variation(&cfg, &var, 4, 1e-6), None);
+    }
+
+    #[test]
+    fn zero_variation_never_errors() {
+        let cfg = fefet_like();
+        let var = CellVariation {
+            sigma_g_on_rel: 0.0,
+            sigma_g_off_rel: 0.0,
+        };
+        assert_eq!(analytic_error_probability(&cfg, &var, 1024, 8), 0.0);
+        let mut rng = Rng64::new(2);
+        assert_eq!(
+            sensing_error_probability(&cfg, &var, 128, 4, 1000, &mut rng),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the ACAM and variation-aware sizing models.
+
+use proptest::prelude::*;
+use xlda_circuit::matchline::MatchlineConfig;
+use xlda_evacam::acam::{AcamArray, AcamCell, AcamConfig, TreeNode};
+use xlda_evacam::variation::{
+    analytic_error_probability, max_cells_with_variation, CellVariation,
+};
+use xlda_num::rng::Rng64;
+
+fn arb_tree(depth: u32, features: usize) -> impl Strategy<Value = TreeNode> {
+    let leaf = (0usize..16).prop_map(|class| TreeNode::Leaf { class });
+    leaf.prop_recursive(depth, 64, 2, move |inner| {
+        (0..features, 0.05f64..0.95, inner.clone(), inner).prop_map(
+            |(feature, threshold, l, r)| TreeNode::Split {
+                feature,
+                threshold,
+                left: Box::new(l),
+                right: Box::new(r),
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ideal_acam_always_agrees_with_tree(
+        tree in arb_tree(4, 4),
+        seed in any::<u64>(),
+    ) {
+        let (rows, labels) = tree.to_acam_rows(4);
+        prop_assume!(!rows.is_empty());
+        let mut rng = Rng64::new(seed);
+        let acam = AcamArray::program(
+            &rows,
+            &labels,
+            AcamConfig { bound_sigma: 0.0, input_noise: 0.0 },
+            &mut rng,
+        );
+        for _ in 0..30 {
+            let q: Vec<f64> = (0..4).map(|_| rng.uniform()).collect();
+            // Interior points (away from split thresholds) must agree;
+            // points exactly on a threshold are boundary-ambiguous
+            // (strict `<` in the tree vs closed intervals in the rows),
+            // which uniform sampling hits with probability zero.
+            prop_assert_eq!(acam.classify(&q, &mut rng), Some(tree.evaluate(&q)));
+        }
+    }
+
+    #[test]
+    fn reachable_leaf_regions_partition_the_space(
+        tree in arb_tree(4, 3),
+        seed in any::<u64>(),
+    ) {
+        let (rows, labels) = tree.to_acam_rows(3);
+        prop_assume!(!rows.is_empty());
+        let mut rng = Rng64::new(seed);
+        let acam = AcamArray::program(
+            &rows,
+            &labels,
+            AcamConfig { bound_sigma: 0.0, input_noise: 0.0 },
+            &mut rng,
+        );
+        for _ in 0..30 {
+            let q: Vec<f64> = (0..3).map(|_| rng.uniform()).collect();
+            // Exactly one word matches any interior point.
+            prop_assert_eq!(acam.search(&q, &mut rng).len(), 1);
+        }
+    }
+
+    #[test]
+    fn acam_cell_matching_is_interval_membership(lo in -1.0f64..1.0, w in 0.0f64..1.0, x in -2.0f64..2.0) {
+        let cell = AcamCell::interval(lo, lo + w);
+        prop_assert_eq!(cell.matches(x), x >= lo && x <= lo + w);
+    }
+
+    #[test]
+    fn analytic_error_is_a_probability(
+        g_on_us in 5.0f64..200.0,
+        ratio in 1.5f64..1000.0,
+        s_on in 0.0f64..0.5,
+        s_off in 0.0f64..0.5,
+        cells in 2usize..512,
+        m_frac in 0.0f64..1.0,
+    ) {
+        let cfg = MatchlineConfig {
+            g_on: g_on_us * 1e-6,
+            g_off: g_on_us * 1e-6 / ratio,
+            ..MatchlineConfig::default()
+        };
+        let var = CellVariation { sigma_g_on_rel: s_on, sigma_g_off_rel: s_off };
+        let m = ((cells - 1) as f64 * m_frac) as usize;
+        let p = analytic_error_probability(&cfg, &var, cells, m);
+        prop_assert!((0.0..=0.5 + 1e-9).contains(&p), "p = {p}");
+    }
+
+    #[test]
+    fn variation_limit_is_consistent_with_the_formula(
+        ratio in 2.0f64..100.0,
+        target_exp in 1.0f64..6.0,
+    ) {
+        let cfg = MatchlineConfig {
+            g_on: 50e-6,
+            g_off: 50e-6 / ratio,
+            ..MatchlineConfig::default()
+        };
+        let var = CellVariation::default();
+        let target = 10f64.powf(-target_exp);
+        if let Some(n) = max_cells_with_variation(&cfg, &var, 2, target) {
+            prop_assert!(analytic_error_probability(&cfg, &var, n, 2) <= target);
+            if n < 1 << 21 {
+                prop_assert!(analytic_error_probability(&cfg, &var, n + 1, 2) > target);
+            }
+        }
+    }
+}

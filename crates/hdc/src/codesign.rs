@@ -1,0 +1,187 @@
+//! Software/hardware co-design: iso-accuracy hypervector sizing.
+//!
+//! The Fig. 3H comparison hinges on *iso-accuracy sizing*: each cell
+//! precision is charged the HV length it needs to match the software
+//! reference ("2-bit designs only achieve iso-accuracy with larger HVs,
+//! and 1-bit HVs ... cannot achieve iso-accuracy"). This module automates
+//! that search: given a dataset and a precision, find the smallest HV
+//! dimension whose accuracy reaches a target, or report that no dimension
+//! in range does.
+
+use crate::encode::{Encoder, EncoderConfig};
+use crate::model::{Distance, HdcModel};
+use xlda_datagen::Dataset;
+
+/// Result of the iso-accuracy search for one precision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizingResult {
+    /// Element precision searched.
+    pub bits: u8,
+    /// Smallest dimension reaching the target, if any.
+    pub hv_dim: Option<usize>,
+    /// Accuracy at `hv_dim` (or at the largest dimension tried).
+    pub accuracy: f64,
+}
+
+/// Search settings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizingConfig {
+    /// Smallest dimension tried.
+    pub min_dim: usize,
+    /// Largest dimension tried (the "memory capacity" budget the paper
+    /// warns aggregation compensation inflates).
+    pub max_dim: usize,
+    /// Retraining passes per candidate model.
+    pub retrain_passes: usize,
+    /// Encoder seed.
+    pub seed: u64,
+}
+
+impl Default for SizingConfig {
+    /// 256..=8192, 1 retraining pass.
+    fn default() -> Self {
+        Self {
+            min_dim: 256,
+            max_dim: 8192,
+            retrain_passes: 1,
+            seed: 0xc0de,
+        }
+    }
+}
+
+fn accuracy_at(data: &Dataset, bits: u8, hv_dim: usize, config: &SizingConfig) -> f64 {
+    let encoder = Encoder::new(&EncoderConfig {
+        dim_in: data.dim(),
+        hv_dim,
+        seed: config.seed,
+        ..EncoderConfig::default()
+    });
+    let model = HdcModel::train(&encoder, data, bits, config.retrain_passes);
+    model.accuracy_with(&encoder, data, Distance::Cosine)
+}
+
+/// Finds the smallest HV dimension (doubling from `min_dim` to `max_dim`)
+/// whose accuracy reaches `target`.
+///
+/// Accuracy is monotone in dimension only statistically, so the search
+/// walks the doubling ladder rather than bisecting: the first rung at or
+/// above the target wins.
+///
+/// # Panics
+///
+/// Panics if `min_dim` is zero or exceeds `max_dim`.
+pub fn size_for_accuracy(
+    data: &Dataset,
+    bits: u8,
+    target: f64,
+    config: &SizingConfig,
+) -> SizingResult {
+    assert!(
+        config.min_dim > 0 && config.min_dim <= config.max_dim,
+        "bad dimension range"
+    );
+    let mut dim = config.min_dim;
+    let mut last_acc = 0.0;
+    while dim <= config.max_dim {
+        last_acc = accuracy_at(data, bits, dim, config);
+        if last_acc >= target {
+            return SizingResult {
+                bits,
+                hv_dim: Some(dim),
+                accuracy: last_acc,
+            };
+        }
+        dim *= 2;
+    }
+    SizingResult {
+        bits,
+        hv_dim: None,
+        accuracy: last_acc,
+    }
+}
+
+/// Runs the sizing search for each precision against a software
+/// full-precision reference at `reference_dim`, returning
+/// `(reference accuracy, per-precision results)`.
+///
+/// `tolerance` is subtracted from the reference to form the iso-accuracy
+/// target (the paper's "3-to-4 bit ... can be sufficient to match" is a
+/// within-tolerance statement).
+pub fn iso_accuracy_table(
+    data: &Dataset,
+    precisions: &[u8],
+    reference_dim: usize,
+    tolerance: f64,
+    config: &SizingConfig,
+) -> (f64, Vec<SizingResult>) {
+    let reference = accuracy_at(data, 32, reference_dim, config);
+    let target = reference - tolerance;
+    let results = precisions
+        .iter()
+        .map(|&bits| size_for_accuracy(data, bits, target, config))
+        .collect();
+    (reference, results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlda_datagen::ClassificationSpec;
+
+    fn hard_data() -> Dataset {
+        let mut spec = ClassificationSpec::isolet_like();
+        spec.noise = 4.0;
+        spec.train_per_class = 20;
+        spec.test_per_class = 8;
+        spec.generate()
+    }
+
+    fn quick_config() -> SizingConfig {
+        SizingConfig {
+            min_dim: 256,
+            max_dim: 2048,
+            ..SizingConfig::default()
+        }
+    }
+
+    #[test]
+    fn three_bit_sizes_within_budget_one_bit_does_not() {
+        // The Fig. 3H sizing story, automated.
+        let data = hard_data();
+        let cfg = quick_config();
+        let (reference, results) =
+            iso_accuracy_table(&data, &[1, 3], 2048, 0.05, &cfg);
+        assert!(reference > 0.8, "reference {reference}");
+        let r1 = results[0];
+        let r3 = results[1];
+        assert!(r3.hv_dim.is_some(), "3-bit should reach iso-accuracy: {r3:?}");
+        assert!(
+            r1.hv_dim.is_none() || r1.hv_dim.unwrap() > r3.hv_dim.unwrap(),
+            "1-bit must need more (or unbounded) dimensions: {r1:?} vs {r3:?}"
+        );
+    }
+
+    #[test]
+    fn looser_targets_need_fewer_dimensions() {
+        let data = hard_data();
+        let cfg = quick_config();
+        let strict = size_for_accuracy(&data, 3, 0.90, &cfg);
+        let loose = size_for_accuracy(&data, 3, 0.70, &cfg);
+        let s = strict.hv_dim.unwrap_or(usize::MAX);
+        let l = loose.hv_dim.unwrap_or(usize::MAX);
+        assert!(l <= s, "loose {l} strict {s}");
+    }
+
+    #[test]
+    fn impossible_target_reports_none_with_best_accuracy() {
+        let data = hard_data();
+        let cfg = SizingConfig {
+            min_dim: 256,
+            max_dim: 512,
+            ..SizingConfig::default()
+        };
+        let r = size_for_accuracy(&data, 1, 0.999, &cfg);
+        assert_eq!(r.hv_dim, None);
+        assert!(r.accuracy > 0.0 && r.accuracy < 0.999);
+    }
+}

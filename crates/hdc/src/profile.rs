@@ -1,0 +1,92 @@
+//! Operation-count profiles of the HDC pipeline.
+//!
+//! Amdahl's-law analysis (Fig. 3E) needs the computational composition of
+//! the end-to-end workload: how much work is encoding (an MVM) versus
+//! associative search (a scan over stored class HVs). These counts feed
+//! the platform models in `xlda-baseline` to produce runtime breakdowns
+//! and the Fig. 3H platform comparison.
+
+/// Operation counts for one HDC inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HdcProfile {
+    /// Input feature dimensionality.
+    pub dim_in: usize,
+    /// Hypervector dimensionality.
+    pub hv_dim: usize,
+    /// Number of stored class HVs.
+    pub classes: usize,
+    /// Element precision in bits.
+    pub bits: u8,
+}
+
+impl HdcProfile {
+    /// Multiply-accumulate operations in the encoding MVM.
+    pub fn encode_macs(&self) -> u64 {
+        (self.dim_in as u64) * (self.hv_dim as u64)
+    }
+
+    /// Elementwise compare/accumulate operations in the search stage.
+    pub fn search_ops(&self) -> u64 {
+        (self.classes as u64) * (self.hv_dim as u64)
+    }
+
+    /// Bytes of stored class-HV data the search stage must stream.
+    pub fn search_bytes(&self) -> u64 {
+        let bytes_per_elem = (self.bits as u64).div_ceil(8).max(1);
+        self.search_ops() * bytes_per_elem
+    }
+
+    /// Bytes of projection-matrix data the encode stage must stream.
+    pub fn encode_bytes(&self) -> u64 {
+        // Bipolar projection: 1 bit per element, packed.
+        self.encode_macs() / 8
+    }
+
+    /// Fraction of total operations spent in search.
+    pub fn search_op_fraction(&self) -> f64 {
+        let s = self.search_ops() as f64;
+        s / (s + self.encode_macs() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> HdcProfile {
+        HdcProfile {
+            dim_in: 617,
+            hv_dim: 4096,
+            classes: 26,
+            bits: 3,
+        }
+    }
+
+    #[test]
+    fn op_counts() {
+        let p = profile();
+        assert_eq!(p.encode_macs(), 617 * 4096);
+        assert_eq!(p.search_ops(), 26 * 4096);
+        assert_eq!(p.search_bytes(), 26 * 4096);
+    }
+
+    #[test]
+    fn more_classes_raise_search_fraction() {
+        let few = HdcProfile {
+            classes: 5,
+            ..profile()
+        };
+        let many = HdcProfile {
+            classes: 100,
+            ..profile()
+        };
+        assert!(many.search_op_fraction() > few.search_op_fraction());
+    }
+
+    #[test]
+    fn bytes_scale_with_precision() {
+        let b3 = profile();
+        let b16 = HdcProfile { bits: 16, ..b3 };
+        assert!(b16.search_bytes() > b3.search_bytes());
+    }
+}

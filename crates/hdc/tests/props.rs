@@ -1,0 +1,113 @@
+//! Property-based tests for the HDC stack.
+
+use proptest::prelude::*;
+use xlda_hdc::encode::{element_to_level, quantize_hv, Encoder, EncoderConfig, EncodingStyle};
+use xlda_num::rng::Rng64;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn quantization_is_idempotent(
+        hv in prop::collection::vec(-1.0f64..1.0, 1..64),
+        bits in 1u8..8,
+    ) {
+        let q = quantize_hv(&hv, bits);
+        prop_assert_eq!(quantize_hv(&q, bits), q);
+    }
+
+    #[test]
+    fn quantized_values_on_grid(
+        hv in prop::collection::vec(-2.0f64..2.0, 1..64),
+        bits in 2u8..8,
+    ) {
+        let levels = ((1u32 << bits) - 1) as f64;
+        for v in quantize_hv(&hv, bits) {
+            prop_assert!((-1.0..=1.0).contains(&v));
+            let code = (v + 1.0) / 2.0 * levels;
+            prop_assert!((code - code.round()).abs() < 1e-9, "off-grid value {v}");
+        }
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_step(
+        hv in prop::collection::vec(-1.0f64..1.0, 1..64),
+        bits in 2u8..8,
+    ) {
+        let step = 2.0 / ((1u32 << bits) - 1) as f64;
+        for (a, b) in hv.iter().zip(quantize_hv(&hv, bits)) {
+            prop_assert!((a - b).abs() <= step / 2.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn level_mapping_is_monotone(bits in 1u8..=8, a in -1.0f64..1.0, b in -1.0f64..1.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(element_to_level(lo, bits) <= element_to_level(hi, bits));
+    }
+
+    #[test]
+    fn encoding_dimension_and_range(
+        dim_in in 4usize..64,
+        hv_dim in 16usize..256,
+        seed in any::<u64>(),
+    ) {
+        let encoder = Encoder::new(&EncoderConfig {
+            dim_in,
+            hv_dim,
+            style: EncodingStyle::RandomProjection,
+            seed,
+        });
+        let mut rng = Rng64::new(seed ^ 1);
+        let x = rng.normal_vec(dim_in, 0.0, 1.0);
+        let hv = encoder.encode(&x);
+        prop_assert_eq!(hv.len(), hv_dim);
+        prop_assert!(hv.iter().all(|&v| (-1.0..=1.0).contains(&v)));
+        // Normalization: the largest magnitude element touches 1.
+        let m = hv.iter().fold(0.0f64, |acc, &v| acc.max(v.abs()));
+        prop_assert!((m - 1.0).abs() < 1e-9 || m == 0.0);
+    }
+
+    #[test]
+    fn encoding_is_scale_covariant_in_sign(
+        dim_in in 4usize..32,
+        seed in any::<u64>(),
+        scale in 0.1f64..10.0,
+    ) {
+        // Random projection then max-normalization: positive scaling of
+        // the input leaves the encoded HV unchanged.
+        let encoder = Encoder::new(&EncoderConfig {
+            dim_in,
+            hv_dim: 128,
+            style: EncodingStyle::RandomProjection,
+            seed,
+        });
+        let mut rng = Rng64::new(seed ^ 2);
+        let x = rng.normal_vec(dim_in, 0.0, 1.0);
+        let scaled: Vec<f64> = x.iter().map(|v| v * scale).collect();
+        let a = encoder.encode(&x);
+        let b = encoder.encode(&scaled);
+        for (u, v) in a.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-9, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn id_level_encoder_produces_valid_hvs(
+        dim_in in 4usize..24,
+        levels in 2usize..16,
+        seed in any::<u64>(),
+    ) {
+        let encoder = Encoder::new(&EncoderConfig {
+            dim_in,
+            hv_dim: 128,
+            style: EncodingStyle::IdLevel { levels },
+            seed,
+        });
+        let mut rng = Rng64::new(seed ^ 3);
+        let x: Vec<f64> = (0..dim_in).map(|_| rng.uniform_in(-1.0, 1.0)).collect();
+        let hv = encoder.encode(&x);
+        prop_assert_eq!(hv.len(), 128);
+        prop_assert!(hv.iter().all(|v| v.is_finite()));
+    }
+}

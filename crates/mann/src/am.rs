@@ -1,0 +1,248 @@
+//! Associative memories for the MANN.
+//!
+//! The AM stores one signature per support example and answers queries
+//! with the label of the nearest entry. Two backends:
+//!
+//! - [`SoftwareAm`] — exact nearest-cosine over raw feature vectors (the
+//!   paper's software skyline) or exact ternary-Hamming over signatures;
+//! - [`RramTcam`] — signatures stored in RRAM crossbar TCAM cells with a
+//!   variation-derived bit-flip channel. The conductance mapping choice
+//!   (naive vs. variation-aware, Sec. IV) sets the flip probability.
+
+use xlda_crossbar::stochastic::ternary_hamming;
+use xlda_device::rram::Rram;
+use xlda_num::matrix::cosine_similarity;
+use xlda_num::rng::Rng64;
+
+/// Exact software associative memory over feature vectors.
+#[derive(Debug, Clone, Default)]
+pub struct SoftwareAm {
+    entries: Vec<(Vec<f64>, usize)>,
+}
+
+impl SoftwareAm {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes a feature vector with its label.
+    pub fn write(&mut self, fv: Vec<f64>, label: usize) {
+        self.entries.push((fv, label));
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the memory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns the label of the entry most cosine-similar to the query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory is empty.
+    pub fn query_cosine(&self, fv: &[f64]) -> usize {
+        assert!(!self.entries.is_empty(), "empty associative memory");
+        self.entries
+            .iter()
+            .map(|(e, l)| (cosine_similarity(fv, e), *l))
+            .max_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN similarity"))
+            .map(|(_, l)| l)
+            .expect("non-empty")
+    }
+}
+
+/// A signature-based associative memory storing ternary signatures.
+#[derive(Debug, Clone, Default)]
+pub struct SignatureAm {
+    entries: Vec<(Vec<i8>, usize)>,
+}
+
+impl SignatureAm {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes a signature with its label.
+    pub fn write(&mut self, sig: Vec<i8>, label: usize) {
+        self.entries.push((sig, label));
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the memory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Label of the entry with minimal ternary Hamming distance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory is empty.
+    pub fn query(&self, sig: &[i8]) -> usize {
+        assert!(!self.entries.is_empty(), "empty associative memory");
+        self.entries
+            .iter()
+            .map(|(e, l)| (ternary_hamming(sig, e), *l))
+            .min_by_key(|(d, _)| *d)
+            .map(|(_, l)| l)
+            .expect("non-empty")
+    }
+}
+
+/// Conductance mapping for TCAM storage (Sec. IV co-optimization).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TcamMapping {
+    /// Levels spread across the full window, crossing the high-variation
+    /// region.
+    Naive,
+    /// Levels mapped below the high-variation region, away from high
+    /// currents (less IR drop, less variation).
+    VariationAware,
+}
+
+/// RRAM crossbar TCAM with a device-derived storage error channel.
+#[derive(Debug, Clone)]
+pub struct RramTcam {
+    entries: Vec<(Vec<i8>, usize)>,
+    /// Per-bit storage/readout flip probability, derived from the
+    /// conductance mapping and programming variation.
+    pub flip_probability: f64,
+    rng: Rng64,
+}
+
+impl RramTcam {
+    /// Creates a TCAM using the given device and conductance mapping.
+    ///
+    /// The per-bit error combines two device effects from Sec. IV:
+    /// programming-variation overlap between the two states, and IR-drop
+    /// disturbance, which grows with the high-state conductance (higher
+    /// currents, larger wire drops). The naive full-window mapping
+    /// maximizes separation but pays the IR-drop penalty; the
+    /// variation-aware mapping keeps conductances low.
+    pub fn new(device: &Rram, mapping: TcamMapping, seed: u64) -> Self {
+        let cell = match mapping {
+            TcamMapping::Naive => device.mlc(1),
+            TcamMapping::VariationAware => device.mlc_avoiding_variation(1),
+        };
+        let g_high = cell.levels()[cell.level_count() - 1];
+        let ir_drop_error = 0.02 * g_high / device.g_max;
+        Self {
+            entries: Vec::new(),
+            flip_probability: (cell.max_error_rate() + ir_drop_error).min(0.5),
+            rng: Rng64::new(seed),
+        }
+    }
+
+    /// Writes a signature; each stored bit may flip with the mapping's
+    /// error probability ("don't care" bits are unaffected).
+    pub fn write(&mut self, sig: &[i8], label: usize) {
+        let stored: Vec<i8> = sig
+            .iter()
+            .map(|&b| {
+                if b != 0 && self.rng.chance(self.flip_probability) {
+                    -b
+                } else {
+                    b
+                }
+            })
+            .collect();
+        self.entries.push((stored, label));
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the memory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Label of the minimum-Hamming entry; the query side is exact (the
+    /// searchlines are digital).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory is empty.
+    pub fn query(&self, sig: &[i8]) -> usize {
+        assert!(!self.entries.is_empty(), "empty associative memory");
+        self.entries
+            .iter()
+            .map(|(e, l)| (ternary_hamming(sig, e), *l))
+            .min_by_key(|(d, _)| *d)
+            .map(|(_, l)| l)
+            .expect("non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn software_am_finds_nearest() {
+        let mut am = SoftwareAm::new();
+        am.write(vec![1.0, 0.0], 0);
+        am.write(vec![0.0, 1.0], 1);
+        assert_eq!(am.query_cosine(&[0.9, 0.1]), 0);
+        assert_eq!(am.query_cosine(&[0.1, 0.9]), 1);
+        assert_eq!(am.len(), 2);
+    }
+
+    #[test]
+    fn signature_am_minimizes_hamming() {
+        let mut am = SignatureAm::new();
+        am.write(vec![1, 1, 1, 1], 7);
+        am.write(vec![-1, -1, -1, -1], 9);
+        assert_eq!(am.query(&[1, 1, 1, -1]), 7);
+        assert_eq!(am.query(&[-1, -1, 1, -1]), 9);
+    }
+
+    #[test]
+    fn dont_care_counts_as_match() {
+        let mut am = SignatureAm::new();
+        am.write(vec![1, 0, 0, 0], 1); // mostly don't-care entry
+        am.write(vec![-1, -1, -1, -1], 2);
+        // Query matching entry 2 in three positions but entry 1's X's
+        // give distance 0 everywhere except bit 0.
+        assert_eq!(am.query(&[1, -1, -1, -1]), 1);
+    }
+
+    #[test]
+    fn variation_aware_mapping_flips_less() {
+        let dev = Rram::taox();
+        let naive = RramTcam::new(&dev, TcamMapping::Naive, 1);
+        let tuned = RramTcam::new(&dev, TcamMapping::VariationAware, 1);
+        assert!(tuned.flip_probability <= naive.flip_probability);
+    }
+
+    #[test]
+    fn tcam_queries_despite_flips() {
+        let dev = Rram::taox();
+        let mut tcam = RramTcam::new(&dev, TcamMapping::VariationAware, 2);
+        let a = vec![1i8; 128];
+        let b = vec![-1i8; 128];
+        tcam.write(&a, 0);
+        tcam.write(&b, 1);
+        assert_eq!(tcam.query(&a), 0);
+        assert_eq!(tcam.query(&b), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty associative memory")]
+    fn empty_query_panics() {
+        SignatureAm::new().query(&[1]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Locality-sensitive hashing: software reference and RRAM variants.
+//!
+//! LSH turns a feature vector into a short binary signature such that
+//! similar vectors share most signature bits, letting the associative
+//! memory compare Hamming distances instead of cosine distances. This
+//! module provides:
+//!
+//! - [`SoftwareLsh`] — exact sign-random-projection (the Fig. 4D
+//!   "software LSH" reference);
+//! - re-exported RRAM in-memory LSH/TLSH from
+//!   [`xlda_crossbar::stochastic`];
+//! - [`correlation_with_cosine`] — the Fig. 4D statistic: Pearson
+//!   correlation between hashed Hamming distance and true cosine
+//!   distance over a set of vector pairs.
+
+pub use xlda_crossbar::stochastic::{ternary_hamming, StochasticProjection};
+use xlda_num::matrix::{cosine_similarity, Matrix};
+use xlda_num::rng::Rng64;
+use xlda_num::stats::pearson;
+
+/// Exact software sign-random-projection LSH.
+#[derive(Debug, Clone)]
+pub struct SoftwareLsh {
+    proj: Matrix,
+}
+
+impl SoftwareLsh {
+    /// Builds a Gaussian random projection from `dim` inputs to `bits`
+    /// signature bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(dim: usize, bits: usize, rng: &mut Rng64) -> Self {
+        assert!(dim > 0 && bits > 0, "dimensions must be positive");
+        Self {
+            proj: Matrix::random_normal(bits, dim, 0.0, 1.0, rng),
+        }
+    }
+
+    /// Signature length in bits.
+    pub fn bits(&self) -> usize {
+        self.proj.rows()
+    }
+
+    /// Hashes a vector to a ±1 signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input dimension mismatch.
+    pub fn hash(&self, x: &[f64]) -> Vec<i8> {
+        self.proj
+            .matvec(x)
+            .iter()
+            .map(|&v| if v >= 0.0 { 1 } else { -1 })
+            .collect()
+    }
+}
+
+/// Any function from feature vectors to ternary signatures.
+///
+/// Unifies the software and RRAM hashers for episode evaluation.
+/// `Send + Sync` so episode evaluation can fan out across threads.
+pub trait Hasher: Send + Sync {
+    /// Signature length.
+    fn bits(&self) -> usize;
+    /// Hashes a feature vector (entries of the result in {-1, 0, +1}).
+    fn signature(&self, x: &[f64]) -> Vec<i8>;
+}
+
+impl Hasher for SoftwareLsh {
+    fn bits(&self) -> usize {
+        self.bits()
+    }
+
+    fn signature(&self, x: &[f64]) -> Vec<i8> {
+        self.hash(x)
+    }
+}
+
+/// RRAM crossbar LSH in binary mode.
+#[derive(Debug, Clone)]
+pub struct RramLsh {
+    /// The underlying stochastic projection crossbar.
+    pub projection: StochasticProjection,
+}
+
+impl Hasher for RramLsh {
+    fn bits(&self) -> usize {
+        self.projection.bits()
+    }
+
+    fn signature(&self, x: &[f64]) -> Vec<i8> {
+        // Shift features to non-negative (post-ReLU embeddings mostly
+        // are; normalization keeps this stable).
+        let shifted: Vec<f64> = x.iter().map(|&v| v.max(0.0)).collect();
+        self.projection.hash(&shifted)
+    }
+}
+
+/// RRAM crossbar LSH in ternary (don't-care) mode.
+#[derive(Debug, Clone)]
+pub struct RramTlsh {
+    /// The underlying stochastic projection crossbar.
+    pub projection: StochasticProjection,
+    /// Don't-care threshold current (A).
+    pub threshold: f64,
+}
+
+impl Hasher for RramTlsh {
+    fn bits(&self) -> usize {
+        self.projection.bits()
+    }
+
+    fn signature(&self, x: &[f64]) -> Vec<i8> {
+        let shifted: Vec<f64> = x.iter().map(|&v| v.max(0.0)).collect();
+        self.projection.ternary_hash(&shifted, self.threshold)
+    }
+}
+
+/// Pearson correlation between hashed (ternary) Hamming distance and true
+/// cosine *distance* across `pairs` random vector pairs (Fig. 4D).
+///
+/// Higher is better: 1.0 means the hash preserves the similarity
+/// ordering perfectly.
+pub fn correlation_with_cosine<H: Hasher>(
+    hasher: &H,
+    vectors: &[Vec<f64>],
+    pairs: usize,
+    rng: &mut Rng64,
+) -> f64 {
+    correlation_with_cosine_drifted(hasher, hasher, vectors, pairs, rng)
+}
+
+/// [`correlation_with_cosine`] with distinct enrollment-time and
+/// query-time hashers: the first vector of each pair is hashed with
+/// `enroll`, the second with `query` — modeling stored memories compared
+/// against queries hashed after the devices have relaxed (the condition
+/// under which the ternary scheme pays off, Fig. 4C/4D).
+pub fn correlation_with_cosine_drifted<HA: Hasher + ?Sized, HB: Hasher + ?Sized>(
+    enroll: &HA,
+    query: &HB,
+    vectors: &[Vec<f64>],
+    pairs: usize,
+    rng: &mut Rng64,
+) -> f64 {
+    assert!(vectors.len() >= 2, "need at least two vectors");
+    let sigs_enroll: Vec<Vec<i8>> = vectors.iter().map(|v| enroll.signature(v)).collect();
+    let sigs_query: Vec<Vec<i8>> = vectors.iter().map(|v| query.signature(v)).collect();
+    let mut cos_d = Vec::with_capacity(pairs);
+    let mut ham_d = Vec::with_capacity(pairs);
+    for _ in 0..pairs {
+        let i = rng.index(vectors.len());
+        let mut j = rng.index(vectors.len());
+        while j == i {
+            j = rng.index(vectors.len());
+        }
+        cos_d.push(1.0 - cosine_similarity(&vectors[i], &vectors[j]));
+        ham_d.push(ternary_hamming(&sigs_enroll[i], &sigs_query[j]) as f64);
+    }
+    pearson(&cos_d, &ham_d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xlda_device::rram::Rram;
+
+    fn cluster_vectors(rng: &mut Rng64) -> Vec<Vec<f64>> {
+        // Two clusters of ReLU-like (non-negative) vectors plus spread.
+        let mut out = Vec::new();
+        for c in 0..4 {
+            let center: Vec<f64> = (0..64).map(|_| rng.uniform()).collect();
+            for _ in 0..8 {
+                out.push(
+                    center
+                        .iter()
+                        .map(|&v| (v + rng.normal(0.0, 0.15 + 0.05 * c as f64)).max(0.0))
+                        .collect(),
+                );
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn software_lsh_preserves_similarity_ordering() {
+        let mut rng = Rng64::new(1);
+        let lsh = SoftwareLsh::new(64, 256, &mut rng);
+        let vecs = cluster_vectors(&mut rng);
+        let r = correlation_with_cosine(&lsh, &vecs, 300, &mut rng);
+        assert!(r > 0.8, "correlation {r}");
+    }
+
+    #[test]
+    fn correlation_ordering_matches_fig4d() {
+        // software LSH >= RRAM TLSH >= RRAM LSH, all positive.
+        let mut rng = Rng64::new(2);
+        let vecs = cluster_vectors(&mut rng);
+        let bits = 256;
+
+        let sw = SoftwareLsh::new(64, bits, &mut rng);
+        let r_sw = correlation_with_cosine(&sw, &vecs, 400, &mut rng);
+
+        let dev = Rram::taox();
+        let mut proj = StochasticProjection::new(64, bits, &dev, &mut Rng64::new(3));
+        proj.relax(2.0, &mut Rng64::new(4)); // field conditions
+        let thr = proj.calibrate_threshold(&vecs[..4], 0.3);
+        let rram = RramLsh {
+            projection: proj.clone(),
+        };
+        let tlsh = RramTlsh {
+            projection: proj,
+            threshold: thr,
+        };
+        let r_rram = correlation_with_cosine(&rram, &vecs, 400, &mut Rng64::new(5));
+        let r_tlsh = correlation_with_cosine(&tlsh, &vecs, 400, &mut Rng64::new(5));
+
+        assert!(r_rram > 0.3, "rram correlation {r_rram}");
+        assert!(r_tlsh >= r_rram - 0.02, "tlsh {r_tlsh} rram {r_rram}");
+        assert!(r_sw >= r_tlsh - 0.05, "sw {r_sw} tlsh {r_tlsh}");
+    }
+
+    #[test]
+    fn longer_signatures_correlate_better() {
+        let mut rng = Rng64::new(6);
+        let vecs = cluster_vectors(&mut rng);
+        let short = SoftwareLsh::new(64, 16, &mut Rng64::new(7));
+        let long = SoftwareLsh::new(64, 512, &mut Rng64::new(7));
+        let r_short = correlation_with_cosine(&short, &vecs, 400, &mut Rng64::new(8));
+        let r_long = correlation_with_cosine(&long, &vecs, 400, &mut Rng64::new(8));
+        assert!(r_long > r_short, "short {r_short} long {r_long}");
+    }
+
+    #[test]
+    fn hasher_trait_objects_work() {
+        let mut rng = Rng64::new(9);
+        let lsh = SoftwareLsh::new(8, 16, &mut rng);
+        let h: &dyn Hasher = &lsh;
+        assert_eq!(h.bits(), 16);
+        assert_eq!(h.signature(&[0.5; 8]).len(), 16);
+    }
+}

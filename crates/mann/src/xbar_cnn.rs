@@ -1,0 +1,336 @@
+//! The CNN controller executed *on RRAM crossbars*.
+//!
+//! This is the paper's headline engineering feat for the MANN study: "all
+//! essential compute tasks for a MANN model (CNN, hashing, and AM) were
+//! realized via RRAM crossbars", with "the CNN model employed >65,000
+//! weights that were realized via 130,000 RRAM devices, in 36, 64×64
+//! crossbar arrays". This module performs the same mapping on the
+//! simulated substrate:
+//!
+//! - every layer's weight matrix (convolutions via im2col, plus a bias
+//!   row) is tiled into 64×64 differential crossbars from
+//!   [`xlda_crossbar::Crossbar`] — two devices per weight, matching the
+//!   paper's 2:1 device:weight ratio;
+//! - inference runs each MVM through the analog path (programming
+//!   variation, IR drop, DAC/ADC quantization, read noise), with ReLU,
+//!   pooling, and normalization in the digital periphery.
+
+use crate::nn::{maxpool, relu, SmallCnn, Tensor};
+use xlda_crossbar::{Crossbar, CrossbarConfig, Fidelity};
+use xlda_num::matrix::Matrix;
+use xlda_num::rng::Rng64;
+
+/// A weight matrix tiled onto fixed-size differential crossbars.
+#[derive(Debug, Clone)]
+struct TiledLayer {
+    /// Tiles indexed `[row_tile][col_tile]`.
+    tiles: Vec<Vec<Crossbar>>,
+    /// Input rows (including the bias row).
+    rows: usize,
+    /// Output columns.
+    cols: usize,
+    tile: usize,
+}
+
+impl TiledLayer {
+    /// Programs `w` (`rows x cols`, bias folded in by the caller) onto
+    /// `tile x tile` crossbars.
+    fn program(w: &Matrix, base: &CrossbarConfig, rng: &mut Rng64) -> Self {
+        let tile = base.rows.min(base.cols);
+        let row_tiles = w.rows().div_ceil(tile);
+        let col_tiles = w.cols().div_ceil(tile);
+        let mut tiles = Vec::with_capacity(row_tiles);
+        for rt in 0..row_tiles {
+            let mut row = Vec::with_capacity(col_tiles);
+            for ct in 0..col_tiles {
+                let r0 = rt * tile;
+                let c0 = ct * tile;
+                let r_len = tile.min(w.rows() - r0);
+                let c_len = tile.min(w.cols() - c0);
+                // Zero-pad partial tiles to the full crossbar geometry.
+                let mut sub = Matrix::zeros(tile, tile);
+                for r in 0..r_len {
+                    for c in 0..c_len {
+                        *sub.at_mut(r, c) = w.at(r0 + r, c0 + c);
+                    }
+                }
+                let cfg = CrossbarConfig {
+                    rows: tile,
+                    cols: tile,
+                    ..base.clone()
+                };
+                row.push(Crossbar::program(&cfg, &sub, rng));
+            }
+            tiles.push(row);
+        }
+        Self {
+            tiles,
+            rows: w.rows(),
+            cols: w.cols(),
+            tile,
+        }
+    }
+
+    /// Computes `W^T x` through the tiles (row-tile partials accumulate
+    /// digitally, as in the paper's multi-array summation).
+    fn forward(&self, x: &[f64], fidelity: Fidelity) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "tiled layer input mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (rt, tile_row) in self.tiles.iter().enumerate() {
+            let r0 = rt * self.tile;
+            let r_len = self.tile.min(self.rows - r0);
+            let mut xin = vec![0.0; self.tile];
+            xin[..r_len].copy_from_slice(&x[r0..r0 + r_len]);
+            for (ct, xbar) in tile_row.iter().enumerate() {
+                let partial = xbar.mvm(&xin, fidelity);
+                let c0 = ct * self.tile;
+                let c_len = self.tile.min(self.cols - c0);
+                for c in 0..c_len {
+                    out[c0 + c] += partial[c];
+                }
+            }
+        }
+        out
+    }
+
+    fn tile_count(&self) -> usize {
+        self.tiles.iter().map(|r| r.len()).sum()
+    }
+}
+
+/// Builds the im2col weight matrix of a 3×3 same-pad convolution:
+/// rows = `in_c * 9 + 1` (patch + bias), cols = `out_c`.
+fn conv_weight_matrix(conv: &crate::nn::Conv2d) -> Matrix {
+    let (in_c, out_c) = conv.shape();
+    let mut w = Matrix::zeros(in_c * 9 + 1, out_c);
+    for o in 0..out_c {
+        for i in 0..in_c {
+            for k in 0..9 {
+                *w.at_mut(i * 9 + k, o) = conv.weights()[(o * in_c + i) * 9 + k];
+            }
+        }
+        *w.at_mut(in_c * 9, o) = conv.bias()[o];
+    }
+    w
+}
+
+/// Extracts the im2col patch (plus bias input 1.0) at pixel `(y, x)`.
+fn patch(input: &Tensor, y: usize, x: usize, out: &mut [f64]) {
+    let mut idx = 0;
+    for i in 0..input.c {
+        for dy in 0..3usize {
+            let yy = y as i64 + dy as i64 - 1;
+            for dx in 0..3usize {
+                let xx = x as i64 + dx as i64 - 1;
+                out[idx] = if yy < 0
+                    || yy >= input.h as i64
+                    || xx < 0
+                    || xx >= input.w as i64
+                {
+                    0.0
+                } else {
+                    input.data[(i * input.h + yy as usize) * input.w + xx as usize]
+                };
+                idx += 1;
+            }
+        }
+    }
+    out[idx] = 1.0; // bias input
+}
+
+/// The trained controller mapped onto crossbar tiles.
+#[derive(Debug, Clone)]
+pub struct CrossbarCnn {
+    conv1: TiledLayer,
+    conv2: TiledLayer,
+    fc_emb: TiledLayer,
+    side: usize,
+    fidelity: Fidelity,
+}
+
+impl CrossbarCnn {
+    /// Programs a trained [`SmallCnn`]'s layers onto crossbars.
+    ///
+    /// `base` fixes the tile geometry and non-ideality settings (the
+    /// paper uses 64×64 tiles); `fidelity` selects the analog model used
+    /// at inference time.
+    pub fn program(
+        net: &SmallCnn,
+        base: &CrossbarConfig,
+        fidelity: Fidelity,
+        rng: &mut Rng64,
+    ) -> Self {
+        let conv1 = TiledLayer::program(&conv_weight_matrix(net.conv1()), base, rng);
+        let conv2 = TiledLayer::program(&conv_weight_matrix(net.conv2()), base, rng);
+        let (fc_in, fc_out) = net.fc_emb().shape();
+        let mut wfc = Matrix::zeros(fc_in + 1, fc_out);
+        for o in 0..fc_out {
+            for i in 0..fc_in {
+                *wfc.at_mut(i, o) = net.fc_emb().weights()[o * fc_in + i];
+            }
+            *wfc.at_mut(fc_in, o) = net.fc_emb().bias()[o];
+        }
+        let fc_emb = TiledLayer::program(&wfc, base, rng);
+        Self {
+            conv1,
+            conv2,
+            fc_emb,
+            side: net.side(),
+            fidelity,
+        }
+    }
+
+    /// Total crossbar tiles across all layers (the paper's model used 36).
+    pub fn tile_count(&self) -> usize {
+        self.conv1.tile_count() + self.conv2.tile_count() + self.fc_emb.tile_count()
+    }
+
+    /// Total RRAM devices (two per mapped weight cell, differential).
+    pub fn device_count(&self) -> usize {
+        let per_tile = self.conv1.tiles[0][0].config().rows * self.conv1.tiles[0][0].config().cols;
+        self.tile_count() * per_tile * 2
+    }
+
+    fn conv_forward(&self, layer: &TiledLayer, input: &Tensor, out_c: usize) -> Tensor {
+        let mut out = Tensor::zeros(out_c, input.h, input.w);
+        let mut buf = vec![0.0; layer.rows];
+        for y in 0..input.h {
+            for x in 0..input.w {
+                patch(input, y, x, &mut buf);
+                let acts = layer.forward(&buf, self.fidelity);
+                for (o, &v) in acts.iter().enumerate() {
+                    out.data[(o * input.h + y) * input.w + x] = v;
+                }
+            }
+        }
+        out
+    }
+
+    /// L2-normalized embedding computed entirely through crossbar MVMs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image size disagrees with the programmed network.
+    pub fn embed(&self, image: &[f64]) -> Vec<f64> {
+        assert_eq!(image.len(), self.side * self.side, "image size mismatch");
+        let input = Tensor::from_vec(1, self.side, self.side, image.to_vec());
+        let mut a1 = self.conv_forward(&self.conv1, &input, self.conv1.cols);
+        relu(&mut a1.data);
+        let (p1, _) = maxpool(&a1);
+        let mut a2 = self.conv_forward(&self.conv2, &p1, self.conv2.cols);
+        relu(&mut a2.data);
+        let (p2, _) = maxpool(&a2);
+        let mut flat = p2.data;
+        flat.push(1.0); // bias input
+        let mut emb = self.fc_emb.forward(&flat, self.fidelity);
+        relu(&mut emb);
+        let n = xlda_num::matrix::norm(&emb).max(1e-12);
+        emb.iter().map(|&v| v / n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{train_controller, TrainConfig};
+    use xlda_datagen::fewshot::FewShotSpec;
+    use xlda_num::matrix::cosine_similarity;
+
+    fn trained() -> (SmallCnn, xlda_datagen::fewshot::ImageSet) {
+        let data = FewShotSpec {
+            background_classes: 6,
+            eval_classes: 6,
+            samples_per_class: 6,
+            ..FewShotSpec::default()
+        }
+        .generate();
+        let (net, _) = train_controller(
+            &data,
+            &TrainConfig {
+                epochs: 2,
+                ..TrainConfig::default()
+            },
+        );
+        (net, data)
+    }
+
+    fn clean_config() -> CrossbarConfig {
+        CrossbarConfig {
+            rows: 64,
+            cols: 64,
+            read_noise: 0.0,
+            adc_bits: 0,
+            dac_bits: 8,
+            r_wire: 0.01,
+            ..CrossbarConfig::default()
+        }
+    }
+
+    #[test]
+    fn tile_and_device_counts_match_papers_scale() {
+        let mut rng = Rng64::new(1);
+        // The paper's model: >65k weights -> 130k devices in 36 64x64
+        // arrays. Build a controller at that scale (96-d embedding).
+        let net = SmallCnn::new(28, 96, 64, &mut rng);
+        assert!(net.weight_count() > 65_000);
+        let xcnn = CrossbarCnn::program(&net, &clean_config(), Fidelity::Ideal, &mut rng);
+        // conv1: 10x8 -> 1; conv2: 73x16 -> 2; fc: 785x96 -> 13x2 = 26.
+        assert!(
+            (20..=48).contains(&xcnn.tile_count()),
+            "{} tiles",
+            xcnn.tile_count()
+        );
+        assert!(xcnn.device_count() >= 2 * net.weight_count());
+    }
+
+    #[test]
+    fn ideal_crossbar_embedding_matches_software() {
+        let (net, data) = trained();
+        let mut rng = Rng64::new(2);
+        let xcnn = CrossbarCnn::program(&net, &clean_config(), Fidelity::Ideal, &mut rng);
+        for img in data.eval[0].iter().take(3) {
+            let sw = net.embed(img);
+            let hw = xcnn.embed(img);
+            let cs = cosine_similarity(&sw, &hw);
+            assert!(cs > 0.999, "cosine {cs}");
+        }
+    }
+
+    #[test]
+    fn nonideal_crossbar_embedding_stays_close() {
+        let (net, data) = trained();
+        let mut rng = Rng64::new(3);
+        let cfg = CrossbarConfig {
+            rows: 64,
+            cols: 64,
+            dac_bits: 8,
+            adc_bits: 8,
+            read_noise: 0.005,
+            r_wire: 0.5,
+            ..CrossbarConfig::default()
+        };
+        let xcnn = CrossbarCnn::program(&net, &cfg, Fidelity::Fast, &mut rng);
+        let mut sims = Vec::new();
+        for img in data.eval[0].iter().take(4) {
+            sims.push(cosine_similarity(&net.embed(img), &xcnn.embed(img)));
+        }
+        let mean = xlda_num::stats::mean(&sims);
+        assert!(mean > 0.85, "mean cosine {mean} ({sims:?})");
+    }
+
+    #[test]
+    fn crossbar_embedding_preserves_class_structure() {
+        // The property few-shot learning actually needs: same-class
+        // embeddings stay closer than cross-class ones through the
+        // analog path.
+        let (net, data) = trained();
+        let mut rng = Rng64::new(4);
+        let xcnn = CrossbarCnn::program(&net, &clean_config(), Fidelity::Fast, &mut rng);
+        let a0 = xcnn.embed(&data.eval[0][0]);
+        let a1 = xcnn.embed(&data.eval[0][1]);
+        let b0 = xcnn.embed(&data.eval[1][0]);
+        let within = cosine_similarity(&a0, &a1);
+        let across = cosine_similarity(&a0, &b0);
+        assert!(within > across, "within {within} across {across}");
+    }
+}

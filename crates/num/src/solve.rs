@@ -1,0 +1,374 @@
+//! Linear solvers for the resistive-network models.
+//!
+//! The crossbar IR-drop model reduces to a sparse, diagonally dominant
+//! linear system over node voltages. We provide:
+//!
+//! - [`thomas_tridiagonal`] — O(n) direct solve of tridiagonal systems
+//!   (a single wire segment chain with distributed loads);
+//! - [`gauss_seidel`] — iterative solve of general diagonally dominant
+//!   systems in dense form (small crossbar tiles);
+//! - [`GridSolver`] — a Gauss–Seidel sweep specialized for the 2-D
+//!   crossbar node-voltage problem without materializing the full system.
+
+use crate::matrix::Matrix;
+
+/// Solves a tridiagonal system `A x = d` with the Thomas algorithm.
+///
+/// `sub` is the sub-diagonal (length n-1), `diag` the diagonal (length n),
+/// `sup` the super-diagonal (length n-1).
+///
+/// # Panics
+///
+/// Panics on inconsistent lengths or a zero pivot (system not diagonally
+/// dominant enough).
+///
+/// # Examples
+///
+/// ```
+/// // Solve [[2,1],[1,2]] x = [3,3]  =>  x = [1,1]
+/// let x = xlda_num::solve::thomas_tridiagonal(&[1.0], &[2.0, 2.0], &[1.0], &[3.0, 3.0]);
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// ```
+pub fn thomas_tridiagonal(sub: &[f64], diag: &[f64], sup: &[f64], rhs: &[f64]) -> Vec<f64> {
+    let n = diag.len();
+    assert!(n > 0, "empty system");
+    assert_eq!(sub.len(), n - 1, "sub-diagonal length");
+    assert_eq!(sup.len(), n - 1, "super-diagonal length");
+    assert_eq!(rhs.len(), n, "rhs length");
+
+    let mut c = vec![0.0; n];
+    let mut d = vec![0.0; n];
+    assert!(diag[0] != 0.0, "zero pivot");
+    c[0] = if n > 1 { sup[0] / diag[0] } else { 0.0 };
+    d[0] = rhs[0] / diag[0];
+    for i in 1..n {
+        let m = diag[i] - sub[i - 1] * c[i - 1];
+        assert!(m != 0.0, "zero pivot");
+        if i < n - 1 {
+            c[i] = sup[i] / m;
+        }
+        d[i] = (rhs[i] - sub[i - 1] * d[i - 1]) / m;
+    }
+    let mut x = d;
+    for i in (0..n - 1).rev() {
+        let next = x[i + 1];
+        x[i] -= c[i] * next;
+    }
+    x
+}
+
+/// Result of an iterative solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterativeSolution {
+    /// Number of sweeps executed.
+    pub iterations: usize,
+    /// Final max-norm residual estimate (max per-node update).
+    pub residual: f64,
+    /// Whether `residual <= tol` was reached within the budget.
+    pub converged: bool,
+}
+
+/// Gauss–Seidel iteration on a dense system `A x = b`, updating `x` in place.
+///
+/// Intended for small, strictly diagonally dominant systems; returns
+/// convergence information rather than failing so callers can decide how to
+/// react to slow convergence.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or a zero diagonal entry.
+pub fn gauss_seidel(
+    a: &Matrix,
+    b: &[f64],
+    x: &mut [f64],
+    tol: f64,
+    max_iters: usize,
+) -> IterativeSolution {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "matrix must be square");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    assert_eq!(x.len(), n, "solution length mismatch");
+
+    let mut residual = f64::INFINITY;
+    for iter in 0..max_iters {
+        residual = 0.0;
+        for i in 0..n {
+            let row = a.row(i);
+            let aii = row[i];
+            assert!(aii != 0.0, "zero diagonal at {i}");
+            let mut sum = b[i];
+            for (j, &aij) in row.iter().enumerate() {
+                if j != i {
+                    sum -= aij * x[j];
+                }
+            }
+            let new = sum / aii;
+            residual = residual.max((new - x[i]).abs());
+            x[i] = new;
+        }
+        if residual <= tol {
+            return IterativeSolution {
+                iterations: iter + 1,
+                residual,
+                converged: true,
+            };
+        }
+    }
+    IterativeSolution {
+        iterations: max_iters,
+        residual,
+        converged: false,
+    }
+}
+
+/// Node-voltage solver for a 2-D crossbar resistive grid.
+///
+/// Models the standard crossbar equivalent circuit: each crosspoint couples
+/// a row (wordline) node to a column (bitline) node through the device
+/// conductance `g[i][j]`; adjacent nodes on the same line are connected by
+/// the wire conductance `g_wire`; row nodes at the left edge are driven by
+/// voltage sources through the driver conductance, and column nodes at the
+/// bottom edge are tied to virtual ground through the sense conductance.
+///
+/// Solving this grid yields the actual crosspoint voltages, from which the
+/// IR-drop-degraded column currents follow. A Gauss–Seidel sweep converges
+/// quickly because the system is strictly diagonally dominant.
+#[derive(Debug, Clone)]
+pub struct GridSolver {
+    rows: usize,
+    cols: usize,
+    /// Wire conductance between adjacent nodes on a line (S).
+    pub g_wire: f64,
+    /// Driver output conductance at each row input (S).
+    pub g_driver: f64,
+    /// Sense/ADC input conductance at each column output (S).
+    pub g_sense: f64,
+    /// Convergence tolerance on node-voltage updates (V).
+    pub tol: f64,
+    /// Sweep budget.
+    pub max_iters: usize,
+}
+
+/// Solution of a [`GridSolver`] run.
+#[derive(Debug, Clone)]
+pub struct GridSolution {
+    /// Row-node voltages, row-major `rows x cols`.
+    pub v_row: Matrix,
+    /// Column-node voltages, row-major `rows x cols`.
+    pub v_col: Matrix,
+    /// Current sensed at the bottom of each column (A).
+    pub col_currents: Vec<f64>,
+    /// Convergence info.
+    pub info: IterativeSolution,
+}
+
+impl GridSolver {
+    /// Creates a solver for a `rows x cols` crossbar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or any conductance is
+    /// non-positive.
+    pub fn new(rows: usize, cols: usize, g_wire: f64, g_driver: f64, g_sense: f64) -> Self {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+        assert!(
+            g_wire > 0.0 && g_driver > 0.0 && g_sense > 0.0,
+            "conductances must be positive"
+        );
+        Self {
+            rows,
+            cols,
+            g_wire,
+            g_driver,
+            g_sense,
+            tol: 1e-9,
+            max_iters: 2000,
+        }
+    }
+
+    /// Solves for node voltages given crosspoint conductances `g`
+    /// (`rows x cols`, S) and row drive voltages `v_in` (V).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    #[allow(clippy::needless_range_loop)] // grid sweeps index several matrices at once
+    pub fn solve(&self, g: &Matrix, v_in: &[f64]) -> GridSolution {
+        assert_eq!(g.rows(), self.rows, "conductance rows mismatch");
+        assert_eq!(g.cols(), self.cols, "conductance cols mismatch");
+        assert_eq!(v_in.len(), self.rows, "input length mismatch");
+
+        let (r, c) = (self.rows, self.cols);
+        // Initialize rows at their drive voltage, columns at 0 (virtual gnd).
+        let mut vr = Matrix::zeros(r, c);
+        for (i, &v) in v_in.iter().enumerate() {
+            vr.row_mut(i).fill(v);
+        }
+        let mut vc = Matrix::zeros(r, c);
+
+        let gw = self.g_wire;
+        let mut info = IterativeSolution {
+            iterations: 0,
+            residual: f64::INFINITY,
+            converged: false,
+        };
+        for iter in 0..self.max_iters {
+            let mut delta: f64 = 0.0;
+            // Row-node update: node (i, j) on wordline i.
+            for i in 0..r {
+                for j in 0..c {
+                    let gd = g.at(i, j);
+                    let mut num = gd * vc.at(i, j);
+                    let mut den = gd;
+                    if j == 0 {
+                        num += self.g_driver * v_in[i];
+                        den += self.g_driver;
+                    } else {
+                        num += gw * vr.at(i, j - 1);
+                        den += gw;
+                    }
+                    if j + 1 < c {
+                        num += gw * vr.at(i, j + 1);
+                        den += gw;
+                    }
+                    let new = num / den;
+                    delta = delta.max((new - vr.at(i, j)).abs());
+                    *vr.at_mut(i, j) = new;
+                }
+            }
+            // Column-node update: node (i, j) on bitline j.
+            for i in 0..r {
+                for j in 0..c {
+                    let gd = g.at(i, j);
+                    let mut num = gd * vr.at(i, j);
+                    let mut den = gd;
+                    if i + 1 < r {
+                        num += gw * vc.at(i + 1, j);
+                        den += gw;
+                    } else {
+                        // Bottom node ties to virtual ground through sense.
+                        den += self.g_sense;
+                    }
+                    if i > 0 {
+                        num += gw * vc.at(i - 1, j);
+                        den += gw;
+                    }
+                    let new = num / den;
+                    delta = delta.max((new - vc.at(i, j)).abs());
+                    *vc.at_mut(i, j) = new;
+                }
+            }
+            info = IterativeSolution {
+                iterations: iter + 1,
+                residual: delta,
+                converged: delta <= self.tol,
+            };
+            if info.converged {
+                break;
+            }
+        }
+
+        let col_currents = (0..c)
+            .map(|j| self.g_sense * vc.at(r - 1, j))
+            .collect();
+        GridSolution {
+            v_row: vr,
+            v_col: vc,
+            col_currents,
+            info,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thomas_solves_known_system() {
+        // [[2,-1,0],[-1,2,-1],[0,-1,2]] x = [1,0,1] => x = [1,1,1]
+        let x = thomas_tridiagonal(&[-1.0, -1.0], &[2.0, 2.0, 2.0], &[-1.0, -1.0], &[1.0, 0.0, 1.0]);
+        for v in x {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn thomas_single_element() {
+        let x = thomas_tridiagonal(&[], &[4.0], &[], &[8.0]);
+        assert_eq!(x, vec![2.0]);
+    }
+
+    #[test]
+    fn gauss_seidel_matches_direct() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 5.0, 2.0], &[0.0, 2.0, 6.0]]);
+        let b = [5.0, 8.0, 8.0];
+        let mut x = vec![0.0; 3];
+        let info = gauss_seidel(&a, &b, &mut x, 1e-12, 500);
+        assert!(info.converged);
+        // Verify by substitution.
+        let r = a.matvec(&x);
+        for (u, v) in r.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gauss_seidel_reports_non_convergence() {
+        // Not diagonally dominant; give it almost no budget.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        let b = [1.0, 1.0];
+        let mut x = vec![0.0; 2];
+        let info = gauss_seidel(&a, &b, &mut x, 1e-15, 2);
+        assert!(!info.converged);
+        assert_eq!(info.iterations, 2);
+    }
+
+    #[test]
+    fn grid_with_huge_wire_conductance_is_ideal() {
+        // Near-zero wire resistance => column current ~ sum g*V.
+        let mut solver = GridSolver::new(4, 3, 1e2, 1e2, 1e2);
+        solver.tol = 1e-13;
+        let g = Matrix::filled(4, 3, 1e-5);
+        let v_in = vec![0.2; 4];
+        let sol = solver.solve(&g, &v_in);
+        assert!(sol.info.converged);
+        let ideal = 4.0 * 1e-5 * 0.2;
+        for i in &sol.col_currents {
+            assert!((i - ideal).abs() / ideal < 1e-2, "current {i} vs {ideal}");
+        }
+    }
+
+    #[test]
+    fn grid_ir_drop_reduces_current() {
+        let ideal = GridSolver::new(32, 32, 1e6, 1e6, 1e6);
+        let lossy = GridSolver::new(32, 32, 1e-3, 1e-2, 1e-2);
+        let g = Matrix::filled(32, 32, 1e-4); // 10 kOhm cells
+        let v_in = vec![0.3; 32];
+        let a = ideal.solve(&g, &v_in);
+        let b = lossy.solve(&g, &v_in);
+        let sum_a: f64 = a.col_currents.iter().sum();
+        let sum_b: f64 = b.col_currents.iter().sum();
+        assert!(sum_b < sum_a, "IR drop must reduce total current");
+    }
+
+    #[test]
+    fn grid_far_column_sees_more_drop() {
+        let lossy = GridSolver::new(16, 16, 5e-3, 1e-1, 1e-1);
+        let g = Matrix::filled(16, 16, 1e-4);
+        let v_in = vec![0.3; 16];
+        let sol = lossy.solve(&g, &v_in);
+        // Columns farther from the driver (higher j) carry less current.
+        assert!(sol.col_currents[15] < sol.col_currents[0]);
+    }
+
+    #[test]
+    fn grid_zero_input_zero_output() {
+        let solver = GridSolver::new(8, 8, 1.0, 1.0, 1.0);
+        let g = Matrix::filled(8, 8, 1e-5);
+        let sol = solver.solve(&g, &[0.0; 8]);
+        for i in &sol.col_currents {
+            assert!(i.abs() < 1e-15);
+        }
+    }
+}

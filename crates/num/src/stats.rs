@@ -1,0 +1,339 @@
+//! Summary statistics used throughout the accuracy and variation sweeps.
+
+/// Arithmetic mean. Returns `0.0` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(xlda_num::stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance. Returns `0.0` for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Minimum of a slice, ignoring NaNs. Returns `f64::INFINITY` when empty.
+pub fn min(xs: &[f64]) -> f64 {
+    xs.iter().copied().filter(|x| !x.is_nan()).fold(f64::INFINITY, f64::min)
+}
+
+/// Maximum of a slice, ignoring NaNs. Returns `f64::NEG_INFINITY` when empty.
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Pearson linear correlation coefficient between two equal-length series.
+///
+/// This is the statistic the paper uses in Fig. 4D to compare hashed Hamming
+/// distance against the software cosine distance.
+///
+/// Returns `0.0` when either series has zero variance.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [2.0, 4.0, 6.0, 8.0];
+/// assert!((xlda_num::stats::pearson(&x, &y) - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "series length mismatch");
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(x);
+    let my = mean(y);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx.sqrt() * syy.sqrt())
+}
+
+/// A fixed-bin histogram over a closed interval.
+///
+/// Used to visualize cell-state V_th distributions (paper Fig. 3G-i).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram interval must be non-empty");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Adds a sample; values outside the interval clamp to the edge bins.
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((t * bins as f64).floor() as i64).clamp(0, bins as i64 - 1) as usize;
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of samples added.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + w * (i as f64 + 0.5)
+    }
+
+    /// Fraction of samples in bin `i` (0 when empty).
+    pub fn density(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / self.total as f64
+        }
+    }
+}
+
+/// Fraction of pairwise overlap between two Gaussian state distributions.
+///
+/// For adjacent memory-cell levels with means `mu_a < mu_b` and common
+/// standard deviation `sigma`, returns the probability that a sample from
+/// one distribution crosses the midpoint decision boundary — i.e. the raw
+/// per-boundary bit-error rate used in the Fig. 3G analysis.
+pub fn gaussian_overlap_error(mu_a: f64, mu_b: f64, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return 0.0;
+    }
+    let d = (mu_b - mu_a).abs() / 2.0;
+    // P(N(0, sigma) > d) = Q(d / sigma)
+    q_function(d / sigma)
+}
+
+/// Standard Gaussian tail probability Q(x) = P(N(0,1) > x).
+pub fn q_function(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function (Abramowitz & Stegun 7.1.26, |err| < 1.5e-7).
+pub fn erfc(x: f64) -> f64 {
+    let sign_neg = x < 0.0;
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))))
+        * (-x * x).exp();
+    if sign_neg {
+        2.0 - y
+    } else {
+        y
+    }
+}
+
+/// Normal-approximation confidence interval for the mean: returns
+/// `(mean, half_width)` such that the true mean lies within
+/// `mean ± half_width` at the given z-score (1.96 ≈ 95 %).
+///
+/// Accuracy estimates over Monte-Carlo episodes report this interval so
+/// comparisons across hardware variants are honest about sampling noise.
+///
+/// Returns half-width 0 for slices shorter than 2.
+pub fn mean_confidence_interval(xs: &[f64], z: f64) -> (f64, f64) {
+    let m = mean(xs);
+    if xs.len() < 2 {
+        return (m, 0.0);
+    }
+    let half = z * std_dev(xs) / (xs.len() as f64).sqrt();
+    (m, half)
+}
+
+/// Median of a slice (average of middle two for even lengths).
+///
+/// Returns `0.0` for an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Geometric mean of strictly positive values; `0.0` if empty.
+///
+/// # Panics
+///
+/// Panics if any value is non-positive.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geometric mean needs positive values");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_negative() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [3.0, 2.0, 1.0];
+        assert!((pearson(&x, &y) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_zero_variance() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn pearson_length_mismatch_panics() {
+        pearson(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn histogram_bins_and_density() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for x in [0.1, 0.3, 0.35, 0.9] {
+            h.add(x);
+        }
+        assert_eq!(h.counts(), &[1, 2, 0, 1]);
+        assert_eq!(h.total(), 4);
+        assert!((h.density(1) - 0.5).abs() < 1e-12);
+        assert!((h.bin_center(0) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_clamps_outliers() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-5.0);
+        h.add(5.0);
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn erfc_reference_values() {
+        assert!((erfc(0.0) - 1.0).abs() < 1e-6);
+        assert!((erfc(1.0) - 0.157_299_2).abs() < 1e-5);
+        assert!((erfc(-1.0) - 1.842_700_8).abs() < 1e-5);
+    }
+
+    #[test]
+    fn q_function_symmetry() {
+        assert!((q_function(0.0) - 0.5).abs() < 1e-9);
+        assert!((q_function(1.0) + q_function(-1.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overlap_error_decreases_with_separation() {
+        let near = gaussian_overlap_error(0.0, 0.1, 0.05);
+        let far = gaussian_overlap_error(0.0, 0.4, 0.05);
+        assert!(near > far);
+        assert_eq!(gaussian_overlap_error(0.0, 0.1, 0.0), 0.0);
+    }
+
+    #[test]
+    fn confidence_interval_shrinks_with_samples() {
+        let mut rng = crate::rng::Rng64::new(3);
+        let small: Vec<f64> = (0..20).map(|_| rng.normal(0.0, 1.0)).collect();
+        let large: Vec<f64> = (0..2000).map(|_| rng.normal(0.0, 1.0)).collect();
+        let (_, hw_small) = mean_confidence_interval(&small, 1.96);
+        let (_, hw_large) = mean_confidence_interval(&large, 1.96);
+        assert!(hw_large < hw_small);
+        assert!(hw_large > 0.0);
+        assert_eq!(mean_confidence_interval(&[1.0], 1.96).1, 0.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn geometric_mean_basic() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the RAM array model.
+
+use proptest::prelude::*;
+use xlda_nvram::{OptTarget, RamArray, RamCell, RamConfig};
+
+fn arb_cell() -> impl Strategy<Value = RamCell> {
+    prop::sample::select(vec![
+        RamCell::Sram6T,
+        RamCell::Rram1T1R,
+        RamCell::Pcm1T1R,
+        RamCell::Mram1T1R,
+        RamCell::Fefet1T,
+        RamCell::Nand3D { layers: 32 },
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_config_organizes_with_positive_foms(
+        cell in arb_cell(),
+        capacity_kib in 64u64..65_536,
+    ) {
+        let config = RamConfig {
+            capacity_bits: capacity_kib * 8 * 1024,
+            word_bits: 64,
+            cell,
+            ..RamConfig::default()
+        };
+        for target in [
+            OptTarget::ReadLatency,
+            OptTarget::ReadEnergy,
+            OptTarget::Area,
+            OptTarget::ReadEdp,
+        ] {
+            let ram = RamArray::auto_organize(&config, target).expect("organizes");
+            let r = ram.report();
+            prop_assert!(r.read_latency_s > 0.0 && r.read_latency_s.is_finite());
+            prop_assert!(r.write_latency_s > 0.0);
+            prop_assert!(r.read_energy_j > 0.0);
+            prop_assert!(r.write_energy_j > 0.0);
+            prop_assert!(r.area_mm2 > 0.0);
+            prop_assert!(r.leakage_w > 0.0);
+            // Organization covers the capacity.
+            let bits = (ram.sub_rows * ram.sub_cols * ram.mats) as u64;
+            prop_assert!(bits >= config.capacity_bits);
+        }
+    }
+
+    #[test]
+    fn optimizer_beats_or_ties_other_targets_on_its_axis(
+        cell in arb_cell(),
+        capacity_mib in 1u64..32,
+    ) {
+        let config = RamConfig {
+            capacity_bits: (capacity_mib * 8) << 20,
+            word_bits: 64,
+            cell,
+            ..RamConfig::default()
+        };
+        let lat = RamArray::auto_organize(&config, OptTarget::ReadLatency)
+            .expect("organizes")
+            .report();
+        let area = RamArray::auto_organize(&config, OptTarget::Area)
+            .expect("organizes")
+            .report();
+        prop_assert!(lat.read_latency_s <= area.read_latency_s + 1e-15);
+        prop_assert!(area.area_mm2 <= lat.area_mm2 + 1e-12);
+    }
+
+    #[test]
+    fn bigger_capacity_never_shrinks_area(cell in arb_cell(), capacity_mib in 1u64..16) {
+        let mk = |mib: u64| {
+            RamArray::auto_organize(
+                &RamConfig {
+                    capacity_bits: (mib * 8) << 20,
+                    word_bits: 64,
+                    cell,
+                    ..RamConfig::default()
+                },
+                OptTarget::Area,
+            )
+            .expect("organizes")
+            .report()
+        };
+        prop_assert!(mk(capacity_mib * 2).area_mm2 > mk(capacity_mib).area_mm2);
+    }
+}
+
+mod lifetime_props {
+    use proptest::prelude::*;
+    use xlda_nvram::lifetime::{estimate, WriteTraffic};
+    use xlda_nvram::{RamCell, RamConfig};
+
+    proptest! {
+        #[test]
+        fn lifetime_scales_inversely_with_traffic(
+            mbps in 0.1f64..1000.0,
+            leveling in 0.01f64..1.0,
+            capacity_mib in 1u64..256,
+        ) {
+            let config = RamConfig {
+                capacity_bits: (capacity_mib * 8) << 20,
+                cell: RamCell::Rram1T1R,
+                ..RamConfig::default()
+            };
+            let t1 = WriteTraffic { bytes_per_second: mbps * 1e6, leveling };
+            let t2 = WriteTraffic { bytes_per_second: 2.0 * mbps * 1e6, leveling };
+            let e1 = estimate(&config, &t1);
+            let e2 = estimate(&config, &t2);
+            prop_assert!(e1.seconds > 0.0 && e1.seconds.is_finite());
+            prop_assert!((e1.seconds / e2.seconds - 2.0).abs() < 1e-6);
+            // Years field is consistent.
+            prop_assert!((e1.years * 365.25 * 86400.0 - e1.seconds).abs() < 1.0);
+        }
+
+        #[test]
+        fn better_leveling_never_hurts(
+            mbps in 0.1f64..100.0,
+            l_lo in 0.01f64..0.5,
+        ) {
+            let config = RamConfig {
+                cell: RamCell::Pcm1T1R,
+                ..RamConfig::default()
+            };
+            let worse = estimate(&config, &WriteTraffic { bytes_per_second: mbps * 1e6, leveling: l_lo });
+            let better = estimate(&config, &WriteTraffic { bytes_per_second: mbps * 1e6, leveling: l_lo * 2.0 });
+            prop_assert!(better.seconds >= worse.seconds);
+        }
+    }
+}

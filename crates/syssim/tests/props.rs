@@ -1,0 +1,104 @@
+//! Property-based tests for the system simulator.
+
+use proptest::prelude::*;
+use xlda_syssim::event::{EventQueue, SimTime};
+use xlda_syssim::system::{System, SystemConfig};
+use xlda_syssim::workload::{KernelOp, Workload};
+
+fn arb_kernel() -> impl Strategy<Value = KernelOp> {
+    (
+        1u64..10_000_000_000,
+        0u64..100_000_000,
+        1u64..100_000_000,
+        any::<bool>(),
+    )
+        .prop_map(|(ops, wb, ab, off)| KernelOp {
+            name: "k".into(),
+            compute_ops: ops,
+            weight_bytes: wb,
+            activation_bytes: ab,
+            offloadable: off,
+        })
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    prop::collection::vec(arb_kernel(), 1..12).prop_map(|kernels| Workload {
+        name: "prop".into(),
+        kernels,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn events_always_pop_in_nondecreasing_time(times in prop::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn queue_drains_exactly_what_was_scheduled(times in prop::collection::vec(0u64..1_000, 0..50)) {
+        let mut q = EventQueue::new();
+        for &t in &times {
+            q.schedule_at(SimTime(t), ());
+        }
+        prop_assert_eq!(q.len(), times.len());
+        let mut popped = 0;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+        prop_assert!(q.is_empty());
+    }
+
+    #[test]
+    fn offloadable_fraction_is_a_fraction(w in arb_workload()) {
+        let f = w.offloadable_fraction();
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn simulation_times_positive_and_finite(w in arb_workload()) {
+        for cfg in [SystemConfig::cpu_only(), SystemConfig::with_crossbar()] {
+            let rep = System::new(&cfg).run(&w);
+            prop_assert!(rep.total_time_s > 0.0 && rep.total_time_s.is_finite());
+            prop_assert!(rep.energy_j > 0.0 && rep.energy_j.is_finite());
+            prop_assert_eq!(rep.kernels.len(), w.kernels.len());
+            // Per-kernel times sum to the total (sequential dependence).
+            let sum: f64 = rep.kernels.iter().map(|k| k.time_s).sum();
+            prop_assert!((sum - rep.total_time_s).abs() < 1e-9 * (1.0 + rep.total_time_s));
+        }
+    }
+
+    #[test]
+    fn accelerator_never_runs_non_offloadable_kernels(w in arb_workload()) {
+        let rep = System::new(&SystemConfig::with_crossbar()).run(&w);
+        for (k, r) in w.kernels.iter().zip(&rep.kernels) {
+            if !k.offloadable {
+                prop_assert!(!r.on_accel);
+            }
+        }
+    }
+
+    #[test]
+    fn cpu_only_system_never_uses_accelerator(w in arb_workload()) {
+        let rep = System::new(&SystemConfig::cpu_only()).run(&w);
+        prop_assert!(rep.kernels.iter().all(|k| !k.on_accel));
+    }
+
+    #[test]
+    fn simulation_is_deterministic(w in arb_workload()) {
+        let sys = System::new(&SystemConfig::with_crossbar());
+        let a = sys.run(&w);
+        let b = sys.run(&w);
+        prop_assert_eq!(a, b);
+    }
+}

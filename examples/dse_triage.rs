@@ -1,0 +1,56 @@
+//! The Sec. VII design-space-exploration flow: top-down workload
+//! profiling, cross-layer candidate evaluation, Pareto analysis, and
+//! bottom-up device-lever prioritization (the Fig. 6 loop).
+//!
+//! ```text
+//! cargo run --example dse_triage
+//! ```
+
+use xlda::circuit::matchline::MatchlineConfig;
+use xlda::circuit::tech::TechNode;
+use xlda::core::evaluate::{hdc_candidates, HdcScenario};
+use xlda::core::pareto::pareto_front;
+use xlda::core::profile::{device_priorities, recommend, WorkloadProfile};
+use xlda::core::report::{ranking_to_markdown, to_markdown};
+use xlda::core::sensitivity::prioritized_levers;
+use xlda::core::triage::{rank, Objective};
+use xlda::syssim::workload::{cnn_trace, hdc_trace, lstm_trace};
+
+fn main() {
+    // --- Top-down: profile workloads, pick architecture lanes.
+    println!("top-down triage:");
+    for w in [cnn_trace(8), lstm_trace(16, 512), hdc_trace(617, 4096, 500)] {
+        let profile = WorkloadProfile::from_workload(&w, 0.001);
+        println!(
+            "  {:<18} MVM {:>4.0}% / search {:>4.0}% -> {:?}, top metric {:?}",
+            w.name,
+            profile.mvm_fraction * 100.0,
+            profile.search_fraction * 100.0,
+            recommend(&profile),
+            device_priorities(&profile)[0]
+        );
+    }
+
+    // --- Cross-layer evaluation: the Fig. 3H candidate set, emitted as
+    //     the Markdown report a design review would consume.
+    let candidates = hdc_candidates(&HdcScenario::default());
+    println!("\nHDC platform candidates:\n");
+    print!("{}", to_markdown(&candidates));
+
+    // Pareto front + weighted triage.
+    let front = pareto_front(&candidates);
+    println!(
+        "\nPareto-optimal: {:?}",
+        front.iter().map(|&i| &candidates[i].name).collect::<Vec<_>>()
+    );
+    let ranking = rank(&candidates, &Objective::latency_first(Some(0.9)));
+    println!("\nlatency-first triage (iso-accuracy floor 90%):");
+    print!("{}", ranking_to_markdown(&ranking));
+
+    // --- Bottom-up: which device lever should materials work target?
+    let levers = prioritized_levers(&MatchlineConfig::default(), &TechNode::n40(), 128, 2.0);
+    println!("\ndevice levers by application-visible impact (2x perturbation):");
+    for (lever, impact) in levers {
+        println!("  {:<8} impact {impact:.2}", lever.label());
+    }
+}

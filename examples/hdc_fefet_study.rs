@@ -1,0 +1,66 @@
+//! The Sec. III case study end-to-end: FeFET-based hyperdimensional
+//! computing, from encoding through variation-aware CAM search.
+//!
+//! ```text
+//! cargo run --release --example hdc_fefet_study
+//! ```
+
+use xlda::datagen::ClassificationSpec;
+use xlda::device::fefet::Fefet;
+use xlda::hdc::cam::{Aggregation, CamAm, CamSearchConfig};
+use xlda::hdc::encode::{Encoder, EncoderConfig};
+use xlda::hdc::model::{Distance, HdcModel};
+use xlda::num::Rng64;
+
+fn main() {
+    // A hard ISOLET-shaped synthetic dataset (26 classes, 617 features).
+    let mut spec = ClassificationSpec::isolet_like();
+    spec.noise = 4.0;
+    spec.train_per_class = 30;
+    spec.test_per_class = 10;
+    let data = spec.generate();
+
+    let encoder = Encoder::new(&EncoderConfig {
+        dim_in: data.dim(),
+        hv_dim: 2048,
+        ..EncoderConfig::default()
+    });
+
+    println!("HDC on {} ({} classes, {} features)", data.name, data.classes, data.dim());
+
+    // Software model at several element precisions (the Fig. 3C axis).
+    println!("\nsoftware accuracy vs element precision:");
+    for bits in [1u8, 2, 3, 32] {
+        let model = HdcModel::train(&encoder, &data, bits, 2);
+        let acc = model.accuracy_with(&encoder, &data, Distance::Cosine);
+        println!("  {:>4} bit: {:.1}%", bits, acc * 100.0);
+    }
+
+    // Hardware mapping: 3-bit FeFET CAM with the measured 94 mV sigma,
+    // partitioned into 64-cell subarrays.
+    let model = HdcModel::train(&encoder, &data, 3, 2);
+    println!("\nFeFET CAM search (3-bit cells, 64-cell subarrays):");
+    for (label, sigma, agg) in [
+        ("ideal cells, distance-sum", 0.0, Aggregation::DistanceSum { resolution: None }),
+        ("94 mV sigma, distance-sum", 0.094, Aggregation::DistanceSum { resolution: None }),
+        ("94 mV sigma, subarray vote", 0.094, Aggregation::SubarrayVote),
+    ] {
+        let config = CamSearchConfig {
+            bits_per_cell: 3,
+            subarray_cols: 64,
+            device: Fefet::silicon().with_sigma(sigma),
+            aggregation: agg,
+            verify_tolerance: None,
+        };
+        let cam = CamAm::program(&model, &config, &mut Rng64::new(7));
+        println!("  {label}: {:.1}%", cam.accuracy(&encoder, &data) * 100.0);
+    }
+
+    // The quadratic cell law behind the analog distance computation.
+    let dev = Fefet::silicon();
+    println!("\nCAM cell conductance vs level distance (Fig. 3D law):");
+    for dl in 0..4usize {
+        let g = dev.cam_level_conductance(dl, 0, 3);
+        println!("  dLevel {dl}: {:.3} µS", g * 1e6);
+    }
+}

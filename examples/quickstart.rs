@@ -1,0 +1,73 @@
+//! Quickstart: one pass through every layer of the stack.
+//!
+//! Models a device, a CAM cell, an array, an algorithm mapping, and a
+//! full-system question in ~60 lines. Run with:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use xlda::circuit::tech::TechNode;
+use xlda::core::evaluate::{hdc_candidates, HdcScenario};
+use xlda::core::triage::{rank, Objective};
+use xlda::device::fefet::Fefet;
+use xlda::device::MemoryDevice;
+use xlda::evacam::{CamArray, CamConfig, DataKind, MatchKind};
+use xlda::syssim::study::offload_speedup;
+use xlda::syssim::system::SystemConfig;
+use xlda::syssim::workload::cnn_trace;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Device layer: a multi-level FeFET and its programming quality.
+    let fefet = Fefet::silicon();
+    let mlc = fefet.mlc(3);
+    println!("== device layer ==");
+    println!(
+        "{}: {} V_th levels over a {:.2} V window, sigma {:.0} mV,",
+        fefet.name(),
+        mlc.level_count(),
+        fefet.window(),
+        mlc.sigma() * 1e3
+    );
+    println!(
+        "worst-case level misread probability: {:.1}%",
+        mlc.max_error_rate() * 100.0
+    );
+
+    // 2. Array layer: what does a CAM built from it cost?
+    let cam = CamArray::new(CamConfig {
+        words: 1024,
+        bits_per_word: 128,
+        data: DataKind::MultiBit(3),
+        match_kind: MatchKind::Best { max_distance: 8 },
+        tech: TechNode::n40(),
+        ..CamConfig::default()
+    })?;
+    let report = cam.report();
+    println!("\n== array layer (Eva-CAM model) ==");
+    println!(
+        "1024x128b MCAM @40nm: {:.0} µm², search {:.2} ns / {:.1} pJ, {} segment(s)",
+        report.area_um2,
+        report.search_latency_s * 1e9,
+        report.search_energy_j * 1e12,
+        report.segments
+    );
+
+    // 3. Application layer: triage platform mappings of an HDC workload.
+    let candidates = hdc_candidates(&HdcScenario::default());
+    let ranking = rank(&candidates, &Objective::latency_first(Some(0.9)));
+    println!("\n== cross-layer triage (Fig. 3H flow) ==");
+    for (i, r) in ranking.iter().take(3).enumerate() {
+        println!("  {}. {}", i + 1, r.name);
+    }
+
+    // 4. System layer: is a crossbar accelerator worth it for a CNN?
+    let row = offload_speedup(&cnn_trace(10), &SystemConfig::with_crossbar());
+    println!("\n== system layer (Sec. V flow) ==");
+    println!(
+        "CNN end-to-end speedup from analog crossbars: {:.1}x (offloadable {:.1}%)",
+        row.speedup,
+        row.offload_fraction * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,127 @@
+//! Integration tests spanning crates: the device → circuit → array →
+//! algorithm chain must compose, and changes at the bottom of the stack
+//! must be visible at the top.
+
+use xlda::datagen::ClassificationSpec;
+use xlda::device::fefet::Fefet;
+use xlda::device::MemoryDevice;
+use xlda::evacam::{CamArray, CamConfig, CamCellDesign, DataKind, MatchKind};
+use xlda::hdc::cam::{Aggregation, CamAm, CamSearchConfig};
+use xlda::hdc::encode::{Encoder, EncoderConfig};
+use xlda::hdc::model::HdcModel;
+use xlda::num::Rng64;
+
+fn dataset() -> xlda::datagen::Dataset {
+    let mut spec = ClassificationSpec::emg_like();
+    spec.train_per_class = 30;
+    spec.test_per_class = 12;
+    spec.generate()
+}
+
+#[test]
+fn device_sigma_propagates_to_application_accuracy() {
+    // The cross-layer premise: a device-level parameter (V_th programming
+    // spread) must shape application-level accuracy through the CAM.
+    let data = dataset();
+    let encoder = Encoder::new(&EncoderConfig {
+        dim_in: data.dim(),
+        hv_dim: 512,
+        ..EncoderConfig::default()
+    });
+    let model = HdcModel::train(&encoder, &data, 3, 1);
+    let acc_at = |sigma: f64| {
+        let config = CamSearchConfig {
+            bits_per_cell: 3,
+            subarray_cols: 64,
+            device: Fefet::silicon().with_sigma(sigma),
+            aggregation: Aggregation::DistanceSum { resolution: None },
+            verify_tolerance: None,
+        };
+        CamAm::program(&model, &config, &mut Rng64::new(1)).accuracy(&encoder, &data)
+    };
+    let ideal = acc_at(0.0);
+    let broken = acc_at(0.8); // absurd spread: most levels misread
+    assert!(ideal > 0.8, "ideal accuracy {ideal}");
+    assert!(broken < ideal - 0.2, "ideal {ideal} broken {broken}");
+}
+
+#[test]
+fn device_choice_propagates_to_array_foms() {
+    // Same architecture, different technology: the array model must
+    // reflect device trade-offs (SRAM fast writes / big cells; FeFET
+    // compact / slower writes).
+    let mk = |design: CamCellDesign, data: DataKind| {
+        CamArray::new(CamConfig {
+            words: 512,
+            bits_per_word: 128,
+            design,
+            data,
+            match_kind: MatchKind::Exact,
+            ..CamConfig::default()
+        })
+        .expect("models")
+        .report()
+    };
+    let fefet = mk(CamCellDesign::Fefet2T, DataKind::Ternary);
+    let sram = mk(CamCellDesign::Sram16T, DataKind::Binary);
+    assert!(fefet.area_um2 < sram.area_um2 / 3.0);
+    assert!(fefet.write_latency_s > sram.write_latency_s);
+    assert!(fefet.leakage_w < sram.leakage_w);
+}
+
+#[test]
+fn multibit_capability_flows_from_device_to_architecture() {
+    // The FeFET's multi-level capability is what makes the MCAM design
+    // point exist at all; MRAM (1 bit) must refuse it.
+    let fefet_mcam = CamArray::new(CamConfig {
+        design: CamCellDesign::Fefet2T,
+        data: DataKind::MultiBit(3),
+        ..CamConfig::default()
+    });
+    assert!(fefet_mcam.is_ok());
+    let mram_mcam = CamArray::new(CamConfig {
+        design: CamCellDesign::Mram4T2R,
+        data: DataKind::MultiBit(3),
+        ..CamConfig::default()
+    });
+    assert!(mram_mcam.is_err());
+    // And the device models agree with the architecture-level rule.
+    assert!(Fefet::silicon().max_bits_per_cell() >= 3);
+}
+
+#[test]
+fn hdc_pipeline_is_deterministic_end_to_end() {
+    let data = dataset();
+    let run = || {
+        let encoder = Encoder::new(&EncoderConfig {
+            dim_in: data.dim(),
+            hv_dim: 256,
+            ..EncoderConfig::default()
+        });
+        let model = HdcModel::train(&encoder, &data, 3, 1);
+        let config = CamSearchConfig {
+            bits_per_cell: 3,
+            subarray_cols: 32,
+            device: Fefet::silicon(),
+            aggregation: Aggregation::SubarrayVote,
+            verify_tolerance: Some(0.05),
+        };
+        CamAm::program(&model, &config, &mut Rng64::new(9)).accuracy(&encoder, &data)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // The `xlda` facade must expose every layer coherently.
+    let tech = xlda::circuit::tech::TechNode::n40();
+    let sa = xlda::circuit::senseamp::SenseAmp::voltage_latch(&tech);
+    let ml = xlda::circuit::matchline::Matchline::new(
+        xlda::circuit::matchline::MatchlineConfig::default(),
+        &tech,
+        64,
+    );
+    assert!(ml.mismatch_limit(&sa) >= 1);
+    let mut rng = xlda::num::Rng64::new(3);
+    assert!(xlda::num::stats::mean(&rng.normal_vec(100, 5.0, 1.0)) > 4.0);
+}
