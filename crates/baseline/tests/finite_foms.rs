@@ -1,0 +1,112 @@
+//! Property: cross-layer evaluation over the valid scenario domain
+//! never emits a non-finite or out-of-range figure of merit.
+//!
+//! This is the contract the DSE layer leans on after the fallible-
+//! evaluation refactor: any scenario drawn from the valid parameter
+//! domain either models (with every FOM finite and in range) or is
+//! rejected with a typed *infeasibility* error — never a panic, never a
+//! NaN smuggled into a ranking.
+
+use proptest::prelude::*;
+use xlda_circuit::tech::TechNode;
+use xlda_core::evaluate::{
+    try_hdc_candidates, try_mann_candidates, try_tpu_nvm_candidate, HdcScenario, MannScenario,
+};
+
+fn arb_tech() -> impl Strategy<Value = TechNode> {
+    prop::sample::select(vec![TechNode::n130(), TechNode::n40(), TechNode::n22()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn hdc_candidates_are_finite_over_valid_domain(
+        dim_in in 8usize..2048,
+        classes in 1usize..256,
+        (hv_sw, hv_3b, hv_2b, hv_1b) in (64usize..8192, 64usize..8192, 64usize..8192, 64usize..8192),
+        (acc_sw, acc_3b, acc_2b, acc_1b, acc_mlp) in
+            (0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0),
+        tech in arb_tech(),
+    ) {
+        let s = HdcScenario {
+            dim_in,
+            classes,
+            hv_dim_sw: hv_sw,
+            hv_dim_3b: hv_3b,
+            hv_dim_2b: hv_2b,
+            hv_dim_1b: hv_1b,
+            acc_sw,
+            acc_3b,
+            acc_2b,
+            acc_1b,
+            acc_mlp,
+            tech,
+        };
+        match try_hdc_candidates(&s) {
+            Ok(cands) => {
+                prop_assert_eq!(cands.len(), 8);
+                for c in &cands {
+                    prop_assert!(c.fom.is_valid(), "{}: {:?}", c.name, c.fom);
+                    prop_assert!(c.fom.latency_s > 0.0, "{}: zero latency", c.name);
+                    prop_assert!(c.fom.edp().is_finite());
+                }
+            }
+            // A valid-domain scenario may still be unbuildable (sense
+            // margin); it must be reported as infeasible, not invalid.
+            Err(e) => prop_assert!(e.is_infeasible(), "unexpected invalid-point error: {e}"),
+        }
+    }
+
+    #[test]
+    fn mann_candidates_are_finite_over_valid_domain(
+        weights in 1000usize..200_000,
+        emb_dim in 8usize..256,
+        hash_bits in 32usize..512,
+        entries in 1usize..1024,
+        (acc_software, acc_rram) in (0.0f64..=1.0, 0.0f64..=1.0),
+        tech in arb_tech(),
+    ) {
+        let s = MannScenario {
+            weights,
+            emb_dim,
+            hash_bits,
+            entries,
+            acc_software,
+            acc_rram,
+            tech,
+        };
+        match try_mann_candidates(&s) {
+            Ok(cands) => {
+                prop_assert_eq!(cands.len(), 2);
+                for c in &cands {
+                    prop_assert!(c.fom.is_valid(), "{}: {:?}", c.name, c.fom);
+                    prop_assert!(c.fom.latency_s > 0.0 && c.fom.energy_j > 0.0);
+                }
+            }
+            Err(e) => prop_assert!(e.is_infeasible(), "unexpected invalid-point error: {e}"),
+        }
+    }
+
+    #[test]
+    fn tpu_nvm_candidate_is_finite_over_valid_domain(
+        dim_in in 8usize..2048,
+        hv_sw in 64usize..8192,
+        batch in 1usize..2000,
+        tech in arb_tech(),
+    ) {
+        let s = HdcScenario {
+            dim_in,
+            hv_dim_sw: hv_sw,
+            tech,
+            ..HdcScenario::default()
+        };
+        match try_tpu_nvm_candidate(&s, batch) {
+            Ok(c) => {
+                prop_assert!(c.fom.is_valid(), "{}: {:?}", c.name, c.fom);
+                prop_assert!(c.fom.area_mm2 > 0.0, "NVM store has silicon area");
+            }
+            Err(e) => prop_assert!(e.is_infeasible(), "unexpected invalid-point error: {e}"),
+        }
+    }
+}

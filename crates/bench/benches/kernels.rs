@@ -11,12 +11,12 @@ use xlda_circuit::tech::TechNode;
 use xlda_core::evaluate::{hdc_candidates, HdcScenario};
 use xlda_core::triage::{rank, Objective};
 use xlda_crossbar::{Crossbar, CrossbarConfig, Fidelity};
+use xlda_evacam::acam::{AcamArray, AcamConfig, TreeNode};
+use xlda_evacam::variation::{analytic_error_probability, CellVariation};
 use xlda_evacam::{CamArray, CamConfig};
 use xlda_hdc::encode::{Encoder, EncoderConfig};
 use xlda_num::{Matrix, Rng64};
 use xlda_nvram::{OptTarget, RamArray, RamConfig};
-use xlda_evacam::acam::{AcamArray, AcamConfig, TreeNode};
-use xlda_evacam::variation::{analytic_error_probability, CellVariation};
 use xlda_syssim::alp::run_streams;
 use xlda_syssim::system::{System, SystemConfig};
 use xlda_syssim::workload::{cnn_trace, lstm_trace};
@@ -76,11 +76,8 @@ fn bench_matchline_limit(c: &mut Criterion) {
 fn bench_nvram_organize(c: &mut Criterion) {
     c.bench_function("nvram_auto_organize_1mib", |b| {
         b.iter(|| {
-            RamArray::auto_organize(
-                black_box(&RamConfig::default()),
-                OptTarget::ReadLatency,
-            )
-            .expect("organizes")
+            RamArray::auto_organize(black_box(&RamConfig::default()), OptTarget::ReadLatency)
+                .expect("organizes")
         })
     });
 }

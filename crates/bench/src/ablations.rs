@@ -57,7 +57,9 @@ pub fn run(quick: bool) -> Vec<AblationRow> {
         ),
         (
             "distance sum, 8-level ADC",
-            Aggregation::DistanceSum { resolution: Some(8) },
+            Aggregation::DistanceSum {
+                resolution: Some(8),
+            },
         ),
     ] {
         let config = CamSearchConfig {
@@ -177,7 +179,11 @@ pub fn run(quick: bool) -> Vec<AblationRow> {
         cols: 256,
         ..CrossbarConfig::default()
     };
-    let shares = [("ADC per column", 1usize), ("8:1 shared", 8), ("32:1 shared", 32)];
+    let shares = [
+        ("ADC per column", 1usize),
+        ("8:1 shared", 8),
+        ("32:1 shared", 32),
+    ];
     for (variant, share) in shares {
         let m = CrossbarMacro::new(&mcfg, &tech, share);
         rows.push(AblationRow {

@@ -13,14 +13,19 @@ fn main() {
         ..SizingConfig::default()
     };
     let (reference, results) = iso_accuracy_table(&data, &[1, 2, 3, 4], 4096, 0.05, &config);
-    println!("iso-accuracy HV sizing (software reference {:.1}% at D=4096, tolerance 5 pts)", reference * 100.0);
+    println!(
+        "iso-accuracy HV sizing (software reference {:.1}% at D=4096, tolerance 5 pts)",
+        reference * 100.0
+    );
     println!("{:>6} {:>10} {:>10}", "bits", "min D", "accuracy");
     for r in results {
         match r.hv_dim {
             Some(d) => println!("{:>6} {:>10} {:>9.1}%", r.bits, d, r.accuracy * 100.0),
             None => println!(
                 "{:>6} {:>10} {:>9.1}%  (never reaches target)",
-                r.bits, "-", r.accuracy * 100.0
+                r.bits,
+                "-",
+                r.accuracy * 100.0
             ),
         }
     }

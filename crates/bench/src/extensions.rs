@@ -76,7 +76,10 @@ pub fn run(quick: bool) -> Extensions {
     // 4. ALP: a CNN inference stream next to an LSTM serving stream.
     let alp = run_streams(
         &SystemConfig::with_crossbar(),
-        &[cnn_trace(layers), lstm_trace(if quick { 16 } else { 64 }, 1024)],
+        &[
+            cnn_trace(layers),
+            lstm_trace(if quick { 16 } else { 64 }, 1024),
+        ],
     );
 
     Extensions {

@@ -71,7 +71,12 @@ mod tests {
                 .accuracy
         };
         // 3-bit reaches (near-)iso-accuracy with full precision...
-        assert!(acc(3) >= acc(32) - 0.04, "3b {} vs full {}", acc(3), acc(32));
+        assert!(
+            acc(3) >= acc(32) - 0.04,
+            "3b {} vs full {}",
+            acc(3),
+            acc(32)
+        );
         // ...while 1-bit loses accuracy.
         assert!(acc(1) < acc(32) - 0.02, "1b {} vs full {}", acc(1), acc(32));
     }

@@ -119,7 +119,10 @@ pub fn run(quick: bool) -> Fig3g {
 pub fn print(result: &Fig3g) {
     println!("Fig. 3G-i — 3-bit FeFET state overlap at sigma = 94 mV");
     crate::rule(52);
-    println!("{:>6} {:>12} {:>16}", "level", "target (V)", "read-error rate");
+    println!(
+        "{:>6} {:>12} {:>16}",
+        "level", "target (V)", "read-error rate"
+    );
     for d in &result.distributions {
         println!(
             "{:>6} {:>12.3} {:>15.1}%",

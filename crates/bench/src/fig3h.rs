@@ -34,12 +34,7 @@ pub struct Fig3h {
     pub ranking: Vec<Ranked>,
 }
 
-fn cam_accuracy(
-    data: &xlda_datagen::Dataset,
-    hv_dim: usize,
-    bits: u8,
-    seed: u64,
-) -> f64 {
+fn cam_accuracy(data: &xlda_datagen::Dataset, hv_dim: usize, bits: u8, seed: u64) -> f64 {
     let encoder = Encoder::new(&EncoderConfig {
         dim_in: data.dim(),
         hv_dim,
@@ -47,9 +42,9 @@ fn cam_accuracy(
     });
     let model = HdcModel::train(&encoder, data, bits, 2);
     let device = Fefet::silicon(); // measured 94 mV sigma included
-    // Closed-loop program-and-verify at a quarter of the level spacing —
-    // the software/hardware co-design step that lets multi-bit CAMs
-    // reach iso-accuracy (paper ref. [4]).
+                                   // Closed-loop program-and-verify at a quarter of the level spacing —
+                                   // the software/hardware co-design step that lets multi-bit CAMs
+                                   // reach iso-accuracy (paper ref. [4]).
     let spacing = device.window() / ((1u32 << bits) - 1).max(1) as f64;
     let config = CamSearchConfig {
         bits_per_cell: bits,
@@ -79,11 +74,8 @@ pub fn run(quick: bool) -> Fig3h {
         hv_dim: hv_sw,
         ..EncoderConfig::default()
     });
-    let acc_sw = HdcModel::train(&encoder, &data, 32, 1).accuracy_with(
-        &encoder,
-        &data,
-        Distance::Cosine,
-    );
+    let acc_sw =
+        HdcModel::train(&encoder, &data, 32, 1).accuracy_with(&encoder, &data, Distance::Cosine);
 
     let scenario = HdcScenario {
         dim_in: data.dim(),
@@ -134,7 +126,11 @@ pub fn print(result: &Fig3h) {
     println!();
     println!("Triage ranking (latency-first, iso-accuracy floor):");
     for (i, r) in result.ranking.iter().enumerate() {
-        let flag = if r.meets_floor { "" } else { "  [below accuracy floor]" };
+        let flag = if r.meets_floor {
+            ""
+        } else {
+            "  [below accuracy floor]"
+        };
         println!("  {}. {}{}", i + 1, r.name, flag);
     }
 }

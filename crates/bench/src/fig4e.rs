@@ -62,10 +62,7 @@ pub fn run(quick: bool) -> Fig4e {
         }
     });
 
-    let best_rram = rram_sweep
-        .iter()
-        .map(|&(_, a)| a)
-        .fold(0.0f64, f64::max);
+    let best_rram = rram_sweep.iter().map(|&(_, a)| a).fold(0.0f64, f64::max);
     let platforms = mann_candidates(&MannScenario {
         acc_software: cosine_accuracy,
         acc_rram: best_rram,
@@ -83,18 +80,10 @@ pub fn run(quick: bool) -> Fig4e {
 pub fn print(r: &Fig4e) {
     println!("Fig. 4E — few-shot accuracy vs hash length (5-way 1-shot)");
     crate::rule(64);
-    println!(
-        "software cosine skyline: {:.1}%",
-        r.cosine_accuracy * 100.0
-    );
+    println!("software cosine skyline: {:.1}%", r.cosine_accuracy * 100.0);
     println!("{:>10} {:>14} {:>14}", "bits", "software LSH", "RRAM TLSH");
     for ((bits, sw), (_, rram)) in r.software_sweep.iter().zip(&r.rram_sweep) {
-        println!(
-            "{:>10} {:>13.1}% {:>13.1}%",
-            bits,
-            sw * 100.0,
-            rram * 100.0
-        );
+        println!("{:>10} {:>13.1}% {:>13.1}%", bits, sw * 100.0, rram * 100.0);
     }
     println!();
     println!("Platform comparison:");
@@ -119,7 +108,10 @@ mod tests {
         let (short_bits, short_acc) = r.rram_sweep[0];
         let (long_bits, long_acc) = *r.rram_sweep.last().expect("sweep");
         assert!(long_bits > short_bits);
-        assert!(long_acc >= short_acc - 0.02, "short {short_acc} long {long_acc}");
+        assert!(
+            long_acc >= short_acc - 0.02,
+            "short {short_acc} long {long_acc}"
+        );
         // Longer hashes approach the skyline.
         assert!(
             long_acc >= r.cosine_accuracy - 0.15,

@@ -9,7 +9,9 @@ use xlda_circuit::tech::TechNode;
 use xlda_core::profile::{
     device_priorities, recommend, ArchRecommendation, DeviceMetric, WorkloadProfile,
 };
-use xlda_core::sensitivity::{matchline_sensitivity, prioritized_levers, DeviceLever, SensitivityRow};
+use xlda_core::sensitivity::{
+    matchline_sensitivity, prioritized_levers, DeviceLever, SensitivityRow,
+};
 use xlda_syssim::workload::{cnn_trace, hdc_trace, mann_trace, transformer_trace};
 
 /// Top-down row: one workload's profile and recommendation.

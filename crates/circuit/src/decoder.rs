@@ -4,6 +4,7 @@
 //! pre-decoders followed by a final NOR/driver stage, in the NVSim style:
 //! delay and energy grow logarithmically in N, area linearly.
 
+use crate::error::{ceil_log2, CircuitError};
 use crate::gate::{BufferChain, Gate, GateKind};
 use crate::tech::TechNode;
 
@@ -23,17 +24,44 @@ impl Decoder {
     ///
     /// # Panics
     ///
-    /// Panics if `outputs` is zero or the load is negative.
+    /// Panics if `outputs` is zero or the load is negative or NaN;
+    /// guarded call sites should use [`Decoder::try_new`].
     pub fn new(outputs: usize, output_load: f64, tech: &TechNode) -> Self {
-        assert!(outputs > 0, "decoder needs at least one output");
-        assert!(output_load >= 0.0, "negative load");
-        let address_bits = (outputs as f64).log2().ceil() as usize;
-        Self {
+        match Self::try_new(outputs, output_load, tech) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Decoder::new`].
+    ///
+    /// Address width is computed with integer ceil-log2 (exact at powers
+    /// of two, no float `log2` domain edge at `outputs == 1`); a
+    /// degenerate 1-of-1 "decoder" still carries one address bit — the
+    /// enable wire driving its single output.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::NoOutputs`] for zero outputs,
+    /// [`CircuitError::InvalidLoad`] for a negative or NaN load.
+    pub fn try_new(
+        outputs: usize,
+        output_load: f64,
+        tech: &TechNode,
+    ) -> Result<Self, CircuitError> {
+        if outputs == 0 {
+            return Err(CircuitError::NoOutputs);
+        }
+        if output_load < 0.0 || !output_load.is_finite() {
+            return Err(CircuitError::InvalidLoad { value: output_load });
+        }
+        let address_bits = ceil_log2(outputs) as usize;
+        Ok(Self {
             outputs,
             address_bits: address_bits.max(1),
             tech: tech.clone(),
             output_load,
-        }
+        })
     }
 
     /// Number of decoded outputs.
@@ -139,5 +167,46 @@ mod tests {
     #[should_panic(expected = "at least one output")]
     fn zero_outputs_panics() {
         Decoder::new(0, 1e-15, &tech());
+    }
+
+    #[test]
+    fn try_new_reports_domain_errors() {
+        let t = tech();
+        assert_eq!(Decoder::try_new(0, 1e-15, &t), Err(CircuitError::NoOutputs));
+        assert!(matches!(
+            Decoder::try_new(64, -1e-15, &t),
+            Err(CircuitError::InvalidLoad { .. })
+        ));
+        assert!(matches!(
+            Decoder::try_new(64, f64::NAN, &t),
+            Err(CircuitError::InvalidLoad { .. })
+        ));
+    }
+
+    #[test]
+    fn single_output_decoder_is_degenerate_but_finite() {
+        // outputs == 1 sits on the old float-log2 edge (log2(1) == 0);
+        // the decoder must still model as a 1-bit enable with positive,
+        // finite figures of merit.
+        let d = Decoder::try_new(1, 1e-15, &tech()).unwrap();
+        assert_eq!(d.outputs(), 1);
+        assert_eq!(d.address_bits(), 1);
+        for v in [d.delay(), d.energy(), d.leakage_power(), d.area()] {
+            assert!(v.is_finite() && v > 0.0, "{v}");
+        }
+    }
+
+    #[test]
+    fn address_bits_exact_at_powers_of_two() {
+        let t = tech();
+        // Float log2().ceil() can mis-round at exact powers of two
+        // (e.g. when 2^k is not exactly representable in the rounding
+        // path); the integer path must be exact.
+        for k in [1usize, 4, 10, 16] {
+            let d = Decoder::try_new(1 << k, 1e-15, &t).unwrap();
+            assert_eq!(d.address_bits(), k);
+            let d1 = Decoder::try_new((1 << k) + 1, 1e-15, &t).unwrap();
+            assert_eq!(d1.address_bits(), k + 1);
+        }
     }
 }

@@ -1,0 +1,107 @@
+//! Typed errors for circuit-primitive domain violations.
+//!
+//! Circuit models are closed-form expressions with real domain
+//! restrictions (logarithms, divisions); these errors name the first
+//! violated restriction instead of panicking inside the math, so array-
+//! and DSE-layer callers can treat a bad operating point as data.
+
+/// A circuit-model input outside the model's domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CircuitError {
+    /// A sense amplifier was asked to resolve a zero, negative, or NaN
+    /// differential — sensing is undefined without signal.
+    NonPositiveDifferential {
+        /// The offending differential (V or A depending on sense kind).
+        value: f64,
+    },
+    /// A decoder with zero outputs has no address space to decode.
+    NoOutputs,
+    /// A capacitive load was negative or NaN.
+    InvalidLoad {
+        /// The offending load (F).
+        value: f64,
+    },
+    /// A model produced a non-finite intermediate from finite inputs.
+    NonFinite {
+        /// Which quantity went non-finite.
+        quantity: &'static str,
+    },
+}
+
+impl std::fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CircuitError::NonPositiveDifferential { value } => {
+                write!(f, "sense differential must be positive, got {value}")
+            }
+            CircuitError::NoOutputs => write!(f, "decoder needs at least one output"),
+            CircuitError::InvalidLoad { value } => {
+                write!(
+                    f,
+                    "capacitive load must be finite and non-negative, got {value}"
+                )
+            }
+            CircuitError::NonFinite { quantity } => {
+                write!(f, "{quantity} evaluated to a non-finite value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+/// Ceiling of log2 as integer arithmetic: the number of address bits
+/// needed to distinguish `n` items (0 for `n <= 1`).
+///
+/// Float `log2().ceil()` mis-rounds near exact powers of two and returns
+/// `-inf` for zero; this stays exact over the whole `usize` range.
+///
+/// # Examples
+///
+/// ```
+/// use xlda_circuit::error::ceil_log2;
+///
+/// assert_eq!(ceil_log2(0), 0);
+/// assert_eq!(ceil_log2(1), 0);
+/// assert_eq!(ceil_log2(2), 1);
+/// assert_eq!(ceil_log2(1024), 10);
+/// assert_eq!(ceil_log2(1025), 11);
+/// ```
+pub fn ceil_log2(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_edges() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(usize::MAX), usize::BITS);
+    }
+
+    #[test]
+    fn ceil_log2_agrees_with_float_away_from_edges() {
+        for n in [5usize, 100, 617, 4096, 100_000] {
+            assert_eq!(ceil_log2(n) as f64, (n as f64).log2().ceil());
+        }
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = CircuitError::NonPositiveDifferential { value: -0.1 };
+        assert!(e.to_string().contains("positive"));
+        assert!(CircuitError::NoOutputs
+            .to_string()
+            .contains("at least one output"));
+    }
+}

@@ -31,10 +31,12 @@
 
 pub mod adc;
 pub mod decoder;
+pub mod error;
 pub mod gate;
 pub mod matchline;
 pub mod senseamp;
 pub mod tech;
 pub mod wire;
 
+pub use error::CircuitError;
 pub use tech::TechNode;

@@ -108,8 +108,7 @@ impl Matchline {
     /// Panics if `mismatches > cells`.
     pub fn conductance(&self, mismatches: usize) -> f64 {
         assert!(mismatches <= self.cells, "more mismatches than cells");
-        mismatches as f64 * self.config.g_on
-            + (self.cells - mismatches) as f64 * self.config.g_off
+        mismatches as f64 * self.config.g_on + (self.cells - mismatches) as f64 * self.config.g_off
     }
 
     /// Matchline voltage at time `t` after evaluation starts (V).

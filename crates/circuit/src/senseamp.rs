@@ -6,6 +6,7 @@
 //! the *sense margin*. We model latch-type voltage sense amps and
 //! current-mode sense amps with an explicit resolvable-input threshold.
 
+use crate::error::CircuitError;
 use crate::tech::TechNode;
 
 /// Sensing style.
@@ -60,16 +61,38 @@ impl SenseAmp {
     ///
     /// # Panics
     ///
-    /// Panics if `input_diff` is not positive.
+    /// Panics if `input_diff` is zero, negative, or NaN; guarded call
+    /// sites (sweeps over unvalidated operating points) should use
+    /// [`SenseAmp::try_latency`] instead.
     pub fn latency(&self, input_diff: f64) -> f64 {
-        assert!(input_diff > 0.0, "differential must be positive");
+        self.try_latency(input_diff)
+            .expect("differential must be positive")
+    }
+
+    /// Fallible [`SenseAmp::latency`].
+    ///
+    /// Differentials between zero and [`SenseAmp::min_resolvable`] are
+    /// *saturated* to the floor (the latch still resolves, at its
+    /// worst-case metastable latency) rather than rejected; only
+    /// zero/negative/NaN differentials — where the `ln(full/dv)` model
+    /// leaves its domain — are errors.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::NonPositiveDifferential`] if `input_diff` is not
+    /// a positive number.
+    pub fn try_latency(&self, input_diff: f64) -> Result<f64, CircuitError> {
+        // The explicit NaN arm matters: `x <= 0.0` alone would let NaN through.
+        if input_diff <= 0.0 || input_diff.is_nan() {
+            return Err(CircuitError::NonPositiveDifferential { value: input_diff });
+        }
         let t0 = 4.0 * self.tech.fo1_delay();
         let full = match self.kind {
             SenseKind::VoltageLatch => self.tech.vdd,
             SenseKind::CurrentMode => 100e-6,
         };
         let dv = input_diff.max(self.min_resolvable);
-        t0 * (1.0 + (full / dv).ln().max(0.0))
+        Ok(t0 * (1.0 + (full / dv).ln().max(0.0)))
     }
 
     /// Whether the amplifier can resolve the given differential at all.
@@ -152,5 +175,38 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_differential_panics() {
         SenseAmp::voltage_latch(&tech()).latency(0.0);
+    }
+
+    #[test]
+    fn try_latency_rejects_non_positive_and_nan() {
+        let sa = SenseAmp::voltage_latch(&tech());
+        for bad in [0.0, -0.04, f64::NAN, f64::NEG_INFINITY] {
+            match sa.try_latency(bad) {
+                Err(CircuitError::NonPositiveDifferential { value }) => {
+                    assert!(value.is_nan() || value <= 0.0)
+                }
+                other => panic!("expected domain error for {bad}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn try_latency_saturates_below_floor() {
+        // A tiny-but-positive differential is saturated to the resolvable
+        // floor (worst-case latch latency), not rejected: the operating
+        // point is slow, not infeasible.
+        let sa = SenseAmp::voltage_latch(&tech());
+        let at_floor = sa.try_latency(sa.min_resolvable).unwrap();
+        let below = sa.try_latency(sa.min_resolvable * 1e-6).unwrap();
+        assert_eq!(below, at_floor);
+        assert!(below.is_finite() && below > 0.0);
+    }
+
+    #[test]
+    fn try_latency_agrees_with_latency_in_domain() {
+        let sa = SenseAmp::current_mode(&tech());
+        for dv in [1e-7, 1e-6, 5e-6, 1e-4] {
+            assert_eq!(sa.try_latency(dv).unwrap(), sa.latency(dv));
+        }
     }
 }

@@ -80,7 +80,10 @@ impl RepeatedWire {
     ///
     /// Panics if lengths are not positive.
     pub fn new(length_m: f64, seg_len_m: f64, tech: &TechNode) -> Self {
-        assert!(length_m > 0.0 && seg_len_m > 0.0, "lengths must be positive");
+        assert!(
+            length_m > 0.0 && seg_len_m > 0.0,
+            "lengths must be positive"
+        );
         let segments = (length_m / seg_len_m).ceil().max(1.0) as usize;
         let segment = Wire::new(length_m / segments as f64, tech);
         let c_in = tech.gate_cap(3.0 * tech.min_width_um);

@@ -21,15 +21,19 @@ fn arb_tech() -> impl Strategy<Value = TechNode> {
 }
 
 fn arb_ml_config() -> impl Strategy<Value = MatchlineConfig> {
-    (1e-6f64..1e-4, 1e-10f64..1e-7, 0.05e-15f64..0.5e-15, 0.2f64..0.8).prop_map(
-        |(g_on, g_off, c_cell, v_ref_frac)| MatchlineConfig {
+    (
+        1e-6f64..1e-4,
+        1e-10f64..1e-7,
+        0.05e-15f64..0.5e-15,
+        0.2f64..0.8,
+    )
+        .prop_map(|(g_on, g_off, c_cell, v_ref_frac)| MatchlineConfig {
             g_on,
             g_off: g_off.min(g_on / 10.0),
             c_cell,
             precharge_frac: 1.0,
             v_ref_frac,
-        },
-    )
+        })
 }
 
 proptest! {

@@ -65,11 +65,7 @@ impl Default for CimCriteria {
 
 /// Analyzes whether `workload` is IMC-favorable on a system with the
 /// given accelerator attached.
-pub fn analyze(
-    workload: &Workload,
-    accel: &AccelConfig,
-    criteria: &CimCriteria,
-) -> CimAnalysis {
+pub fn analyze(workload: &Workload, accel: &AccelConfig, criteria: &CimCriteria) -> CimAnalysis {
     let system = SystemConfig {
         accel: Some(*accel),
         ..SystemConfig::cpu_only()

@@ -1,0 +1,214 @@
+//! The cross-layer error type.
+//!
+//! Every layer below the DSE loop has its own typed error —
+//! [`CamError`](xlda_evacam::CamError) for array-level CAM modeling,
+//! [`RamError`](xlda_nvram::RamError) for NVM organization,
+//! [`CircuitError`](xlda_circuit::CircuitError) for circuit-primitive
+//! domains, [`CrossbarError`](xlda_crossbar::CrossbarError) for the
+//! crossbar macro model. [`XldaError`] unifies them so a sweep over
+//! thousands of design points can collect *why* each infeasible point
+//! failed instead of panicking on the first one.
+//!
+//! Two failure families matter to DSE and are distinguished by
+//! [`XldaError::is_infeasible`]:
+//!
+//! - **Infeasible** points are well-formed questions with a negative
+//!   answer — e.g. no matchline length achieves the required sense
+//!   margin. These are *results*: a sweep records them and moves on.
+//! - **Invalid** points are malformed questions — zero-sized arrays,
+//!   NaN inputs, non-finite intermediates. These usually indicate a bug
+//!   in the sweep generator and deserve louder handling.
+
+use crate::fom::Fom;
+use xlda_circuit::CircuitError;
+use xlda_crossbar::CrossbarError;
+use xlda_evacam::CamError;
+use xlda_nvram::RamError;
+
+/// Any failure produced by cross-layer evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XldaError {
+    /// CAM array modeling failed.
+    Cam(CamError),
+    /// NVM array organization failed.
+    Ram(RamError),
+    /// A circuit primitive was driven outside its domain.
+    Circuit(CircuitError),
+    /// The crossbar macro model rejected its configuration.
+    Crossbar(CrossbarError),
+    /// A finite-input computation produced a non-finite intermediate.
+    NonFinite {
+        /// Evaluation stage (e.g. `"hdc_on_cam"`).
+        stage: &'static str,
+        /// The quantity that went non-finite (e.g. `"encode energy"`).
+        quantity: &'static str,
+    },
+    /// An assembled candidate's figures of merit failed validation
+    /// ([`Fom::is_valid`]): negative, non-finite, or out-of-range.
+    InvalidFom {
+        /// Candidate name.
+        name: String,
+        /// The offending figures of merit.
+        fom: Fom,
+    },
+}
+
+impl XldaError {
+    /// Whether this error marks an *infeasible* design point (a valid
+    /// question whose answer is "cannot be built") rather than an
+    /// *invalid* one (a malformed configuration or numerical defect).
+    ///
+    /// Sweeps typically tally infeasible points as ordinary results and
+    /// escalate invalid ones.
+    pub fn is_infeasible(&self) -> bool {
+        match self {
+            XldaError::Cam(CamError::SenseMarginUnachievable { .. })
+            | XldaError::Cam(CamError::UnsupportedData { .. })
+            | XldaError::Cam(CamError::UnsupportedMatch { .. })
+            | XldaError::Ram(RamError::CapacityBelowWord) => true,
+            XldaError::Cam(CamError::EmptyArray)
+            | XldaError::Ram(RamError::EmptyConfig)
+            | XldaError::Circuit(_)
+            | XldaError::Crossbar(_)
+            | XldaError::NonFinite { .. }
+            | XldaError::InvalidFom { .. } => false,
+        }
+    }
+}
+
+impl From<CamError> for XldaError {
+    fn from(e: CamError) -> Self {
+        XldaError::Cam(e)
+    }
+}
+
+impl From<RamError> for XldaError {
+    fn from(e: RamError) -> Self {
+        XldaError::Ram(e)
+    }
+}
+
+impl From<CircuitError> for XldaError {
+    fn from(e: CircuitError) -> Self {
+        XldaError::Circuit(e)
+    }
+}
+
+impl From<CrossbarError> for XldaError {
+    fn from(e: CrossbarError) -> Self {
+        XldaError::Crossbar(e)
+    }
+}
+
+impl std::fmt::Display for XldaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XldaError::Cam(e) => write!(f, "CAM model: {e}"),
+            XldaError::Ram(e) => write!(f, "RAM model: {e}"),
+            XldaError::Circuit(e) => write!(f, "circuit model: {e}"),
+            XldaError::Crossbar(e) => write!(f, "crossbar model: {e}"),
+            XldaError::NonFinite { stage, quantity } => {
+                write!(f, "{stage}: {quantity} evaluated to a non-finite value")
+            }
+            XldaError::InvalidFom { name, fom } => {
+                write!(f, "candidate {name:?} produced invalid FOMs: {fom:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XldaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XldaError::Cam(e) => Some(e),
+            XldaError::Ram(e) => Some(e),
+            XldaError::Circuit(e) => Some(e),
+            XldaError::Crossbar(e) => Some(e),
+            XldaError::NonFinite { .. } | XldaError::InvalidFom { .. } => None,
+        }
+    }
+}
+
+/// Validates a candidate FOM bundle, converting the boolean
+/// [`Fom::is_valid`] into a typed, named error.
+pub fn validate_fom(name: &str, fom: Fom) -> Result<Fom, XldaError> {
+    if fom.is_valid() {
+        Ok(fom)
+    } else {
+        Err(XldaError::InvalidFom {
+            name: name.to_string(),
+            fom,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn from_impls_wrap_layer_errors() {
+        let e: XldaError = CamError::EmptyArray.into();
+        assert!(matches!(e, XldaError::Cam(CamError::EmptyArray)));
+        let e: XldaError = RamError::EmptyConfig.into();
+        assert!(matches!(e, XldaError::Ram(RamError::EmptyConfig)));
+        let e: XldaError = CircuitError::NoOutputs.into();
+        assert!(matches!(e, XldaError::Circuit(CircuitError::NoOutputs)));
+        let e: XldaError = CrossbarError::ZeroAdcShare.into();
+        assert!(matches!(
+            e,
+            XldaError::Crossbar(CrossbarError::ZeroAdcShare)
+        ));
+    }
+
+    #[test]
+    fn infeasible_vs_invalid_split() {
+        let infeasible: XldaError = CamError::SenseMarginUnachievable {
+            required_resolution: 48,
+        }
+        .into();
+        assert!(infeasible.is_infeasible());
+        let invalid: XldaError = CamError::EmptyArray.into();
+        assert!(!invalid.is_infeasible());
+        assert!(!XldaError::NonFinite {
+            stage: "x",
+            quantity: "y"
+        }
+        .is_infeasible());
+    }
+
+    #[test]
+    fn display_and_source_chain() {
+        let e: XldaError = CamError::EmptyArray.into();
+        assert!(e.to_string().contains("CAM model"));
+        assert!(e.source().is_some());
+        let nf = XldaError::NonFinite {
+            stage: "stage",
+            quantity: "q",
+        };
+        assert!(nf.to_string().contains("non-finite"));
+        assert!(nf.source().is_none());
+    }
+
+    #[test]
+    fn validate_fom_names_the_candidate() {
+        let bad = Fom {
+            latency_s: f64::NAN,
+            energy_j: 1.0,
+            area_mm2: 0.0,
+            accuracy: 0.9,
+        };
+        match validate_fom("broken", bad) {
+            Err(XldaError::InvalidFom { name, .. }) => assert_eq!(name, "broken"),
+            other => panic!("expected InvalidFom, got {other:?}"),
+        }
+        let good = Fom {
+            latency_s: 1.0,
+            energy_j: 1.0,
+            area_mm2: 0.0,
+            accuracy: 0.9,
+        };
+        assert!(validate_fom("ok", good).is_ok());
+    }
+}

@@ -7,13 +7,14 @@
 //! candidate sets behind the paper's platform comparisons (Fig. 3H for
 //! HDC, the latency side of Fig. 4E for the MANN).
 
+use crate::error::{validate_fom, XldaError};
 use crate::fom::{Candidate, Fom};
 use xlda_baseline::{HybridPipeline, Kernel, Platform};
-use xlda_nvram::{OptTarget, RamArray, RamCell, RamConfig};
 use xlda_circuit::tech::TechNode;
 use xlda_crossbar::macro_model::CrossbarMacro;
 use xlda_crossbar::CrossbarConfig;
 use xlda_evacam::{CamArray, CamCellDesign, CamConfig, DataKind, MatchKind};
+use xlda_nvram::{OptTarget, RamArray, RamCell, RamConfig};
 
 /// Scenario parameters for the HDC platform comparison (Fig. 3H).
 ///
@@ -81,23 +82,23 @@ fn hdc_on_platform(s: &HdcScenario, platform: &Platform, batch: usize, hv: usize
 /// Latency/energy/area of HDC inference on a crossbar encoder plus a CAM
 /// associative memory.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the CAM configuration cannot be modeled (the shipped design
-/// points always can).
+/// Propagates the crossbar or CAM model's rejection of the design point
+/// (e.g. an unachievable sense margin for long best-match words).
 fn hdc_on_cam(
     s: &HdcScenario,
     design: CamCellDesign,
     data: DataKind,
     hv: usize,
-) -> (f64, f64, f64) {
+) -> Result<(f64, f64, f64), XldaError> {
     // Encoding: random-projection MVM on analog crossbar tiles.
     let xbar_cfg = CrossbarConfig {
         rows: 256,
         cols: 256,
         ..CrossbarConfig::default()
     };
-    let xmacro = CrossbarMacro::new(&xbar_cfg, &s.tech, 8);
+    let xmacro = CrossbarMacro::try_new(&xbar_cfg, &s.tech, 8)?;
     let tiles_rows = s.dim_in.div_ceil(256);
     let tiles_cols = hv.div_ceil(256);
     let mvm = xmacro.mvm_cost();
@@ -116,41 +117,75 @@ fn hdc_on_cam(
         match_kind: MatchKind::Best { max_distance: 8 },
         row_banks: 1,
         tech: s.tech.clone(),
-    })
-    .expect("shipped HDC CAM design points must model");
+    })?;
     let rep = cam.report();
-    (
+    let out = (
         t_encode + rep.search_latency_s,
         e_encode + rep.search_energy_j,
         a_encode + rep.area_um2 * 1e-6,
-    )
+    );
+    if !(out.0.is_finite() && out.1.is_finite() && out.2.is_finite()) {
+        return Err(XldaError::NonFinite {
+            stage: "hdc_on_cam",
+            quantity: "latency/energy/area composition",
+        });
+    }
+    Ok(out)
 }
 
 /// Builds the full Fig. 3H candidate set.
+///
+/// # Panics
+///
+/// Panics if any shipped design point fails to model — impossible for
+/// scenarios near the default; sweeps over arbitrary scenario grids
+/// should use [`try_hdc_candidates`] and collect per-point errors.
 pub fn hdc_candidates(s: &HdcScenario) -> Vec<Candidate> {
+    try_hdc_candidates(s).expect("shipped HDC design points must model")
+}
+
+/// Fallible [`hdc_candidates`]: layer models reject infeasible design
+/// points with a typed [`XldaError`] instead of panicking, and every
+/// assembled FOM bundle is validated for finiteness before it enters
+/// the candidate set.
+///
+/// # Errors
+///
+/// The first layer rejection ([`XldaError::Cam`], [`XldaError::Ram`],
+/// [`XldaError::Crossbar`]) or FOM validation failure
+/// ([`XldaError::InvalidFom`]).
+pub fn try_hdc_candidates(s: &HdcScenario) -> Result<Vec<Candidate>, XldaError> {
     let gpu = Platform::gpu();
     let mut out = Vec::new();
 
     let (t, e) = hdc_on_platform(s, &gpu, 1, s.hv_dim_sw);
+    let name = "GPU HDC (batch 1)";
     out.push(Candidate::new(
-        "GPU HDC (batch 1)",
-        Fom {
-            latency_s: t,
-            energy_j: e,
-            area_mm2: 0.0,
-            accuracy: s.acc_sw,
-        },
+        name,
+        validate_fom(
+            name,
+            Fom {
+                latency_s: t,
+                energy_j: e,
+                area_mm2: 0.0,
+                accuracy: s.acc_sw,
+            },
+        )?,
     ));
 
     let (t, e) = hdc_on_platform(s, &gpu, 1000, s.hv_dim_sw);
+    let name = "GPU HDC (batch 1000)";
     out.push(Candidate::new(
-        "GPU HDC (batch 1000)",
-        Fom {
-            latency_s: t,
-            energy_j: e,
-            area_mm2: 0.0,
-            accuracy: s.acc_sw,
-        },
+        name,
+        validate_fom(
+            name,
+            Fom {
+                latency_s: t,
+                energy_j: e,
+                area_mm2: 0.0,
+                accuracy: s.acc_sw,
+            },
+        )?,
     ));
 
     // TPU encodes (dense MVM), GPU searches.
@@ -158,67 +193,80 @@ pub fn hdc_candidates(s: &HdcScenario) -> Vec<Candidate> {
     let encode = Kernel::mvm(s.hv_dim_sw, s.dim_in);
     let search = Kernel::search(s.classes, s.hv_dim_sw, 4);
     let batch = 1000;
+    let name = "TPU-GPU hybrid (batch 1000)";
     out.push(Candidate::new(
-        "TPU-GPU hybrid (batch 1000)",
-        Fom {
-            latency_s: hybrid.time(&encode, &search, batch) / batch as f64,
-            energy_j: hybrid.energy(&encode, &search, batch) / batch as f64,
-            area_mm2: 0.0,
-            accuracy: s.acc_sw,
-        },
+        name,
+        validate_fom(
+            name,
+            Fom {
+                latency_s: hybrid.time(&encode, &search, batch) / batch as f64,
+                energy_j: hybrid.energy(&encode, &search, batch) / batch as f64,
+                area_mm2: 0.0,
+                accuracy: s.acc_sw,
+            },
+        )?,
     ));
 
-    let (t, e, a) = hdc_on_cam(s, CamCellDesign::Fefet2T, DataKind::MultiBit(3), s.hv_dim_3b);
-    out.push(Candidate::new(
-        "3b FeFET CAM",
-        Fom {
-            latency_s: t,
-            energy_j: e,
-            area_mm2: a,
-            accuracy: s.acc_3b,
-        },
-    ));
+    for (name, design, data, hv, acc) in [
+        (
+            "3b FeFET CAM",
+            CamCellDesign::Fefet2T,
+            DataKind::MultiBit(3),
+            s.hv_dim_3b,
+            s.acc_3b,
+        ),
+        (
+            "2b FeFET CAM",
+            CamCellDesign::Fefet2T,
+            DataKind::MultiBit(2),
+            s.hv_dim_2b,
+            s.acc_2b,
+        ),
+        (
+            "1b SRAM CAM",
+            CamCellDesign::Sram16T,
+            DataKind::Binary,
+            s.hv_dim_1b,
+            s.acc_1b,
+        ),
+    ] {
+        let (t, e, a) = hdc_on_cam(s, design, data, hv)?;
+        out.push(Candidate::new(
+            name,
+            validate_fom(
+                name,
+                Fom {
+                    latency_s: t,
+                    energy_j: e,
+                    area_mm2: a,
+                    accuracy: acc,
+                },
+            )?,
+        ));
+    }
 
-    let (t, e, a) = hdc_on_cam(s, CamCellDesign::Fefet2T, DataKind::MultiBit(2), s.hv_dim_2b);
-    out.push(Candidate::new(
-        "2b FeFET CAM",
-        Fom {
-            latency_s: t,
-            energy_j: e,
-            area_mm2: a,
-            accuracy: s.acc_2b,
-        },
-    ));
-
-    let (t, e, a) = hdc_on_cam(s, CamCellDesign::Sram16T, DataKind::Binary, s.hv_dim_1b);
-    out.push(Candidate::new(
-        "1b SRAM CAM",
-        Fom {
-            latency_s: t,
-            energy_j: e,
-            area_mm2: a,
-            accuracy: s.acc_1b,
-        },
-    ));
-
-    out.push(tpu_nvm_candidate(s, 1));
+    out.push(try_tpu_nvm_candidate(s, 1)?);
 
     // MLP baseline: dim_in -> 512 -> classes on a GPU, batched.
     let l1 = Kernel::mvm(512, s.dim_in);
     let l2 = Kernel::mvm(s.classes, 512);
     let t = gpu.time_per_item(&l1, 1000) + gpu.time_per_item(&l2, 1000);
     let e = (gpu.energy(&l1, 1000) + gpu.energy(&l2, 1000)) / 1000.0;
+    let name = "GPU MLP (batch 1000)";
     out.push(Candidate::new(
-        "GPU MLP (batch 1000)",
-        Fom {
-            latency_s: t,
-            energy_j: e,
-            area_mm2: 0.0,
-            accuracy: s.acc_mlp,
-        },
+        name,
+        validate_fom(
+            name,
+            Fom {
+                latency_s: t,
+                energy_j: e,
+                area_mm2: 0.0,
+                accuracy: s.acc_mlp,
+            },
+        )?,
     ));
 
-    out
+    Ok(out)
 }
 
 /// The paper's open question (Sec. III): "What if an existing
@@ -236,11 +284,21 @@ pub fn hdc_candidates(s: &HdcScenario) -> Vec<Candidate> {
 /// *enabled* CAM design point still wins, i.e. using the new device as
 /// plain dense memory captures only part of its value.
 pub fn tpu_nvm_candidate(s: &HdcScenario, batch: usize) -> Candidate {
+    try_tpu_nvm_candidate(s, batch).expect("NVM weight store organizes")
+}
+
+/// Fallible [`tpu_nvm_candidate`].
+///
+/// # Errors
+///
+/// [`XldaError::Ram`] if the NVM weight store cannot be organized
+/// (degenerate capacity), [`XldaError::InvalidFom`] if the assembled
+/// FOMs are non-finite.
+pub fn try_tpu_nvm_candidate(s: &HdcScenario, batch: usize) -> Result<Candidate, XldaError> {
     let tpu = Platform::tpu();
     // Weight footprint: bipolar projection (1 bit/element) + 4-bit class
     // HVs, held in on-chip FeFET NVM.
-    let weight_bytes =
-        (s.dim_in * s.hv_dim_sw) as u64 / 8 + (s.classes * s.hv_dim_sw) as u64 / 2;
+    let weight_bytes = (s.dim_in * s.hv_dim_sw) as u64 / 8 + (s.classes * s.hv_dim_sw) as u64 / 2;
     let ram = RamArray::auto_organize(
         &RamConfig {
             capacity_bits: weight_bytes * 8,
@@ -249,28 +307,29 @@ pub fn tpu_nvm_candidate(s: &HdcScenario, batch: usize) -> Candidate {
             tech: s.tech.clone(),
         },
         OptTarget::ReadLatency,
-    )
-    .expect("NVM weight store organizes");
+    )?;
     let rep = ram.report();
     // 16 mats stream in parallel: aggregated on-chip weight bandwidth.
     let nvm_bw = 16.0 * (256.0 / 8.0) / rep.read_latency_s;
     let flops = 2.0 * (s.dim_in * s.hv_dim_sw + s.classes * s.hv_dim_sw) as f64;
     let t_compute = batch as f64 * flops / (tpu.peak_flops * tpu.efficiency);
     let t_weights = weight_bytes as f64 / nvm_bw; // streamed once per batch
-    // On-chip dispatch only: no host weight staging.
+                                                  // On-chip dispatch only: no host weight staging.
     let launch = 1e-6;
     let latency = (launch + t_compute.max(t_weights)) / batch as f64;
     let e_compute = tpu.active_power * (launch + t_compute.max(t_weights));
     let e_weights = weight_bytes as f64 / 32.0 * rep.read_energy_j;
-    Candidate::new(
-        format!("TPU + on-chip NVM (batch {batch})"),
+    let name = format!("TPU + on-chip NVM (batch {batch})");
+    let fom = validate_fom(
+        &name,
         Fom {
             latency_s: latency,
             energy_j: (e_compute + e_weights) / batch as f64,
             area_mm2: rep.area_mm2,
             accuracy: s.acc_sw,
         },
-    )
+    )?;
+    Ok(Candidate::new(name, fom))
 }
 
 /// The paper's open question (Sec. III, (1)): "What is the best baseline
@@ -286,30 +345,51 @@ pub fn tpu_nvm_candidate(s: &HdcScenario, batch: usize) -> Candidate {
 /// widens — the fair baseline question sharpens, rather than weakens,
 /// the technology case.
 pub fn edge_candidates(s: &HdcScenario) -> Vec<Candidate> {
+    try_edge_candidates(s).expect("shipped edge design points must model")
+}
+
+/// Fallible [`edge_candidates`].
+///
+/// # Errors
+///
+/// Propagates layer rejections and FOM validation failures, as
+/// [`try_hdc_candidates`] does.
+pub fn try_edge_candidates(s: &HdcScenario) -> Result<Vec<Candidate>, XldaError> {
     let mut out = Vec::new();
     for platform in [Platform::edge_gpu(), Platform::cpu()] {
         let (t, e) = hdc_on_platform(s, &platform, 1, s.hv_dim_sw);
-        out.push(Candidate::new(
-            format!("{} HDC (batch 1)", platform.name),
+        let name = format!("{} HDC (batch 1)", platform.name);
+        let fom = validate_fom(
+            &name,
             Fom {
                 latency_s: t,
                 energy_j: e,
                 area_mm2: 0.0,
                 accuracy: s.acc_sw,
             },
-        ));
+        )?;
+        out.push(Candidate::new(name, fom));
     }
-    let (t, e, a) = hdc_on_cam(s, CamCellDesign::Fefet2T, DataKind::MultiBit(3), s.hv_dim_3b);
+    let (t, e, a) = hdc_on_cam(
+        s,
+        CamCellDesign::Fefet2T,
+        DataKind::MultiBit(3),
+        s.hv_dim_3b,
+    )?;
+    let name = "3b FeFET CAM";
     out.push(Candidate::new(
-        "3b FeFET CAM",
-        Fom {
-            latency_s: t,
-            energy_j: e,
-            area_mm2: a,
-            accuracy: s.acc_3b,
-        },
+        name,
+        validate_fom(
+            name,
+            Fom {
+                latency_s: t,
+                energy_j: e,
+                area_mm2: a,
+                accuracy: s.acc_3b,
+            },
+        )?,
     ));
-    out
+    Ok(out)
 }
 
 /// Scenario for the MANN latency comparison (Fig. 4E right axis).
@@ -347,7 +427,21 @@ impl Default for MannScenario {
 
 /// Builds the MANN platform candidates: GPU software stack vs. the
 /// all-RRAM in-memory pipeline.
+///
+/// # Panics
+///
+/// Panics if a design point fails to model; sweeps over arbitrary
+/// scenarios should use [`try_mann_candidates`].
 pub fn mann_candidates(s: &MannScenario) -> Vec<Candidate> {
+    try_mann_candidates(s).expect("MANN TCAM design point must model")
+}
+
+/// Fallible [`mann_candidates`].
+///
+/// # Errors
+///
+/// Propagates crossbar/CAM model rejections and FOM validation failures.
+pub fn try_mann_candidates(s: &MannScenario) -> Result<Vec<Candidate>, XldaError> {
     let gpu = Platform::gpu();
     // GPU path: CNN + exact cosine search over raw embeddings.
     let cnn = Kernel {
@@ -366,7 +460,7 @@ pub fn mann_candidates(s: &MannScenario) -> Vec<Candidate> {
         cols: 64,
         ..CrossbarConfig::default()
     };
-    let xmacro = CrossbarMacro::new(&xbar_cfg, &s.tech, 8);
+    let xmacro = CrossbarMacro::try_new(&xbar_cfg, &s.tech, 8)?;
     let mvm = xmacro.mvm_cost();
     // Paper: >65k weights across 36 64x64 crossbars; layers pipeline but
     // inference visits each layer once.
@@ -385,31 +479,36 @@ pub fn mann_candidates(s: &MannScenario) -> Vec<Candidate> {
         match_kind: MatchKind::Best { max_distance: 4 },
         row_banks: 1,
         tech: s.tech.clone(),
-    })
-    .expect("MANN TCAM design point must model");
+    })?;
     let rep = cam.report();
     let area = (cnn_tiles + hash_tiles) as f64 * xmacro.area_m2() * 1e6 + rep.area_um2 * 1e-6;
 
-    vec![
+    Ok(vec![
         Candidate::new(
             "GPU MANN (batch 1)",
-            Fom {
-                latency_s: t_gpu,
-                energy_j: e_gpu,
-                area_mm2: 0.0,
-                accuracy: s.acc_software,
-            },
+            validate_fom(
+                "GPU MANN (batch 1)",
+                Fom {
+                    latency_s: t_gpu,
+                    energy_j: e_gpu,
+                    area_mm2: 0.0,
+                    accuracy: s.acc_software,
+                },
+            )?,
         ),
         Candidate::new(
             "RRAM in-memory MANN",
-            Fom {
-                latency_s: t_cnn + t_hash + rep.search_latency_s,
-                energy_j: e_cnn + e_hash + rep.search_energy_j,
-                area_mm2: area,
-                accuracy: s.acc_rram,
-            },
+            validate_fom(
+                "RRAM in-memory MANN",
+                Fom {
+                    latency_s: t_cnn + t_hash + rep.search_latency_s,
+                    energy_j: e_cnn + e_hash + rep.search_energy_j,
+                    area_mm2: area,
+                    accuracy: s.acc_rram,
+                },
+            )?,
         ),
-    ]
+    ])
 }
 
 #[cfg(test)]
@@ -528,6 +627,46 @@ mod tests {
         assert!(nvm_tpu.fom.energy_j < gpu_b1000.fom.energy_j);
         assert!(cam.fom.latency_s < nvm_tpu.fom.latency_s / 10.0);
         assert!(cam.fom.energy_j < nvm_tpu.fom.energy_j);
+    }
+
+    #[test]
+    fn try_paths_agree_with_infallible_wrappers() {
+        let s = HdcScenario::default();
+        assert_eq!(try_hdc_candidates(&s).unwrap(), hdc_candidates(&s));
+        assert_eq!(try_edge_candidates(&s).unwrap(), edge_candidates(&s));
+        let m = MannScenario::default();
+        assert_eq!(try_mann_candidates(&m).unwrap(), mann_candidates(&m));
+        assert_eq!(
+            try_tpu_nvm_candidate(&s, 4).unwrap(),
+            tpu_nvm_candidate(&s, 4)
+        );
+    }
+
+    #[test]
+    fn nan_accuracy_is_a_typed_error_not_a_panic() {
+        let s = HdcScenario {
+            acc_sw: f64::NAN,
+            ..HdcScenario::default()
+        };
+        match try_hdc_candidates(&s) {
+            Err(XldaError::InvalidFom { name, fom }) => {
+                assert!(name.contains("GPU HDC"), "{name}");
+                assert!(fom.accuracy.is_nan());
+            }
+            other => panic!("expected InvalidFom, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_accuracy_is_rejected() {
+        let s = MannScenario {
+            acc_rram: 1.5,
+            ..MannScenario::default()
+        };
+        assert!(matches!(
+            try_mann_candidates(&s),
+            Err(XldaError::InvalidFom { .. })
+        ));
     }
 
     #[test]

@@ -37,8 +37,10 @@
 //! ```
 
 pub mod cim;
+pub mod error;
 pub mod evaluate;
 pub mod fom;
+pub mod order;
 pub mod pareto;
 pub mod profile;
 pub mod report;
@@ -46,4 +48,5 @@ pub mod sensitivity;
 pub mod sweep;
 pub mod triage;
 
+pub use error::XldaError;
 pub use fom::Fom;

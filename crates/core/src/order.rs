@@ -1,0 +1,85 @@
+//! NaN-safe total orderings for ranking floats.
+//!
+//! `partial_cmp().expect(...)` turns a single NaN score into a panic in
+//! the middle of a sweep; `f64::total_cmp` alone is total but sorts +NaN
+//! *greatest*, which would put a corrupted score at the top of a
+//! descending ranking. These comparators order finite values with
+//! `total_cmp` and pin NaN explicitly to the end, so the worst a NaN can
+//! do is rank last.
+
+use std::cmp::Ordering;
+
+/// Descending order (higher first) with NaN last.
+///
+/// # Examples
+///
+/// ```
+/// use xlda_core::order::desc_nan_last;
+///
+/// let mut v = [1.0, f64::NAN, 3.0, 2.0];
+/// v.sort_by(|a, b| desc_nan_last(*a, *b));
+/// assert_eq!(&v[..3], &[3.0, 2.0, 1.0]);
+/// assert!(v[3].is_nan());
+/// ```
+pub fn desc_nan_last(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (false, false) => b.total_cmp(&a),
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+    }
+}
+
+/// Ascending order (lower first) with NaN last.
+pub fn asc_nan_last(a: f64, b: f64) -> Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (false, false) => a.total_cmp(&b),
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descending_pins_nan_last() {
+        let mut v = [f64::NAN, -1.0, f64::INFINITY, 0.0, f64::NAN];
+        v.sort_by(|a, b| desc_nan_last(*a, *b));
+        assert_eq!(v[0], f64::INFINITY);
+        assert_eq!(v[1], 0.0);
+        assert_eq!(v[2], -1.0);
+        assert!(v[3].is_nan() && v[4].is_nan());
+    }
+
+    #[test]
+    fn ascending_pins_nan_last() {
+        let mut v = [2.0, f64::NAN, -3.0];
+        v.sort_by(|a, b| asc_nan_last(*a, *b));
+        assert_eq!(&v[..2], &[-3.0, 2.0]);
+        assert!(v[2].is_nan());
+    }
+
+    #[test]
+    fn zero_signs_do_not_panic_and_stay_adjacent() {
+        let mut v = [0.0, -0.0, 1.0];
+        v.sort_by(|a, b| asc_nan_last(*a, *b));
+        assert_eq!(v[2], 1.0);
+    }
+
+    #[test]
+    fn comparators_are_consistent_orders() {
+        // Antisymmetry spot check: sort must never panic on "comparison
+        // violates its contract" for any input mix.
+        let vals = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.0, 1.5];
+        for &a in &vals {
+            for &b in &vals {
+                let ab = desc_nan_last(a, b);
+                let ba = desc_nan_last(b, a);
+                assert_eq!(ab.reverse(), ba);
+            }
+        }
+    }
+}

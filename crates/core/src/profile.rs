@@ -56,9 +56,7 @@ impl WorkloadProfile {
     /// Validates that fractions are sane.
     pub fn is_valid(&self) -> bool {
         let sum = self.mvm_fraction + self.search_fraction + self.other_fraction;
-        (0.99..=1.01).contains(&sum)
-            && self.writes_per_read >= 0.0
-            && self.working_set_mib >= 0.0
+        (0.99..=1.01).contains(&sum) && self.writes_per_read >= 0.0 && self.working_set_mib >= 0.0
     }
 }
 
@@ -111,14 +109,8 @@ pub enum DeviceMetric {
 /// reads, thereby prioritizing denser memory?").
 pub fn device_priorities(profile: &WorkloadProfile) -> Vec<DeviceMetric> {
     let mut scored: Vec<(DeviceMetric, f64)> = vec![
-        (
-            DeviceMetric::Endurance,
-            2.0 * profile.writes_per_read,
-        ),
-        (
-            DeviceMetric::WriteSpeed,
-            1.5 * profile.writes_per_read,
-        ),
+        (DeviceMetric::Endurance, 2.0 * profile.writes_per_read),
+        (DeviceMetric::WriteSpeed, 1.5 * profile.writes_per_read),
         (
             DeviceMetric::Density,
             (profile.working_set_mib / 16.0).min(2.0) * (1.0 - profile.writes_per_read).max(0.0)
@@ -128,12 +120,9 @@ pub fn device_priorities(profile: &WorkloadProfile) -> Vec<DeviceMetric> {
             DeviceMetric::ReadSpeed,
             profile.mvm_fraction + profile.search_fraction,
         ),
-        (
-            DeviceMetric::OnOffRatio,
-            2.0 * profile.search_fraction,
-        ),
+        (DeviceMetric::OnOffRatio, 2.0 * profile.search_fraction),
     ];
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite scores"));
+    scored.sort_by(|a, b| crate::order::desc_nan_last(a.1, b.1));
     scored.into_iter().map(|(m, _)| m).collect()
 }
 

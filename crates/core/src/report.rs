@@ -144,7 +144,12 @@ mod tests {
         let fields = lines[2].split(',').count();
         assert_eq!(fields, 5);
         // Values round-trip through parse.
-        let lat: f64 = lines[2].split(',').nth(1).expect("field").parse().expect("parses");
+        let lat: f64 = lines[2]
+            .split(',')
+            .nth(1)
+            .expect("field")
+            .parse()
+            .expect("parses");
         assert!((lat - 31e-6).abs() < 1e-12);
     }
 

@@ -130,7 +130,7 @@ pub fn prioritized_levers(
             )
         })
         .collect();
-    impacts.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite impacts"));
+    impacts.sort_by(|a, b| crate::order::desc_nan_last(a.1, b.1));
     impacts
 }
 

@@ -42,6 +42,83 @@ where
     .expect("sweep scope panicked")
 }
 
+/// Why one sweep point produced no result.
+///
+/// A fallible sweep must not let one bad design point take down the
+/// other ten thousand: evaluator errors are collected per point, and
+/// even a panicking evaluator (a modeling bug, not an infeasible point)
+/// is contained to its own slot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointFailure<E> {
+    /// The evaluator returned a typed error for this point.
+    Error(E),
+    /// The evaluator panicked on this point; the payload message is
+    /// preserved when it was a string.
+    Panicked(String),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for PointFailure<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PointFailure::Error(e) => write!(f, "{e}"),
+            PointFailure::Panicked(msg) => write!(f, "evaluator panicked: {msg}"),
+        }
+    }
+}
+
+impl<E: std::fmt::Debug + std::fmt::Display> std::error::Error for PointFailure<E> {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Evaluates a fallible `f` over `inputs` in parallel, preserving order
+/// and collecting per-point outcomes instead of panicking.
+///
+/// Each point yields `Ok(output)`, `Err(PointFailure::Error(e))` for a
+/// typed evaluator error, or `Err(PointFailure::Panicked(msg))` if the
+/// evaluator panicked on that point — the panic is caught at the point
+/// boundary, so the rest of the sweep still completes.
+///
+/// # Examples
+///
+/// ```
+/// use xlda_core::sweep::{par_try_map, PointFailure};
+///
+/// let inputs = [1i64, -2, 3];
+/// let out = par_try_map(&inputs, |&x| {
+///     if x > 0 { Ok(x * x) } else { Err("negative") }
+/// });
+/// assert_eq!(out[0], Ok(1));
+/// assert_eq!(out[1], Err(PointFailure::Error("negative")));
+/// assert_eq!(out[2], Ok(9));
+/// ```
+pub fn par_try_map<I, O, E, F>(inputs: &[I], f: F) -> Vec<Result<O, PointFailure<E>>>
+where
+    I: Sync,
+    O: Send,
+    E: Send,
+    F: Fn(&I) -> Result<O, E> + Sync,
+{
+    par_map(inputs, |input| {
+        // The closure is shared immutably across points and evaluators
+        // are pure, so unwind safety reduces to not observing a
+        // half-updated input — which `&I` cannot be.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(input)))
+            .map_err(panic_message)
+            .map_or_else(
+                |msg| Err(PointFailure::Panicked(msg)),
+                |r| r.map_err(PointFailure::Error),
+            )
+    })
+}
+
 /// A thread-safe memoization cache for sweep evaluations.
 ///
 /// # Examples
@@ -118,6 +195,46 @@ mod tests {
         let inputs = vec![0usize, 1, 2];
         let out = par_map(&inputs, |&i| base[i] + 1);
         assert_eq!(out, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn par_try_map_collects_errors_in_order() {
+        let inputs: Vec<i64> = (-3..3).collect();
+        let out = par_try_map(&inputs, |&x| if x >= 0 { Ok(x * 2) } else { Err(x) });
+        assert_eq!(out.len(), 6);
+        for (i, r) in inputs.iter().zip(&out) {
+            if *i >= 0 {
+                assert_eq!(*r, Ok(i * 2));
+            } else {
+                assert_eq!(*r, Err(PointFailure::Error(*i)));
+            }
+        }
+    }
+
+    #[test]
+    fn par_try_map_contains_panics_to_their_point() {
+        let inputs = vec![1u32, 2, 3, 4];
+        let out: Vec<Result<u32, PointFailure<String>>> = par_try_map(&inputs, |&x| {
+            if x == 3 {
+                panic!("model bug at point {x}");
+            }
+            Ok(x)
+        });
+        assert_eq!(out[0], Ok(1));
+        assert_eq!(out[1], Ok(2));
+        match &out[2] {
+            Err(PointFailure::Panicked(msg)) => assert!(msg.contains("point 3"), "{msg}"),
+            other => panic!("expected contained panic, got {other:?}"),
+        }
+        assert_eq!(out[3], Ok(4));
+    }
+
+    #[test]
+    fn point_failure_displays_both_variants() {
+        let e: PointFailure<&str> = PointFailure::Error("infeasible");
+        assert_eq!(e.to_string(), "infeasible");
+        let p: PointFailure<&str> = PointFailure::Panicked("boom".into());
+        assert!(p.to_string().contains("panicked"));
     }
 
     #[test]

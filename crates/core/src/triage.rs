@@ -89,7 +89,8 @@ pub fn rank(candidates: &[Candidate], objective: &Objective) -> Vec<Ranked> {
             let lat_pen = (c.fom.latency_s.max(1e-15) / l0).ln();
             let eng_pen = (c.fom.energy_j.max(1e-18) / e0).ln();
             let area_pen = (c.fom.area_mm2.max(1e-6) / a0).ln();
-            let score = -objective.w_latency * lat_pen - objective.w_energy * eng_pen
+            let score = -objective.w_latency * lat_pen
+                - objective.w_energy * eng_pen
                 - objective.w_area * area_pen
                 + objective.w_accuracy * c.fom.accuracy;
             let meets_floor = objective
@@ -103,10 +104,12 @@ pub fn rank(candidates: &[Candidate], objective: &Objective) -> Vec<Ranked> {
             }
         })
         .collect();
+    // NaN-safe: a corrupted score must rank last, not panic the sweep
+    // (and must not ride total_cmp's "+NaN is greatest" to the top).
     ranked.sort_by(|a, b| {
         b.meets_floor
             .cmp(&a.meets_floor)
-            .then(b.score.partial_cmp(&a.score).expect("finite scores"))
+            .then_with(|| crate::order::desc_nan_last(a.score, b.score))
     });
     ranked
 }
@@ -161,6 +164,35 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(rank(&[], &Objective::latency_first(None)).is_empty());
+    }
+
+    #[test]
+    fn nan_scores_rank_last_without_panicking() {
+        // Regression: a NaN accuracy propagates into a NaN score; the old
+        // partial_cmp().expect("finite scores") sort panicked here, and a
+        // bare total_cmp descending sort would rank the NaN *first*.
+        let cs = vec![
+            cand("poisoned", 1e-6, 1e-6, f64::NAN),
+            cand("ok-fast", 1e-6, 1e-6, 0.9),
+            cand("ok-slow", 1e-3, 1e-3, 0.9),
+        ];
+        let r = rank(&cs, &Objective::latency_first(None));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].name, "ok-fast");
+        assert_eq!(r[1].name, "ok-slow");
+        assert_eq!(r[2].name, "poisoned");
+        assert!(r[2].score.is_nan());
+    }
+
+    #[test]
+    fn all_nan_scores_still_return_full_ranking() {
+        let cs = vec![
+            cand("a", 1e-6, 1e-6, f64::NAN),
+            cand("b", 1e-3, 1e-3, f64::NAN),
+        ];
+        let r = rank(&cs, &Objective::latency_first(None));
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|x| x.score.is_nan()));
     }
 
     #[test]

@@ -161,7 +161,13 @@ mod report_props {
 
     fn arb_candidates() -> impl Strategy<Value = Vec<Candidate>> {
         prop::collection::vec(
-            ("[a-zA-Z ,]{1,20}", 1e-9f64..1.0, 1e-12f64..1.0, 0.0f64..10.0, 0.0f64..1.0),
+            (
+                "[a-zA-Z ,]{1,20}",
+                1e-9f64..1.0,
+                1e-12f64..1.0,
+                0.0f64..10.0,
+                0.0f64..1.0,
+            ),
             0..10,
         )
         .prop_map(|rows| {

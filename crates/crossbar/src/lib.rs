@@ -33,6 +33,8 @@
 pub mod macro_model;
 pub mod stochastic;
 
+pub use macro_model::CrossbarError;
+
 use xlda_device::rram::Rram;
 use xlda_num::matrix::Matrix;
 use xlda_num::rng::Rng64;
@@ -150,8 +152,16 @@ impl Crossbar {
                 *g_neg_target.at_mut(i, j) = tn;
                 let stuck_p = rng.chance(config.stuck_off_rate);
                 let stuck_n = rng.chance(config.stuck_off_rate);
-                *g_pos.at_mut(i, j) = if stuck_p { dev.g_min } else { dev.program(tp, rng) };
-                *g_neg.at_mut(i, j) = if stuck_n { dev.g_min } else { dev.program(tn, rng) };
+                *g_pos.at_mut(i, j) = if stuck_p {
+                    dev.g_min
+                } else {
+                    dev.program(tp, rng)
+                };
+                *g_neg.at_mut(i, j) = if stuck_n {
+                    dev.g_min
+                } else {
+                    dev.program(tn, rng)
+                };
             }
         }
         Self {
@@ -228,9 +238,15 @@ impl Crossbar {
         let v: Vec<f64> = xq.iter().map(|&u| u * self.config.v_read).collect();
 
         let (ip, ineg) = if full_solve {
-            (self.solve_currents(&self.g_pos, &v), self.solve_currents(&self.g_neg, &v))
+            (
+                self.solve_currents(&self.g_pos, &v),
+                self.solve_currents(&self.g_neg, &v),
+            )
         } else {
-            (self.fast_currents(&self.g_pos, &v), self.fast_currents(&self.g_neg, &v))
+            (
+                self.fast_currents(&self.g_pos, &v),
+                self.fast_currents(&self.g_neg, &v),
+            )
         };
 
         // Deterministic per-call read noise derived from the data.

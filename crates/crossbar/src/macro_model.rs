@@ -6,6 +6,30 @@ use xlda_circuit::adc::{RowDac, SarAdc};
 use xlda_circuit::tech::TechNode;
 use xlda_circuit::wire::Wire;
 
+/// A crossbar macro configuration the model cannot evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrossbarError {
+    /// `adc_share` of zero: no column could ever be converted.
+    ZeroAdcShare,
+    /// Zero ADC bits: the macro model needs an output converter to
+    /// price the read path.
+    NoOutputAdc,
+    /// An empty array (zero rows or columns) has no MVM to model.
+    EmptyArray,
+}
+
+impl std::fmt::Display for CrossbarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrossbarError::ZeroAdcShare => write!(f, "adc_share must be positive"),
+            CrossbarError::NoOutputAdc => write!(f, "macro model requires an output ADC"),
+            CrossbarError::EmptyArray => write!(f, "crossbar has zero rows or columns"),
+        }
+    }
+}
+
+impl std::error::Error for CrossbarError {}
+
 /// Figure-of-merit model of one crossbar compute core.
 #[derive(Debug, Clone)]
 pub struct CrossbarMacro {
@@ -32,17 +56,42 @@ impl CrossbarMacro {
     /// # Panics
     ///
     /// Panics if `adc_share` is zero or ADC bits are zero (macro model
-    /// needs converters).
+    /// needs converters); guarded call sites should use
+    /// [`CrossbarMacro::try_new`].
     pub fn new(config: &CrossbarConfig, tech: &TechNode, adc_share: usize) -> Self {
-        assert!(adc_share > 0, "adc_share must be positive");
-        assert!(config.adc_bits > 0, "macro model requires an output ADC");
-        Self {
+        match Self::try_new(config, tech, adc_share) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`CrossbarMacro::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`CrossbarError`] naming the first configuration defect (zero ADC
+    /// share, missing output ADC, or an empty array).
+    pub fn try_new(
+        config: &CrossbarConfig,
+        tech: &TechNode,
+        adc_share: usize,
+    ) -> Result<Self, CrossbarError> {
+        if adc_share == 0 {
+            return Err(CrossbarError::ZeroAdcShare);
+        }
+        if config.adc_bits == 0 {
+            return Err(CrossbarError::NoOutputAdc);
+        }
+        if config.rows == 0 || config.cols == 0 {
+            return Err(CrossbarError::EmptyArray);
+        }
+        Ok(Self {
             config: config.clone(),
             tech: tech.clone(),
             dac: RowDac::new(config.dac_bits, tech),
             adc: SarAdc::new(config.adc_bits, tech),
             adc_share,
-        }
+        })
     }
 
     fn row_line(&self) -> Wire {
@@ -69,16 +118,12 @@ impl CrossbarMacro {
     /// Cost of one full `rows x cols` analog MVM.
     pub fn mvm_cost(&self) -> MvmCost {
         let conversions = self.config.cols.div_ceil(self.adc_share);
-        let latency = self.dac.latency()
-            + self.settle_time()
-            + self.adc.latency() * self.adc_share as f64;
+        let latency =
+            self.dac.latency() + self.settle_time() + self.adc.latency() * self.adc_share as f64;
         // Array static burn during evaluation: average half-on devices.
         let g_avg = 0.5 * (self.config.device.g_max + self.config.device.g_min);
-        let i_array = self.config.rows as f64
-            * self.config.cols as f64
-            * g_avg
-            * self.config.v_read
-            * 0.5;
+        let i_array =
+            self.config.rows as f64 * self.config.cols as f64 * g_avg * self.config.v_read * 0.5;
         let t_eval = self.dac.latency() + self.settle_time();
         let e_array = i_array * self.config.v_read * t_eval;
         let e_dac = self.config.rows as f64 * self.dac.energy(self.row_line().capacitance());
@@ -165,5 +210,28 @@ mod tests {
     #[should_panic(expected = "adc_share")]
     fn zero_share_panics() {
         mk(64, 64, 0);
+    }
+
+    #[test]
+    fn try_new_reports_configuration_defects() {
+        let tech = TechNode::n40();
+        let cfg = CrossbarConfig::default();
+        assert_eq!(
+            CrossbarMacro::try_new(&cfg, &tech, 0).err(),
+            Some(CrossbarError::ZeroAdcShare)
+        );
+        let no_adc = CrossbarConfig {
+            adc_bits: 0,
+            ..cfg.clone()
+        };
+        assert_eq!(
+            CrossbarMacro::try_new(&no_adc, &tech, 8).err(),
+            Some(CrossbarError::NoOutputAdc)
+        );
+        let empty = CrossbarConfig { rows: 0, ..cfg };
+        assert_eq!(
+            CrossbarMacro::try_new(&empty, &tech, 8).err(),
+            Some(CrossbarError::EmptyArray)
+        );
     }
 }

@@ -39,7 +39,10 @@ impl StochasticProjection {
     ///
     /// Panics if `dim` or `bits` is zero.
     pub fn new(dim: usize, bits: usize, device: &Rram, rng: &mut Rng64) -> Self {
-        assert!(dim > 0 && bits > 0, "projection dimensions must be positive");
+        assert!(
+            dim > 0 && bits > 0,
+            "projection dimensions must be positive"
+        );
         let mut g = Matrix::zeros(dim, 2 * bits);
         for i in 0..dim {
             for j in 0..2 * bits {
@@ -263,11 +266,7 @@ mod tests {
             p.relax(3.0, &mut rng);
             let h1 = p.hash(&x);
             let t1 = p.ternary_hash(&x, thr);
-            flips_lsh += h0
-                .iter()
-                .zip(&h1)
-                .filter(|(&a, &b)| a != b)
-                .count();
+            flips_lsh += h0.iter().zip(&h1).filter(|(&a, &b)| a != b).count();
             // A ternary "flip" is a definite disagreement (+1 vs -1).
             flips_tlsh += t0
                 .iter()

@@ -251,7 +251,8 @@ mod tests {
             let chance = 1.0 / spec.classes as f64;
             assert!(
                 acc > 0.85 && acc <= 1.0,
-                "{name}: accuracy {acc} (chance {chance})", name = spec.name
+                "{name}: accuracy {acc} (chance {chance})",
+                name = spec.name
             );
         }
     }

@@ -31,8 +31,8 @@ impl Mram {
     pub fn stt() -> Self {
         Self {
             flavor: "STT-MRAM",
-            g_p: 400e-6,   // ~2.5 kΩ
-            g_ap: 160e-6,  // ~6.25 kΩ: TMR ~ 150 %
+            g_p: 400e-6,  // ~2.5 kΩ
+            g_ap: 160e-6, // ~6.25 kΩ: TMR ~ 150 %
             write_voltage: 0.6,
             write_latency: 5e-9,
             write_energy: 0.3e-12,

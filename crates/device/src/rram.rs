@@ -178,8 +178,7 @@ impl Rram {
     /// Panics if `bits` is outside `1..=4`.
     pub fn mlc_avoiding_variation(&self, bits: u8) -> MultiLevelCell {
         let hi = (self.hump_center - self.hump_width).max(2.0 * self.g_min);
-        let cell =
-            MultiLevelCell::uniform(StateVariable::Conductance, bits, self.g_min, hi, 0.0);
+        let cell = MultiLevelCell::uniform(StateVariable::Conductance, bits, self.g_min, hi, 0.0);
         let sigma = cell
             .levels()
             .iter()
@@ -269,7 +268,10 @@ mod tests {
         assert!((mean(&samples) - target).abs() < 0.02 * target);
         let sd = std_dev(&samples);
         let expect = d.programming_sigma(target);
-        assert!((sd - expect).abs() < 0.1 * expect, "sd {sd} expect {expect}");
+        assert!(
+            (sd - expect).abs() < 0.1 * expect,
+            "sd {sd} expect {expect}"
+        );
     }
 
     #[test]

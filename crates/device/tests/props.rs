@@ -8,7 +8,13 @@ use xlda_num::rng::Rng64;
 
 fn arb_cell() -> impl Strategy<Value = MultiLevelCell> {
     (1u8..=4, 0.1f64..2.0, 0.0f64..0.3).prop_map(|(bits, window, sigma)| {
-        MultiLevelCell::uniform(StateVariable::ThresholdVoltage, bits, 0.2, 0.2 + window, sigma)
+        MultiLevelCell::uniform(
+            StateVariable::ThresholdVoltage,
+            bits,
+            0.2,
+            0.2 + window,
+            sigma,
+        )
     })
 }
 

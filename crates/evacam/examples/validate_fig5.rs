@@ -1,8 +1,14 @@
 fn main() {
     for row in xlda_evacam::validate::validate_all().unwrap() {
-        println!("{:18} area {:>10.0} um2 ({:?})  lat {:>8.3} ns ({:?})  energy {:>8.1} pJ ({:?})",
-            row.label, row.model_area_um2, row.area_error.map(|e|format!("{:+.1}%",e*100.0)),
-            row.model_latency_s*1e9, row.latency_error.map(|e|format!("{:+.1}%",e*100.0)),
-            row.model_energy_j*1e12, row.energy_error.map(|e|format!("{:+.1}%",e*100.0)));
+        println!(
+            "{:18} area {:>10.0} um2 ({:?})  lat {:>8.3} ns ({:?})  energy {:>8.1} pJ ({:?})",
+            row.label,
+            row.model_area_um2,
+            row.area_error.map(|e| format!("{:+.1}%", e * 100.0)),
+            row.model_latency_s * 1e9,
+            row.latency_error.map(|e| format!("{:+.1}%", e * 100.0)),
+            row.model_energy_j * 1e12,
+            row.energy_error.map(|e| format!("{:+.1}%", e * 100.0))
+        );
     }
 }

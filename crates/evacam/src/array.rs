@@ -2,6 +2,7 @@
 
 use crate::design::{CamConfig, CamError, DataKind, MatchKind};
 use xlda_circuit::decoder::Decoder;
+use xlda_circuit::error::ceil_log2;
 use xlda_circuit::gate::{BufferChain, Gate, GateKind};
 use xlda_circuit::matchline::Matchline;
 use xlda_circuit::senseamp::SenseAmp;
@@ -167,8 +168,11 @@ impl CamArray {
         let tech = &self.config.tech;
         let nand = Gate::new(GateKind::Nand(2), 2.0, tech);
         let load = nand.input_cap();
-        let depth_words = (self.config.words as f64).log2().ceil().max(1.0);
-        let depth_segs = ((self.segments + 1) as f64).log2().ceil().max(0.0);
+        // Integer ceil-log2: exact at powers of two and well-defined for
+        // degenerate 1-word arrays, where float log2(1) sits on the
+        // domain edge of the old formula.
+        let depth_words = (ceil_log2(self.config.words) as f64).max(1.0);
+        let depth_segs = ceil_log2(self.segments + 1) as f64;
         let per_stage = nand.delay(load);
         match self.config.match_kind {
             MatchKind::Exact => depth_words * per_stage,
@@ -263,8 +267,7 @@ impl CamArray {
             * tech.vdd
             * 0.1 // only precharged fraction leaks between searches
             + self.config.design.static_power_per_cell();
-        let sa_leak =
-            (self.config.words * self.segments) as f64 * self.sa.leakage_power();
+        let sa_leak = (self.config.words * self.segments) as f64 * self.sa.leakage_power();
         cells * cell_leak + sa_leak + self.write_decoder().leakage_power()
     }
 
@@ -449,6 +452,43 @@ mod tests {
         .unwrap()
         .report();
         assert!(n22.area_um2 < n40.area_um2);
+    }
+
+    #[test]
+    fn one_word_array_models_finitely() {
+        // A single stored word is a legal (if degenerate) CAM; every FOM
+        // must stay finite and positive across match kinds despite the
+        // log2 edge at words == 1.
+        for match_kind in [MatchKind::Exact, MatchKind::Best { max_distance: 4 }] {
+            let cam = CamArray::new(CamConfig {
+                words: 1,
+                match_kind,
+                ..base()
+            })
+            .expect("1-word array should model");
+            let r = cam.report();
+            for v in [
+                r.area_um2,
+                r.search_latency_s,
+                r.search_energy_j,
+                r.write_latency_s,
+                r.write_energy_j,
+                r.leakage_w,
+            ] {
+                assert!(v.is_finite() && v > 0.0, "{match_kind:?}: {v}");
+            }
+            assert_eq!(r.capacity_bits, 128);
+        }
+    }
+
+    #[test]
+    fn one_word_search_is_cheaper_than_default() {
+        let one = CamArray::new(CamConfig { words: 1, ..base() })
+            .unwrap()
+            .report();
+        let full = CamArray::new(base()).unwrap().report();
+        assert!(one.search_energy_j < full.search_energy_j);
+        assert!(one.search_latency_s <= full.search_latency_s);
     }
 
     #[test]

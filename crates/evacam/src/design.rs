@@ -381,10 +381,7 @@ mod tests {
             data: DataKind::MultiBit(2),
             ..CamConfig::default()
         };
-        assert!(matches!(
-            cfg.check(),
-            Err(CamError::UnsupportedData { .. })
-        ));
+        assert!(matches!(cfg.check(), Err(CamError::UnsupportedData { .. })));
     }
 
     #[test]
@@ -434,10 +431,7 @@ mod tests {
     #[test]
     fn required_resolution() {
         assert_eq!(MatchKind::Exact.required_resolution(), 1);
-        assert_eq!(
-            MatchKind::Best { max_distance: 8 }.required_resolution(),
-            8
-        );
+        assert_eq!(MatchKind::Best { max_distance: 8 }.required_resolution(), 8);
         assert_eq!(MatchKind::Threshold { k: 3 }.required_resolution(), 3);
     }
 

@@ -111,8 +111,7 @@ pub fn analytic_error_probability(
     let s_on = variation.sigma_g_on_rel * config.g_on;
     let s_off = variation.sigma_g_off_rel * config.g_off;
     let delta = config.g_on - config.g_off;
-    let var = (2 * m + 1) as f64 * s_on * s_on
-        + (2 * (cells - m) - 1) as f64 * s_off * s_off;
+    let var = (2 * m + 1) as f64 * s_on * s_on + (2 * (cells - m) - 1) as f64 * s_off * s_off;
     if var <= 0.0 {
         return 0.0;
     }

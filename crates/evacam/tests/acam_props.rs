@@ -3,22 +3,20 @@
 use proptest::prelude::*;
 use xlda_circuit::matchline::MatchlineConfig;
 use xlda_evacam::acam::{AcamArray, AcamCell, AcamConfig, TreeNode};
-use xlda_evacam::variation::{
-    analytic_error_probability, max_cells_with_variation, CellVariation,
-};
+use xlda_evacam::variation::{analytic_error_probability, max_cells_with_variation, CellVariation};
 use xlda_num::rng::Rng64;
 
 fn arb_tree(depth: u32, features: usize) -> impl Strategy<Value = TreeNode> {
     let leaf = (0usize..16).prop_map(|class| TreeNode::Leaf { class });
     leaf.prop_recursive(depth, 64, 2, move |inner| {
-        (0..features, 0.05f64..0.95, inner.clone(), inner).prop_map(
-            |(feature, threshold, l, r)| TreeNode::Split {
+        (0..features, 0.05f64..0.95, inner.clone(), inner).prop_map(|(feature, threshold, l, r)| {
+            TreeNode::Split {
                 feature,
                 threshold,
                 left: Box::new(l),
                 right: Box::new(r),
-            },
-        )
+            }
+        })
     })
 }
 

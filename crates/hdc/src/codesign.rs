@@ -149,12 +149,14 @@ mod tests {
         // The Fig. 3H sizing story, automated.
         let data = hard_data();
         let cfg = quick_config();
-        let (reference, results) =
-            iso_accuracy_table(&data, &[1, 3], 2048, 0.05, &cfg);
+        let (reference, results) = iso_accuracy_table(&data, &[1, 3], 2048, 0.05, &cfg);
         assert!(reference > 0.8, "reference {reference}");
         let r1 = results[0];
         let r3 = results[1];
-        assert!(r3.hv_dim.is_some(), "3-bit should reach iso-accuracy: {r3:?}");
+        assert!(
+            r3.hv_dim.is_some(),
+            "3-bit should reach iso-accuracy: {r3:?}"
+        );
         assert!(
             r1.hv_dim.is_none() || r1.hv_dim.unwrap() > r3.hv_dim.unwrap(),
             "1-bit must need more (or unbounded) dimensions: {r1:?} vs {r3:?}"

@@ -168,7 +168,10 @@ pub fn quantize_hv(hv: &[f64], bits: u8) -> Vec<f64> {
         return hv.to_vec();
     }
     if bits == 1 {
-        return hv.iter().map(|&v| if v >= 0.0 { 1.0 } else { -1.0 }).collect();
+        return hv
+            .iter()
+            .map(|&v| if v >= 0.0 { 1.0 } else { -1.0 })
+            .collect();
     }
     let levels = ((1u32 << bits) - 1) as f64;
     hv.iter()
@@ -262,11 +265,7 @@ mod tests {
         let hv = e.encode(&rng.normal_vec(64, 0.0, 1.0));
         let err = |bits: u8| -> f64 {
             let q = quantize_hv(&hv, bits);
-            hv.iter()
-                .zip(&q)
-                .map(|(a, b)| (a - b).abs())
-                .sum::<f64>()
-                / hv.len() as f64
+            hv.iter().zip(&q).map(|(a, b)| (a - b).abs()).sum::<f64>() / hv.len() as f64
         };
         assert!(err(2) < err(1));
         assert!(err(4) < err(2));

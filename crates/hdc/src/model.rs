@@ -239,11 +239,7 @@ mod tests {
                 hv_dim,
                 ..EncoderConfig::default()
             });
-            HdcModel::train(&encoder, &data, 1, 1).accuracy_with(
-                &encoder,
-                &data,
-                Distance::Hamming,
-            )
+            HdcModel::train(&encoder, &data, 1, 1).accuracy_with(&encoder, &data, Distance::Hamming)
         };
         let short = acc_at(256);
         let long = acc_at(4096);
@@ -258,16 +254,13 @@ mod tests {
             hv_dim: 1024,
             ..EncoderConfig::default()
         });
-        let plain = HdcModel::train(&encoder, &data, 2, 0).accuracy_with(
-            &encoder,
-            &data,
-            Distance::Cosine,
+        let plain =
+            HdcModel::train(&encoder, &data, 2, 0).accuracy_with(&encoder, &data, Distance::Cosine);
+        let retrained =
+            HdcModel::train(&encoder, &data, 2, 3).accuracy_with(&encoder, &data, Distance::Cosine);
+        assert!(
+            retrained >= plain - 0.02,
+            "plain {plain} retrained {retrained}"
         );
-        let retrained = HdcModel::train(&encoder, &data, 2, 3).accuracy_with(
-            &encoder,
-            &data,
-            Distance::Cosine,
-        );
-        assert!(retrained >= plain - 0.02, "plain {plain} retrained {retrained}");
     }
 }

@@ -51,7 +51,7 @@ impl SoftwareAm {
         self.entries
             .iter()
             .map(|(e, l)| (cosine_similarity(fv, e), *l))
-            .max_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN similarity"))
+            .max_by(|a, b| a.0.total_cmp(&b.0))
             .map(|(_, l)| l)
             .expect("non-empty")
     }

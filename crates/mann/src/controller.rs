@@ -67,7 +67,7 @@ pub fn train_controller(data: &ImageSet, config: &TrainConfig) -> (SmallCnn, f64
         let pred = logits
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN logits"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0);
         if pred == c {

@@ -10,8 +10,8 @@ use crate::am::{RramTcam, SignatureAm, SoftwareAm, TcamMapping};
 use crate::lsh::{Hasher, RramLsh, RramTlsh, SoftwareLsh};
 use crate::nn::SmallCnn;
 use crate::xbar_cnn::CrossbarCnn;
-use xlda_crossbar::{CrossbarConfig, Fidelity};
 use xlda_crossbar::stochastic::StochasticProjection;
+use xlda_crossbar::{CrossbarConfig, Fidelity};
 use xlda_datagen::fewshot::ImageSet;
 use xlda_device::rram::Rram;
 use xlda_num::rng::Rng64;

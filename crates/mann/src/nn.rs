@@ -153,8 +153,7 @@ impl Conv2d {
                                 }
                                 let idx = self.wi(o, i, dy, dx);
                                 gw[idx] += g * input.at(i, yy as usize, xx as usize);
-                                *grad_in.at_mut(i, yy as usize, xx as usize) +=
-                                    g * self.w[idx];
+                                *grad_in.at_mut(i, yy as usize, xx as usize) += g * self.w[idx];
                             }
                         }
                     }
@@ -221,13 +220,7 @@ impl Linear {
             .collect()
     }
 
-    fn backward(
-        &self,
-        x: &[f64],
-        grad_out: &[f64],
-        gw: &mut [f64],
-        gb: &mut [f64],
-    ) -> Vec<f64> {
+    fn backward(&self, x: &[f64], grad_out: &[f64], gw: &mut [f64], gb: &mut [f64]) -> Vec<f64> {
         let mut grad_in = vec![0.0; self.in_dim];
         for (o, gbo) in gb.iter_mut().enumerate().take(self.out_dim) {
             let g = grad_out[o];
@@ -308,7 +301,11 @@ pub(crate) fn maxpool(input: &Tensor) -> (Tensor, Vec<usize>) {
     (out, arg)
 }
 
-fn maxpool_backward(input_shape: (usize, usize, usize), arg: &[usize], grad_out: &Tensor) -> Tensor {
+fn maxpool_backward(
+    input_shape: (usize, usize, usize),
+    arg: &[usize],
+    grad_out: &Tensor,
+) -> Tensor {
     let mut grad_in = Tensor::zeros(input_shape.0, input_shape.1, input_shape.2);
     for (i, &src) in arg.iter().enumerate() {
         grad_in.data[src] += grad_out.data[i];
@@ -359,7 +356,10 @@ impl SmallCnn {
     ///
     /// Panics if `side` is not divisible by 4 or dims are zero.
     pub fn new(side: usize, emb_dim: usize, classes: usize, rng: &mut Rng64) -> Self {
-        assert!(side.is_multiple_of(4) && side > 0, "side must be divisible by 4");
+        assert!(
+            side.is_multiple_of(4) && side > 0,
+            "side must be divisible by 4"
+        );
         assert!(emb_dim > 0 && classes > 0, "dims must be positive");
         let flat = 16 * (side / 4) * (side / 4);
         Self {
@@ -468,7 +468,9 @@ impl SmallCnn {
 
         let mut gw_out = vec![0.0; self.fc_out.w.len()];
         let mut gb_out = vec![0.0; self.fc_out.b.len()];
-        let mut grad_emb = self.fc_out.backward(&c.emb, &grad_logits, &mut gw_out, &mut gb_out);
+        let mut grad_emb = self
+            .fc_out
+            .backward(&c.emb, &grad_logits, &mut gw_out, &mut gb_out);
         relu_backward(&c.emb, &mut grad_emb);
 
         let mut gw_emb = vec![0.0; self.fc_emb.w.len()];

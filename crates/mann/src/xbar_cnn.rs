@@ -122,11 +122,7 @@ fn patch(input: &Tensor, y: usize, x: usize, out: &mut [f64]) {
             let yy = y as i64 + dy as i64 - 1;
             for dx in 0..3usize {
                 let xx = x as i64 + dx as i64 - 1;
-                out[idx] = if yy < 0
-                    || yy >= input.h as i64
-                    || xx < 0
-                    || xx >= input.w as i64
-                {
+                out[idx] = if yy < 0 || yy >= input.h as i64 || xx < 0 || xx >= input.w as i64 {
                     0.0
                 } else {
                     input.data[(i * input.h + yy as usize) * input.w + xx as usize]

@@ -147,7 +147,9 @@ impl Matrix {
     /// Panics if `c >= cols`.
     pub fn col(&self, c: usize) -> Vec<f64> {
         assert!(c < self.cols, "column out of bounds");
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Flat row-major view of the data.

@@ -268,9 +268,7 @@ impl GridSolver {
             }
         }
 
-        let col_currents = (0..c)
-            .map(|j| self.g_sense * vc.at(r - 1, j))
-            .collect();
+        let col_currents = (0..c).map(|j| self.g_sense * vc.at(r - 1, j)).collect();
         GridSolution {
             v_row: vr,
             v_col: vc,
@@ -287,7 +285,12 @@ mod tests {
     #[test]
     fn thomas_solves_known_system() {
         // [[2,-1,0],[-1,2,-1],[0,-1,2]] x = [1,0,1] => x = [1,1,1]
-        let x = thomas_tridiagonal(&[-1.0, -1.0], &[2.0, 2.0, 2.0], &[-1.0, -1.0], &[1.0, 0.0, 1.0]);
+        let x = thomas_tridiagonal(
+            &[-1.0, -1.0],
+            &[2.0, 2.0, 2.0],
+            &[-1.0, -1.0],
+            &[1.0, 0.0, 1.0],
+        );
         for v in x {
             assert!((v - 1.0).abs() < 1e-12);
         }

@@ -30,7 +30,10 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 
 /// Minimum of a slice, ignoring NaNs. Returns `f64::INFINITY` when empty.
 pub fn min(xs: &[f64]) -> f64 {
-    xs.iter().copied().filter(|x| !x.is_nan()).fold(f64::INFINITY, f64::min)
+    xs.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(f64::INFINITY, f64::min)
 }
 
 /// Maximum of a slice, ignoring NaNs. Returns `f64::NEG_INFINITY` when empty.
@@ -205,13 +208,15 @@ pub fn mean_confidence_interval(xs: &[f64], z: f64) -> (f64, f64) {
 
 /// Median of a slice (average of middle two for even lengths).
 ///
-/// Returns `0.0` for an empty slice.
+/// Returns `0.0` for an empty slice. NaNs sort greatest (IEEE 754
+/// `totalOrder`), so a contaminated sample skews the median upward
+/// instead of panicking mid-sweep.
 pub fn median(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    v.sort_by(f64::total_cmp);
     let n = v.len();
     if n % 2 == 1 {
         v[n / 2]

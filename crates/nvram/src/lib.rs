@@ -270,8 +270,7 @@ impl RamArray {
     }
 
     fn cell_edge_m(&self) -> f64 {
-        (self.config.cell.area_f2_per_bit() * self.config.cell.layers() as f64)
-            .sqrt()
+        (self.config.cell.area_f2_per_bit() * self.config.cell.layers() as f64).sqrt()
             * self.config.tech.feature_m()
     }
 
@@ -327,7 +326,11 @@ impl RamArray {
         let dec = Decoder::new(self.sub_rows, self.wordline_cap(), tech);
 
         let read_latency = route.delay() + self.subarray_read_latency() + route.delay();
-        let verify = if dev.max_bits_per_cell() > 1 { 2.0 } else { 1.0 };
+        let verify = if dev.max_bits_per_cell() > 1 {
+            2.0
+        } else {
+            1.0
+        };
         let write_latency = route.delay() + dec.delay() + verify * dev.write_latency();
 
         let bits = self.config.word_bits as f64;

@@ -99,7 +99,7 @@ pub fn rank_by_lifetime(
             (cell, estimate(&config, traffic))
         })
         .collect();
-    rows.sort_by(|a, b| b.1.seconds.partial_cmp(&a.1.seconds).expect("finite"));
+    rows.sort_by(|a, b| b.1.seconds.total_cmp(&a.1.seconds));
     rows
 }
 
@@ -156,11 +156,7 @@ mod tests {
     fn zero_traffic_is_immortal() {
         let est = estimate(&cfg(RamCell::Pcm1T1R), &traffic(0.0, 1.0));
         assert!(est.seconds.is_infinite());
-        assert!(survives(
-            &cfg(RamCell::Pcm1T1R),
-            &traffic(0.0, 1.0),
-            1000.0
-        ));
+        assert!(survives(&cfg(RamCell::Pcm1T1R), &traffic(0.0, 1.0), 1000.0));
     }
 
     #[test]

@@ -1,10 +1,17 @@
 use xlda_syssim::study::*;
-use xlda_syssim::workload::*;
 use xlda_syssim::system::SystemConfig;
+use xlda_syssim::workload::*;
 fn main() {
-    for w in [cnn_trace(10), lstm_trace(16,512), transformer_trace(4,512,256), hdc_trace(617,4096,26)] {
+    for w in [
+        cnn_trace(10),
+        lstm_trace(16, 512),
+        transformer_trace(4, 512, 256),
+        hdc_trace(617, 4096, 26),
+    ] {
         let r = offload_speedup(&w, &SystemConfig::with_crossbar());
-        println!("{:20} frac {:.3} cpu {:.4}s accel {:.4}s speedup {:.2} egain {:.2}",
-            r.workload, r.offload_fraction, r.cpu_time_s, r.accel_time_s, r.speedup, r.energy_gain);
+        println!(
+            "{:20} frac {:.3} cpu {:.4}s accel {:.4}s speedup {:.2} egain {:.2}",
+            r.workload, r.offload_fraction, r.cpu_time_s, r.accel_time_s, r.speedup, r.energy_gain
+        );
     }
 }

@@ -124,10 +124,7 @@ pub fn run_streams(config: &SystemConfig, streams: &[Workload]) -> AlpReport {
         stream_free_at[s] = done;
         busy[idx(res)] += dur;
         st.next += 1;
-        q.schedule_at(
-            SimTime::from_secs(done),
-            Ev::KernelDone { stream: s },
-        );
+        q.schedule_at(SimTime::from_secs(done), Ev::KernelDone { stream: s });
     }
 
     for s in 0..streams.len() {

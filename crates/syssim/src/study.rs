@@ -43,10 +43,7 @@ pub fn offload_speedup(workload: &Workload, accel_config: &SystemConfig) -> Spee
 /// Sweeps several workloads against the default crossbar system.
 pub fn benchmark_suite(workloads: &[Workload]) -> Vec<SpeedupRow> {
     let cfg = SystemConfig::with_crossbar();
-    workloads
-        .iter()
-        .map(|w| offload_speedup(w, &cfg))
-        .collect()
+    workloads.iter().map(|w| offload_speedup(w, &cfg)).collect()
 }
 
 /// Amdahl sensitivity: speedup as a function of the offloadable fraction,

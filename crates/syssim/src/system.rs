@@ -209,8 +209,7 @@ impl System {
         let ops_per_tile = (2 * accel.rows * accel.cols) as u64;
         let tiles = k.compute_ops.div_ceil(ops_per_tile).max(1) as usize;
         // Weights are resident in the crossbars; only activations move.
-        let dma_per_tile =
-            (k.activation_bytes as f64 / tiles as f64) / accel.dma_bandwidth;
+        let dma_per_tile = (k.activation_bytes as f64 / tiles as f64) / accel.dma_bandwidth;
         let mut q: EventQueue<TileEvent> = EventQueue::new();
         let mut events = 0usize;
 
@@ -223,7 +222,11 @@ impl System {
 
         // Prime the pipeline: fetch the first tile (or all tiles when not
         // double buffered, still serially through the DMA engine).
-        let inflight_limit = if accel.double_buffer { accel.units + 1 } else { 1 };
+        let inflight_limit = if accel.double_buffer {
+            accel.units + 1
+        } else {
+            1
+        };
         let mut inflight = 0usize;
         while next_tile_to_fetch < tiles && inflight < inflight_limit {
             dma_free_at += dma_per_tile;
@@ -244,7 +247,7 @@ impl System {
                     let (u, &free_at) = unit_free_at
                         .iter()
                         .enumerate()
-                        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+                        .min_by(|a, b| a.1.total_cmp(b.1))
                         .expect("units exist");
                     let start = now.max(free_at);
                     let done = start + accel.mvm_latency_s;
@@ -363,8 +366,7 @@ mod tests {
     fn non_offloadable_kernels_stay_on_cpu() {
         let w = lstm_trace(4, 256);
         let rep = System::new(&SystemConfig::with_crossbar()).run(&w);
-        let cpu_kernels: Vec<&KernelRecord> =
-            rep.kernels.iter().filter(|k| !k.on_accel).collect();
+        let cpu_kernels: Vec<&KernelRecord> = rep.kernels.iter().filter(|k| !k.on_accel).collect();
         assert!(!cpu_kernels.is_empty());
         assert!(cpu_kernels.iter().all(|k| k.name.contains("elementwise")));
     }

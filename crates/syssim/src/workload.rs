@@ -253,7 +253,11 @@ mod tests {
     #[test]
     fn cnn_is_overwhelmingly_offloadable() {
         let w = cnn_trace(8);
-        assert!(w.offloadable_fraction() > 0.95, "{}", w.offloadable_fraction());
+        assert!(
+            w.offloadable_fraction() > 0.95,
+            "{}",
+            w.offloadable_fraction()
+        );
         assert!(w.total_ops() > 1_000_000_000);
     }
 

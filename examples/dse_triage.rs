@@ -41,7 +41,10 @@ fn main() {
     let front = pareto_front(&candidates);
     println!(
         "\nPareto-optimal: {:?}",
-        front.iter().map(|&i| &candidates[i].name).collect::<Vec<_>>()
+        front
+            .iter()
+            .map(|&i| &candidates[i].name)
+            .collect::<Vec<_>>()
     );
     let ranking = rank(&candidates, &Objective::latency_first(Some(0.9)));
     println!("\nlatency-first triage (iso-accuracy floor 90%):");

@@ -26,7 +26,12 @@ fn main() {
         ..EncoderConfig::default()
     });
 
-    println!("HDC on {} ({} classes, {} features)", data.name, data.classes, data.dim());
+    println!(
+        "HDC on {} ({} classes, {} features)",
+        data.name,
+        data.classes,
+        data.dim()
+    );
 
     // Software model at several element precisions (the Fig. 3C axis).
     println!("\nsoftware accuracy vs element precision:");
@@ -41,9 +46,21 @@ fn main() {
     let model = HdcModel::train(&encoder, &data, 3, 2);
     println!("\nFeFET CAM search (3-bit cells, 64-cell subarrays):");
     for (label, sigma, agg) in [
-        ("ideal cells, distance-sum", 0.0, Aggregation::DistanceSum { resolution: None }),
-        ("94 mV sigma, distance-sum", 0.094, Aggregation::DistanceSum { resolution: None }),
-        ("94 mV sigma, subarray vote", 0.094, Aggregation::SubarrayVote),
+        (
+            "ideal cells, distance-sum",
+            0.0,
+            Aggregation::DistanceSum { resolution: None },
+        ),
+        (
+            "94 mV sigma, distance-sum",
+            0.094,
+            Aggregation::DistanceSum { resolution: None },
+        ),
+        (
+            "94 mV sigma, subarray vote",
+            0.094,
+            Aggregation::SubarrayVote,
+        ),
     ] {
         let config = CamSearchConfig {
             bits_per_cell: 3,

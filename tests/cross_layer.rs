@@ -5,7 +5,7 @@
 use xlda::datagen::ClassificationSpec;
 use xlda::device::fefet::Fefet;
 use xlda::device::MemoryDevice;
-use xlda::evacam::{CamArray, CamConfig, CamCellDesign, DataKind, MatchKind};
+use xlda::evacam::{CamArray, CamCellDesign, CamConfig, DataKind, MatchKind};
 use xlda::hdc::cam::{Aggregation, CamAm, CamSearchConfig};
 use xlda::hdc::encode::{Encoder, EncoderConfig};
 use xlda::hdc::model::HdcModel;

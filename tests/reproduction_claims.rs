@@ -39,9 +39,7 @@ fn fig3h_headline_three_bit_fefet_cam_wins() {
     assert!(!sram.meets_floor, "1-bit SRAM must miss iso-accuracy");
     // The CAM survives multi-objective comparison too.
     let front = pareto_front(&candidates);
-    assert!(front
-        .iter()
-        .any(|&i| candidates[i].name == "3b FeFET CAM"));
+    assert!(front.iter().any(|&i| candidates[i].name == "3b FeFET CAM"));
 }
 
 #[test]

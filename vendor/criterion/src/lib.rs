@@ -1,0 +1,144 @@
+//! Offline shim for `criterion`: a minimal wall-clock benchmark harness
+//! exposing the API surface this workspace uses (`Criterion`,
+//! `bench_function`, `benchmark_group`, `Bencher::iter`,
+//! `criterion_group!`, `criterion_main!`).
+//!
+//! There is no statistical analysis, warm-up schedule, or HTML report;
+//! each benchmark runs a fixed sampling loop and prints mean time per
+//! iteration. Good enough to keep `cargo bench` compiling and giving
+//! ballpark numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// Runs one benchmark's measurement loop.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, preventing its result from being optimised away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples.capacity() {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+const SAMPLES: usize = 10;
+const TARGET_SAMPLE: Duration = Duration::from_millis(20);
+
+fn run_one(id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibrate iterations per sample to roughly TARGET_SAMPLE.
+    let mut probe = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::with_capacity(1),
+    };
+    f(&mut probe);
+    let once = probe.samples.first().copied().unwrap_or(Duration::ZERO);
+    let iters = if once.is_zero() {
+        1000
+    } else {
+        (TARGET_SAMPLE.as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+
+    let mut b = Bencher {
+        iters_per_sample: iters,
+        samples: Vec::with_capacity(SAMPLES),
+    };
+    f(&mut b);
+    let total: Duration = b.samples.iter().sum();
+    let per_iter = total.as_nanos() as f64 / (iters as f64 * b.samples.len().max(1) as f64);
+    println!("bench {id:<40} {per_iter:>12.1} ns/iter ({iters} iters x {SAMPLES} samples)");
+}
+
+impl Criterion {
+    /// Benchmarks `f` under the name `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+
+    /// Runs configuration hook (no-op in this shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Benchmarks `f` under `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Re-export point for `black_box` (criterion 0.8 forwards to std).
+pub use std::hint::black_box;
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut hits = 0u64;
+        c.bench_function("noop", |b| b.iter(|| hits += 1));
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.bench_function("inner", |b| b.iter(|| 2 + 2));
+        g.finish();
+    }
+}

@@ -1,0 +1,88 @@
+//! Offline shim for `crossbeam`: scoped threads with the crossbeam
+//! calling convention, implemented over `std::thread::scope`.
+//!
+//! The crossbeam API differs from std in two ways this shim preserves:
+//! the spawned closure receives a `&Scope` argument (for nested spawns),
+//! and `scope` returns a `Result` rather than propagating worker panics
+//! directly.
+
+pub mod thread {
+    use std::thread::Result as ThreadResult;
+
+    /// A scope for spawning borrowing threads (crossbeam calling
+    /// convention over [`std::thread::Scope`]).
+    #[repr(transparent)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; `join` returns the worker's panic as
+    /// an `Err` instead of propagating it.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result.
+        pub fn join(self) -> ThreadResult<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives this scope so it
+        /// can spawn further threads, as in crossbeam.
+        pub fn spawn<F, T>(&'scope self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle(self.inner.spawn(move || f(self)))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned;
+    /// all spawned threads are joined before this returns.
+    ///
+    /// Unjoined-worker panics surface when `std::thread::scope` unwinds,
+    /// as with crossbeam; the `Ok` wrapper keeps crossbeam's
+    /// `Result`-returning signature for call sites that `.expect()` it.
+    pub fn scope<'env, F, R>(f: F) -> ThreadResult<R>
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            // SAFETY: `Scope` is a `repr(transparent)` wrapper around
+            // `std::thread::Scope`, so the reference cast is layout- and
+            // lifetime-preserving.
+            let wrapped: &Scope<'_, 'env> =
+                unsafe { &*(s as *const std::thread::Scope<'_, 'env> as *const Scope<'_, 'env>) };
+            f(wrapped)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let sum = crate::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| scope.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn worker_panic_is_a_join_error() {
+        let r = crate::thread::scope(|scope| {
+            let h = scope.spawn(|_| -> usize { panic!("boom") });
+            h.join().is_err()
+        })
+        .unwrap();
+        assert!(r);
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline shim for `serde`: marker traits plus the no-op derive macros.
+//!
+//! The workspace only *annotates* types with the derives today; nothing
+//! serializes through the traits. The macro and trait namespaces are
+//! separate, so `serde::Serialize` resolves to the derive macro in
+//! `#[derive(...)]` position and to the marker trait in bound position,
+//! exactly as with the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,17 @@
+//! Offline shim for `serde_derive`: the derives are accepted and emit
+//! nothing, so `#[derive(serde::Serialize, serde::Deserialize)]`
+//! annotations compile without pulling in the real serde machinery.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
