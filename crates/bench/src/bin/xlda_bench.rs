@@ -1,0 +1,123 @@
+//! `xlda-bench` — sweep-engine benchmark harness and CI throughput gate.
+//!
+//! Runs the fixed HDC/MANN/triage sweep workloads, comparing the v1
+//! engine path (static chunking, no memoization) against the v2 path
+//! (work-stealing + cross-point memoization), writes the
+//! `BENCH_sweep.json` trajectory report, and optionally gates against a
+//! committed baseline.
+//!
+//! ```text
+//! xlda-bench [--smoke] [--workload NAME]... [--out PATH]
+//!            [--baseline PATH] [--tolerance FRACTION]
+//! ```
+//!
+//! - `--smoke`: shrunken grids for CI (seconds, not minutes).
+//! - `--workload`: `hdc`, `mann`, or `triage`; repeatable; default all.
+//! - `--out`: report path (default `BENCH_sweep.json`).
+//! - `--baseline`: gate against this committed report; exit 1 when v2
+//!   throughput falls below its `points_per_sec` floors minus
+//!   `--tolerance` (default 0.30), when a recorded `min_speedup` is
+//!   missed, or when baseline/v2 outputs are not bit-identical.
+
+use std::process::ExitCode;
+use xlda_bench::sweep_bench::{self, Workload};
+
+struct Args {
+    smoke: bool,
+    workloads: Vec<Workload>,
+    out: String,
+    baseline: Option<String>,
+    tolerance: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: xlda-bench [--smoke] [--workload hdc|mann|triage]... \
+         [--out PATH] [--baseline PATH] [--tolerance FRACTION]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        workloads: Vec::new(),
+        out: "BENCH_sweep.json".to_string(),
+        baseline: None,
+        tolerance: 0.30,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--workload" => match it.next().as_deref().and_then(Workload::parse) {
+                Some(w) => args.workloads.push(w),
+                None => usage(),
+            },
+            "--out" => match it.next() {
+                Some(p) => args.out = p,
+                None => usage(),
+            },
+            "--baseline" => match it.next() {
+                Some(p) => args.baseline = Some(p),
+                None => usage(),
+            },
+            "--tolerance" => match it.next().and_then(|t| t.parse().ok()) {
+                Some(t) => args.tolerance = t,
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let results = sweep_bench::run(&args.workloads, args.smoke);
+    sweep_bench::print(&results);
+
+    let json = sweep_bench::to_json(&results, args.smoke);
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("xlda-bench: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("\nreport written to {}", args.out);
+
+    let mut failures: Vec<String> = results
+        .iter()
+        .filter(|r| !r.checksum_match())
+        .map(|r| {
+            format!(
+                "{}: baseline/v2 checksum mismatch ({:016x} vs {:016x})",
+                r.name, r.baseline.checksum, r.v2.checksum
+            )
+        })
+        .collect();
+
+    if let Some(path) = &args.baseline {
+        match std::fs::read_to_string(path) {
+            Ok(baseline) => {
+                // The gate re-checks checksums; drop the duplicates above.
+                failures = sweep_bench::check_against_baseline(&results, &baseline, args.tolerance);
+                if failures.is_empty() {
+                    println!(
+                        "baseline gate: PASS (vs {path}, tolerance {})",
+                        args.tolerance
+                    );
+                }
+            }
+            Err(e) => failures.push(format!("cannot read baseline {path}: {e}")),
+        }
+    }
+
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -40,6 +40,7 @@ pub mod fig5;
 pub mod fig6_triage;
 pub mod nvram_sweep;
 pub mod secv_speedup;
+pub mod sweep_bench;
 
 use xlda_datagen::ClassificationSpec;
 

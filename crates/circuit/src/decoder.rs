@@ -7,6 +7,21 @@
 use crate::error::{ceil_log2, CircuitError};
 use crate::gate::{BufferChain, Gate, GateKind};
 use crate::tech::TechNode;
+use xlda_num::memo::quantize;
+use xlda_num::memo_cache;
+
+/// Memoized figure-of-merit bundle of one decoder geometry. Sweeps
+/// rebuild identical decoders thousands of times (same row count, load,
+/// node), so the derived FOMs are cached process-wide.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct DecoderFoms {
+    delay: f64,
+    energy: f64,
+    leakage: f64,
+    area: f64,
+}
+
+memo_cache!(static DECODER_FOMS: (usize, u64, u64) => DecoderFoms, "circuit.decoder");
 
 /// Analytical 1-of-N decoder.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,36 +97,50 @@ impl Decoder {
 
     /// Decode delay (s): NAND tree plus the output driver chain.
     pub fn delay(&self) -> f64 {
-        let nand = Gate::new(GateKind::Nand(2), 2.0, &self.tech);
-        let inter_cap = nand.input_cap() * 2.0;
-        let tree = self.levels() as f64 * nand.delay(inter_cap);
-        let driver = self.driver().delay();
-        tree + driver
+        self.foms().delay
     }
 
     /// Energy (J) per decode operation.
     ///
     /// One path through the tree switches, plus the selected driver.
     pub fn energy(&self) -> f64 {
-        let nand = Gate::new(GateKind::Nand(2), 2.0, &self.tech);
-        let inter_cap = nand.input_cap() * 2.0;
-        let tree = self.levels() as f64 * nand.switching_energy(inter_cap);
-        tree + self.driver().energy()
+        self.foms().energy
     }
 
     /// Leakage power (W) of the whole decoder.
     pub fn leakage_power(&self) -> f64 {
-        let nand = Gate::new(GateKind::Nand(2), 2.0, &self.tech);
-        // Roughly 2(N-1) gates in a full tree plus N drivers.
-        let gates = 2.0 * (self.outputs as f64 - 1.0).max(1.0);
-        gates * nand.leakage_power()
+        self.foms().leakage
     }
 
     /// Area (m²): tree gates plus one driver chain per output.
     pub fn area(&self) -> f64 {
+        self.foms().area
+    }
+
+    /// The memoized FOM bundle for this geometry.
+    fn foms(&self) -> DecoderFoms {
+        DECODER_FOMS.get_or_insert_with(
+            (
+                self.outputs,
+                quantize(self.output_load),
+                self.tech.memo_key(),
+            ),
+            || self.compute_foms(),
+        )
+    }
+
+    fn compute_foms(&self) -> DecoderFoms {
         let nand = Gate::new(GateKind::Nand(2), 2.0, &self.tech);
+        let inter_cap = nand.input_cap() * 2.0;
+        let driver = self.driver();
+        // Roughly 2(N-1) gates in a full tree plus N drivers.
         let gates = 2.0 * (self.outputs as f64 - 1.0).max(1.0);
-        gates * nand.area() + self.outputs as f64 * self.driver().area()
+        DecoderFoms {
+            delay: self.levels() as f64 * nand.delay(inter_cap) + driver.delay(),
+            energy: self.levels() as f64 * nand.switching_energy(inter_cap) + driver.energy(),
+            leakage: gates * nand.leakage_power(),
+            area: gates * nand.area() + self.outputs as f64 * driver.area(),
+        }
     }
 
     fn driver(&self) -> BufferChain {

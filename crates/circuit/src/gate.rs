@@ -6,6 +6,8 @@
 //! technology's FO1 inverter delay.
 
 use crate::tech::TechNode;
+use xlda_num::memo::quantize;
+use xlda_num::memo_cache;
 
 /// Static CMOS gate families with their logical effort and parasitic delay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -132,6 +134,8 @@ pub struct BufferChain {
     c_load: f64,
 }
 
+memo_cache!(static CHAIN_SIZING: (u64, u64, u64) => BufferChain, "circuit.buffer_chain");
+
 impl BufferChain {
     /// Sizes a chain from input capacitance `c_in` to load `c_load`.
     ///
@@ -139,11 +143,22 @@ impl BufferChain {
     /// optimum of ~4. A chain driving a load smaller than its input is a
     /// single stage.
     ///
+    /// Driver sizing recurs identically across sweep points (every
+    /// wordline/searchline/repeater of the same geometry sizes the same
+    /// chain), so the result is memoized process-wide keyed by the
+    /// quantized capacitances and the technology digest.
+    ///
     /// # Panics
     ///
     /// Panics if either capacitance is not positive.
     pub fn size_for(c_in: f64, c_load: f64, tech: &TechNode) -> Self {
         assert!(c_in > 0.0 && c_load > 0.0, "capacitances must be positive");
+        CHAIN_SIZING.get_or_insert_with((quantize(c_in), quantize(c_load), tech.memo_key()), || {
+            Self::size_for_uncached(c_in, c_load, tech)
+        })
+    }
+
+    fn size_for_uncached(c_in: f64, c_load: f64, tech: &TechNode) -> Self {
         let total_effort = (c_load / c_in).max(1.0);
         let stages = (total_effort.ln() / 4.0f64.ln()).round().max(1.0) as usize;
         let stage_effort = total_effort.powf(1.0 / stages as f64);
@@ -269,5 +284,15 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_size_gate_panics() {
         Gate::new(GateKind::Inverter, 0.0, &tech());
+    }
+
+    #[test]
+    fn size_for_memoization_is_transparent() {
+        let t = tech();
+        let a = BufferChain::size_for(2e-15, 150e-15, &t);
+        let b = BufferChain::size_for(2e-15, 150e-15, &t);
+        assert_eq!(a, b);
+        assert_eq!(a.delay().to_bits(), b.delay().to_bits());
+        assert_eq!(a.energy().to_bits(), b.energy().to_bits());
     }
 }

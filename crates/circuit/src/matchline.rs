@@ -12,6 +12,8 @@
 
 use crate::senseamp::SenseAmp;
 use crate::tech::TechNode;
+use xlda_num::memo::quantize;
+use xlda_num::memo_cache;
 
 /// Electrical parameters of one CAM cell as seen by its matchline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,6 +43,24 @@ impl Default for MatchlineConfig {
         }
     }
 }
+
+impl MatchlineConfig {
+    /// Quantized cache-key words for the five electrical parameters.
+    fn quantized(&self) -> [u64; 5] {
+        [
+            quantize(self.g_on),
+            quantize(self.g_off),
+            quantize(self.c_cell),
+            quantize(self.precharge_frac),
+            quantize(self.v_ref_frac),
+        ]
+    }
+}
+
+memo_cache!(
+    static MAX_CELLS: ([u64; 5], u64, usize, u64) => Option<usize>,
+    "circuit.matchline_max_cells"
+);
 
 /// A matchline carrying `cells` CAM cells in a given technology.
 #[derive(Debug, Clone, PartialEq)]
@@ -180,7 +200,30 @@ impl Matchline {
     ///
     /// This is the array-width limit Eva-CAM derives for BE/TH match
     /// (paper Sec. VI). Returns `None` if even a 2-cell line fails.
+    ///
+    /// The search re-runs identically for every sweep point sharing a
+    /// cell/technology/margin combination (typically the entire sweep
+    /// axis over capacities), so the bound is memoized process-wide. The
+    /// sense amplifier enters the limit only through its resolvable
+    /// floor, which is all the key carries of it.
     pub fn max_cells_for(
+        config: MatchlineConfig,
+        tech: &TechNode,
+        required_mismatches: usize,
+        sa: &SenseAmp,
+    ) -> Option<usize> {
+        MAX_CELLS.get_or_insert_with(
+            (
+                config.quantized(),
+                tech.memo_key(),
+                required_mismatches,
+                quantize(sa.min_resolvable),
+            ),
+            || Self::max_cells_for_uncached(config, tech, required_mismatches, sa),
+        )
+    }
+
+    fn max_cells_for_uncached(
         config: MatchlineConfig,
         tech: &TechNode,
         required_mismatches: usize,

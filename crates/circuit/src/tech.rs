@@ -235,6 +235,30 @@ impl TechNode {
     pub fn switch_energy(&self, c: f64) -> f64 {
         c * self.vdd * self.vdd
     }
+
+    /// A stable 64-bit digest of every electrical parameter, used as the
+    /// technology component of the cross-sweep memo-cache keys (see
+    /// `xlda_num::memo`). Nodes differing in any parameter get distinct
+    /// keys; preset nodes hash identically across the whole process.
+    pub fn memo_key(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for v in [
+            self.feature_nm,
+            self.vdd,
+            self.ion_n_per_um,
+            self.ion_p_per_um,
+            self.ioff_per_um,
+            self.cgate_per_um,
+            self.cdrain_per_um,
+            self.wire_r_per_um,
+            self.wire_c_per_um,
+            self.min_width_um,
+        ] {
+            h.write_u64(v.to_bits());
+        }
+        h.finish()
+    }
 }
 
 impl Default for TechNode {
@@ -314,6 +338,16 @@ mod tests {
     #[should_panic(expected = "width must be positive")]
     fn zero_width_panics() {
         TechNode::n40().nmos_on_resistance(0.0);
+    }
+
+    #[test]
+    fn memo_key_distinguishes_nodes() {
+        let keys: Vec<u64> = TechNode::all().iter().map(TechNode::memo_key).collect();
+        let mut dedup = keys.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), keys.len(), "preset nodes must not collide");
+        assert_eq!(TechNode::n40().memo_key(), TechNode::n40().memo_key());
     }
 
     #[test]

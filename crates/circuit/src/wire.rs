@@ -7,6 +7,13 @@
 
 use crate::gate::BufferChain;
 use crate::tech::TechNode;
+use xlda_num::memo::quantize;
+use xlda_num::memo_cache;
+
+memo_cache!(
+    static REPEATED_WIRE: (u64, u64, u64) => RepeatedWire,
+    "circuit.repeated_wire"
+);
 
 /// A straight wire segment in a given technology.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,6 +83,10 @@ impl RepeatedWire {
     /// Builds a repeated wire of total length `length_m`, splitting into
     /// segments of at most `seg_len_m`.
     ///
+    /// Global-route sizing recurs across sweep points sharing an
+    /// organization geometry, so the repeated-wire RC solution is
+    /// memoized per (length, segment length, technology).
+    ///
     /// # Panics
     ///
     /// Panics if lengths are not positive.
@@ -84,6 +95,13 @@ impl RepeatedWire {
             length_m > 0.0 && seg_len_m > 0.0,
             "lengths must be positive"
         );
+        REPEATED_WIRE.get_or_insert_with(
+            (quantize(length_m), quantize(seg_len_m), tech.memo_key()),
+            || Self::new_uncached(length_m, seg_len_m, tech),
+        )
+    }
+
+    fn new_uncached(length_m: f64, seg_len_m: f64, tech: &TechNode) -> Self {
         let segments = (length_m / seg_len_m).ceil().max(1.0) as usize;
         let segment = Wire::new(length_m / segments as f64, tech);
         let c_in = tech.gate_cap(3.0 * tech.min_width_um);

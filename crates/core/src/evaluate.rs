@@ -9,6 +9,7 @@
 
 use crate::error::{validate_fom, XldaError};
 use crate::fom::{Candidate, Fom};
+use crate::sweep::layer_timed;
 use xlda_baseline::{HybridPipeline, Kernel, Platform};
 use xlda_circuit::tech::TechNode;
 use xlda_crossbar::macro_model::CrossbarMacro;
@@ -98,27 +99,34 @@ fn hdc_on_cam(
         cols: 256,
         ..CrossbarConfig::default()
     };
-    let xmacro = CrossbarMacro::try_new(&xbar_cfg, &s.tech, 8)?;
-    let tiles_rows = s.dim_in.div_ceil(256);
-    let tiles_cols = hv.div_ceil(256);
-    let mvm = xmacro.mvm_cost();
-    // Column tiles run in parallel macros; row tiles accumulate serially.
-    let t_encode = tiles_rows as f64 * mvm.latency_s;
-    let e_encode = (tiles_rows * tiles_cols) as f64 * mvm.energy_j;
-    let a_encode = (tiles_rows * tiles_cols) as f64 * xmacro.area_m2() * 1e6; // mm²
+    let (t_encode, e_encode, a_encode) = layer_timed("crossbar", || {
+        let xmacro = CrossbarMacro::try_new(&xbar_cfg, &s.tech, 8)?;
+        let tiles_rows = s.dim_in.div_ceil(256);
+        let tiles_cols = hv.div_ceil(256);
+        let mvm = xmacro.mvm_cost();
+        // Column tiles run in parallel macros; row tiles accumulate
+        // serially.
+        Ok::<_, XldaError>((
+            tiles_rows as f64 * mvm.latency_s,
+            (tiles_rows * tiles_cols) as f64 * mvm.energy_j,
+            (tiles_rows * tiles_cols) as f64 * xmacro.area_m2() * 1e6, // mm²
+        ))
+    })?;
 
     // Search: one CAM holding `classes` words of `hv` cells.
     let bits = data.bits_per_cell() as usize;
-    let cam = CamArray::new(CamConfig {
-        words: s.classes,
-        bits_per_word: hv * bits,
-        design,
-        data,
-        match_kind: MatchKind::Best { max_distance: 8 },
-        row_banks: 1,
-        tech: s.tech.clone(),
+    let rep = layer_timed("evacam", || {
+        let cam = CamArray::new(CamConfig {
+            words: s.classes,
+            bits_per_word: hv * bits,
+            design,
+            data,
+            match_kind: MatchKind::Best { max_distance: 8 },
+            row_banks: 1,
+            tech: s.tech.clone(),
+        })?;
+        Ok::<_, XldaError>(cam.report())
     })?;
-    let rep = cam.report();
     let out = (
         t_encode + rep.search_latency_s,
         e_encode + rep.search_energy_j,
@@ -299,16 +307,18 @@ pub fn try_tpu_nvm_candidate(s: &HdcScenario, batch: usize) -> Result<Candidate,
     // Weight footprint: bipolar projection (1 bit/element) + 4-bit class
     // HVs, held in on-chip FeFET NVM.
     let weight_bytes = (s.dim_in * s.hv_dim_sw) as u64 / 8 + (s.classes * s.hv_dim_sw) as u64 / 2;
-    let ram = RamArray::auto_organize(
-        &RamConfig {
-            capacity_bits: weight_bytes * 8,
-            word_bits: 256,
-            cell: RamCell::Fefet1T,
-            tech: s.tech.clone(),
-        },
-        OptTarget::ReadLatency,
-    )?;
-    let rep = ram.report();
+    let rep = layer_timed("nvram", || {
+        let ram = RamArray::auto_organize(
+            &RamConfig {
+                capacity_bits: weight_bytes * 8,
+                word_bits: 256,
+                cell: RamCell::Fefet1T,
+                tech: s.tech.clone(),
+            },
+            OptTarget::ReadLatency,
+        )?;
+        Ok::<_, XldaError>(ram.report())
+    })?;
     // 16 mats stream in parallel: aggregated on-chip weight bandwidth.
     let nvm_bw = 16.0 * (256.0 / 8.0) / rep.read_latency_s;
     let flops = 2.0 * (s.dim_in * s.hv_dim_sw + s.classes * s.hv_dim_sw) as f64;
@@ -460,8 +470,11 @@ pub fn try_mann_candidates(s: &MannScenario) -> Result<Vec<Candidate>, XldaError
         cols: 64,
         ..CrossbarConfig::default()
     };
-    let xmacro = CrossbarMacro::try_new(&xbar_cfg, &s.tech, 8)?;
-    let mvm = xmacro.mvm_cost();
+    let (xmacro, mvm) = layer_timed("crossbar", || {
+        let xmacro = CrossbarMacro::try_new(&xbar_cfg, &s.tech, 8)?;
+        let mvm = xmacro.mvm_cost();
+        Ok::<_, XldaError>((xmacro, mvm))
+    })?;
     // Paper: >65k weights across 36 64x64 crossbars; layers pipeline but
     // inference visits each layer once.
     let cnn_tiles = s.weights.div_ceil(64 * 64).max(1);
@@ -471,16 +484,18 @@ pub fn try_mann_candidates(s: &MannScenario) -> Result<Vec<Candidate>, XldaError
     let hash_tiles = (s.emb_dim.div_ceil(64) * (2 * s.hash_bits).div_ceil(64)).max(1);
     let t_hash = mvm.latency_s;
     let e_hash = hash_tiles as f64 * mvm.energy_j;
-    let cam = CamArray::new(CamConfig {
-        words: s.entries,
-        bits_per_word: s.hash_bits,
-        design: CamCellDesign::Rram2T2R,
-        data: DataKind::Ternary,
-        match_kind: MatchKind::Best { max_distance: 4 },
-        row_banks: 1,
-        tech: s.tech.clone(),
+    let rep = layer_timed("evacam", || {
+        let cam = CamArray::new(CamConfig {
+            words: s.entries,
+            bits_per_word: s.hash_bits,
+            design: CamCellDesign::Rram2T2R,
+            data: DataKind::Ternary,
+            match_kind: MatchKind::Best { max_distance: 4 },
+            row_banks: 1,
+            tech: s.tech.clone(),
+        })?;
+        Ok::<_, XldaError>(cam.report())
     })?;
-    let rep = cam.report();
     let area = (cnn_tiles + hash_tiles) as f64 * xmacro.area_m2() * 1e6 + rep.area_um2 * 1e-6;
 
     Ok(vec![

@@ -1,20 +1,114 @@
-//! Parallel design-space sweep utilities.
+//! Parallel design-space sweep engine (v2).
 //!
 //! DSE workloads are embarrassingly parallel (each design point evaluates
 //! independently) and highly redundant (sweeps revisit the same array
-//! configurations). [`par_map`] fans a sweep out across threads while
-//! preserving input order; [`Cache`] memoizes expensive evaluations
-//! across sweep points.
+//! configurations). Version 2 of the engine adds three things over the
+//! original statically chunked fan-out:
+//!
+//! - **work-stealing dispatch** ([`Schedule::WorkStealing`]): workers
+//!   self-schedule small chunks off a shared atomic cursor, so a slow
+//!   region of the design space (e.g. large capacities that organize
+//!   slowly) cannot strand the other workers the way one oversized
+//!   static chunk can;
+//! - **cross-point memoization**: the layer crates share sub-evaluations
+//!   (decoder FOMs, driver sizing, matchline limits, RAM organizations,
+//!   crossbar macros) through the sharded caches in [`memo`]
+//!   (re-exported here from `xlda_num`), and sweeps report their hit
+//!   rates;
+//! - **observability** ([`SweepStats`], [`sweep_with_stats`],
+//!   [`layer_timed`]): points/sec, per-cache hit rates, and optional
+//!   per-layer wall-time counters for attributing sweep cost to model
+//!   layers.
+//!
+//! Output order is always input order, independent of the schedule: the
+//! engine tracks chunk indices and reassembles results deterministically.
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, LazyLock, Mutex};
+use std::time::{Duration, Instant};
 
-/// Evaluates `f` over `inputs` in parallel, preserving order.
-///
-/// The closure runs on scoped threads, so it may borrow from the
-/// caller's stack. Panics in workers propagate to the caller.
-pub fn par_map<I, O, F>(inputs: &[I], f: F) -> Vec<O>
+pub use xlda_num::memo;
+pub use xlda_num::memo::{CacheSnapshot, ShardedCache};
+
+/// How the engine hands sweep points to worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Schedule {
+    /// One contiguous pre-assigned chunk per worker (the v1 behavior):
+    /// lowest dispatch overhead, but load imbalance when evaluation cost
+    /// varies across the input range.
+    StaticChunks,
+    /// Workers pull fixed-size chunks off a shared atomic cursor until
+    /// the input is drained. Imbalance is bounded by one chunk.
+    WorkStealing,
+}
+
+/// Sweep engine tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// Dispatch schedule (default: [`Schedule::WorkStealing`]).
+    pub schedule: Schedule,
+    /// Worker threads; `0` means the machine's available parallelism.
+    pub threads: usize,
+    /// Points per stolen work unit; `0` picks a chunk that gives each
+    /// worker ~8 steals (clamped to `1..=256`). Ignored by
+    /// [`Schedule::StaticChunks`].
+    pub chunk: usize,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self {
+            schedule: Schedule::WorkStealing,
+            threads: 0,
+            chunk: 0,
+        }
+    }
+}
+
+impl SweepOptions {
+    /// The v1-compatible configuration: static chunking, one chunk per
+    /// thread. Used by benchmarks as the pre-v2 baseline.
+    pub fn v1_static() -> Self {
+        Self {
+            schedule: Schedule::StaticChunks,
+            ..Self::default()
+        }
+    }
+
+    fn resolve_threads(&self, points: usize) -> usize {
+        let t = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        t.clamp(1, points.max(1))
+    }
+
+    fn resolve_chunk(&self, points: usize, threads: usize) -> usize {
+        match self.schedule {
+            Schedule::StaticChunks => points.div_ceil(threads).max(1),
+            Schedule::WorkStealing => {
+                if self.chunk > 0 {
+                    self.chunk
+                } else {
+                    (points / (threads * 8)).clamp(1, 256)
+                }
+            }
+        }
+    }
+}
+
+/// Core dispatch: evaluates `f` over `inputs` under `opts`, preserving
+/// input order. Workers pull chunk indices from a shared cursor (under
+/// static chunking each chunk is thread-sized, so every worker takes at
+/// most one), tag results with their chunk index, and the caller
+/// reassembles in index order — output order never depends on thread
+/// interleaving.
+fn dispatch<I, O, F>(inputs: &[I], f: F, opts: &SweepOptions) -> Vec<O>
 where
     I: Sync,
     O: Send,
@@ -23,23 +117,84 @@ where
     if inputs.is_empty() {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(inputs.len());
-    let chunk = inputs.len().div_ceil(threads);
+    let threads = opts.resolve_threads(inputs.len());
+    let chunk = opts.resolve_chunk(inputs.len(), threads);
+    let cursor = AtomicUsize::new(0);
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for chunk_inputs in inputs.chunks(chunk) {
+        for _ in 0..threads {
             let f = &f;
-            handles.push(scope.spawn(move |_| chunk_inputs.iter().map(f).collect::<Vec<O>>()));
+            let cursor = &cursor;
+            handles.push(scope.spawn(move |_| {
+                let mut mine: Vec<(usize, Vec<O>)> = Vec::new();
+                loop {
+                    let c = cursor.fetch_add(1, Ordering::Relaxed);
+                    let lo = c * chunk;
+                    if lo >= inputs.len() {
+                        break;
+                    }
+                    let hi = (lo + chunk).min(inputs.len());
+                    mine.push((c, inputs[lo..hi].iter().map(f).collect()));
+                }
+                mine
+            }));
         }
-        handles
+        let mut parts: Vec<(usize, Vec<O>)> = handles
             .into_iter()
             .flat_map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
+            .collect();
+        parts.sort_unstable_by_key(|&(c, _)| c);
+        parts.into_iter().flat_map(|(_, v)| v).collect()
     })
     .expect("sweep scope panicked")
+}
+
+/// Evaluates `f` over `inputs` in parallel, preserving order.
+///
+/// The closure runs on scoped threads, so it may borrow from the
+/// caller's stack. A panic in any point is contained at the point
+/// boundary and re-raised on the caller's thread with the point index
+/// and the original payload message — not a generic join error.
+pub fn par_map<I, O, F>(inputs: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    par_map_with(inputs, f, &SweepOptions::default())
+}
+
+/// [`par_map`] with explicit [`SweepOptions`].
+///
+/// # Panics
+///
+/// Re-raises the first (in input order) evaluator panic as
+/// `"sweep point <i> panicked: <payload>"`.
+pub fn par_map_with<I, O, F>(inputs: &[I], f: F, opts: &SweepOptions) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let contained = dispatch(
+        inputs,
+        |input| {
+            // Evaluators are pure over `&I`, so unwind safety reduces to
+            // not observing half-updated state — which a shared borrow
+            // cannot be.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(input)))
+                .map_err(panic_message)
+        },
+        opts,
+    );
+    contained
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| match r {
+            Ok(o) => o,
+            Err(msg) => panic!("sweep point {i} panicked: {msg}"),
+        })
+        .collect()
 }
 
 /// Why one sweep point produced no result.
@@ -106,20 +261,233 @@ where
     E: Send,
     F: Fn(&I) -> Result<O, E> + Sync,
 {
-    par_map(inputs, |input| {
-        // The closure is shared immutably across points and evaluators
-        // are pure, so unwind safety reduces to not observing a
-        // half-updated input — which `&I` cannot be.
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(input)))
-            .map_err(panic_message)
-            .map_or_else(
-                |msg| Err(PointFailure::Panicked(msg)),
-                |r| r.map_err(PointFailure::Error),
-            )
-    })
+    par_try_map_with(inputs, f, &SweepOptions::default())
+}
+
+/// [`par_try_map`] with explicit [`SweepOptions`].
+pub fn par_try_map_with<I, O, E, F>(
+    inputs: &[I],
+    f: F,
+    opts: &SweepOptions,
+) -> Vec<Result<O, PointFailure<E>>>
+where
+    I: Sync,
+    O: Send,
+    E: Send,
+    F: Fn(&I) -> Result<O, E> + Sync,
+{
+    dispatch(
+        inputs,
+        |input| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(input)))
+                .map_err(panic_message)
+                .map_or_else(
+                    |msg| Err(PointFailure::Panicked(msg)),
+                    |r| r.map_err(PointFailure::Error),
+                )
+        },
+        opts,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Observability: per-sweep stats and per-layer time counters.
+// ---------------------------------------------------------------------------
+
+static LAYER_TIMING: AtomicBool = AtomicBool::new(false);
+
+#[derive(Debug, Default)]
+struct LayerCounter {
+    nanos: AtomicU64,
+    calls: AtomicU64,
+}
+
+static LAYER_REGISTRY: LazyLock<Mutex<HashMap<&'static str, Arc<LayerCounter>>>> =
+    LazyLock::new(|| Mutex::new(HashMap::new()));
+
+/// Globally enables or disables [`layer_timed`] measurement.
+///
+/// Off (the default), `layer_timed` is a plain call with one relaxed
+/// atomic load of overhead.
+pub fn set_layer_timing(on: bool) {
+    LAYER_TIMING.store(on, Ordering::SeqCst);
+}
+
+/// Runs `f`, attributing its wall time to the layer counter `name` when
+/// layer timing is enabled (see [`set_layer_timing`]).
+///
+/// Nested timed sections each count their own wall time, so a parent
+/// layer includes its children; counters are cumulative across threads.
+pub fn layer_timed<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    if !LAYER_TIMING.load(Ordering::Relaxed) {
+        return f();
+    }
+    let counter = {
+        let mut map = LAYER_REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(map.entry(name).or_default())
+    };
+    let start = Instant::now();
+    let out = f();
+    counter
+        .nanos
+        .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    counter.calls.fetch_add(1, Ordering::Relaxed);
+    out
+}
+
+/// One layer's cumulative time counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerTime {
+    /// Counter name passed to [`layer_timed`].
+    pub name: &'static str,
+    /// Total wall nanoseconds attributed to the layer.
+    pub nanos: u64,
+    /// Number of timed calls.
+    pub calls: u64,
+}
+
+impl LayerTime {
+    /// Total attributed time as a [`Duration`].
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.nanos)
+    }
+}
+
+/// Snapshot of every layer counter, sorted by name.
+pub fn layer_snapshot() -> Vec<LayerTime> {
+    let map = LAYER_REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    let mut out: Vec<LayerTime> = map
+        .iter()
+        .map(|(name, c)| LayerTime {
+            name,
+            nanos: c.nanos.load(Ordering::Relaxed),
+            calls: c.calls.load(Ordering::Relaxed),
+        })
+        .collect();
+    out.sort_by_key(|l| l.name);
+    out
+}
+
+/// Zeroes every layer counter.
+pub fn reset_layer_timing() {
+    let map = LAYER_REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    for c in map.values() {
+        c.nanos.store(0, Ordering::Relaxed);
+        c.calls.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Observability record of one sweep: throughput, memo-cache activity,
+/// and per-layer time counters, all measured over just that sweep
+/// (registry counters are diffed before/after).
+#[derive(Debug, Clone)]
+pub struct SweepStats {
+    /// Number of design points evaluated.
+    pub points: usize,
+    /// Wall time of the whole sweep.
+    pub elapsed: Duration,
+    /// Per-cache hit/miss deltas over the sweep, sorted by cache name.
+    pub caches: Vec<CacheSnapshot>,
+    /// Per-layer time deltas over the sweep (empty unless layer timing
+    /// is enabled), sorted by layer name.
+    pub layers: Vec<LayerTime>,
+}
+
+impl SweepStats {
+    /// Evaluated points per second of wall time.
+    pub fn points_per_sec(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s > 0.0 {
+            self.points as f64 / s
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Total cache hits across all registered caches during the sweep.
+    pub fn cache_hits(&self) -> u64 {
+        self.caches.iter().map(|c| c.hits).sum()
+    }
+
+    /// Total cache misses across all registered caches during the sweep.
+    pub fn cache_misses(&self) -> u64 {
+        self.caches.iter().map(|c| c.misses).sum()
+    }
+
+    /// Aggregate hit rate across all caches (0.0 with no lookups).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits() + self.cache_misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits() as f64 / total as f64
+        }
+    }
+}
+
+fn diff_caches(before: &[CacheSnapshot], after: Vec<CacheSnapshot>) -> Vec<CacheSnapshot> {
+    after
+        .into_iter()
+        .map(|a| {
+            // A cache first registered mid-sweep has no "before" row;
+            // its delta is its whole history.
+            let b = before.iter().find(|b| b.name == a.name);
+            CacheSnapshot {
+                name: a.name,
+                hits: a.hits - b.map_or(0, |b| b.hits),
+                misses: a.misses - b.map_or(0, |b| b.misses),
+                entries: a.entries,
+            }
+        })
+        .collect()
+}
+
+fn diff_layers(before: &[LayerTime], after: Vec<LayerTime>) -> Vec<LayerTime> {
+    after
+        .into_iter()
+        .map(|a| {
+            let b = before.iter().find(|b| b.name == a.name);
+            LayerTime {
+                name: a.name,
+                nanos: a.nanos.saturating_sub(b.map_or(0, |b| b.nanos)),
+                calls: a.calls.saturating_sub(b.map_or(0, |b| b.calls)),
+            }
+        })
+        .filter(|l| l.calls > 0)
+        .collect()
+}
+
+/// Runs [`par_map_with`] and measures it: wall time, throughput, and
+/// memo-cache / layer-counter deltas over the sweep.
+pub fn sweep_with_stats<I, O, F>(inputs: &[I], f: F, opts: &SweepOptions) -> (Vec<O>, SweepStats)
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let caches_before = memo::snapshot();
+    let layers_before = layer_snapshot();
+    let start = Instant::now();
+    let out = par_map_with(inputs, f, opts);
+    let elapsed = start.elapsed();
+    let stats = SweepStats {
+        points: inputs.len(),
+        elapsed,
+        caches: diff_caches(&caches_before, memo::snapshot()),
+        layers: diff_layers(&layers_before, layer_snapshot()),
+    };
+    (out, stats)
 }
 
 /// A thread-safe memoization cache for sweep evaluations.
+///
+/// Since v2 this is a thin wrapper over [`memo::ShardedCache`]: lookups
+/// shard across sixteen locks instead of serializing on one, and hits
+/// and misses are counted. Unlike the caches declared with
+/// [`xlda_num::memo_cache!`], a `Cache` is caller-owned and unregistered
+/// — it does not appear in [`memo::snapshot`] — but the global memo
+/// switch still governs it (a disabled switch bypasses it too, since
+/// transparency tests must silence *every* memo layer).
 ///
 /// # Examples
 ///
@@ -131,16 +499,22 @@ where
 /// assert_eq!(v, 49);
 /// assert_eq!(cache.len(), 1);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Cache<K, V> {
-    map: RwLock<HashMap<K, V>>,
+    inner: ShardedCache<K, V>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Default for Cache<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> Cache<K, V> {
     /// Creates an empty cache.
     pub fn new() -> Self {
         Self {
-            map: RwLock::new(HashMap::new()),
+            inner: ShardedCache::new(),
         }
     }
 
@@ -151,22 +525,22 @@ impl<K: Eq + Hash + Clone, V: Clone> Cache<K, V> {
     /// stored value wins, keeping results deterministic for pure
     /// evaluators.
     pub fn get_or_insert_with<F: FnOnce() -> V>(&self, key: K, compute: F) -> V {
-        if let Some(v) = self.map.read().get(&key) {
-            return v.clone();
-        }
-        let value = compute();
-        let mut guard = self.map.write();
-        guard.entry(key).or_insert(value).clone()
+        self.inner.get_or_insert_with(key, compute)
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.map.read().len()
+        self.inner.len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.read().is_empty()
+        self.inner.is_empty()
+    }
+
+    /// Hit/miss counters accumulated by this cache.
+    pub fn stats(&self) -> &memo::CacheStats {
+        self.inner.stats()
     }
 }
 
@@ -174,6 +548,7 @@ impl<K: Eq + Hash + Clone, V: Clone> Cache<K, V> {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use xlda_num::memo_cache;
 
     #[test]
     fn par_map_preserves_order() {
@@ -195,6 +570,46 @@ mod tests {
         let inputs = vec![0usize, 1, 2];
         let out = par_map(&inputs, |&i| base[i] + 1);
         assert_eq!(out, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn schedules_agree_and_preserve_order() {
+        let inputs: Vec<u64> = (0..4097).collect();
+        let expect: Vec<u64> = inputs.iter().map(|&x| x.wrapping_mul(x) ^ 7).collect();
+        for opts in [
+            SweepOptions::v1_static(),
+            SweepOptions::default(),
+            SweepOptions {
+                schedule: Schedule::WorkStealing,
+                threads: 3,
+                chunk: 5,
+            },
+            SweepOptions {
+                schedule: Schedule::WorkStealing,
+                threads: 8,
+                chunk: 1,
+            },
+        ] {
+            let out = par_map_with(&inputs, |&x| x.wrapping_mul(x) ^ 7, &opts);
+            assert_eq!(out, expect, "schedule {opts:?}");
+        }
+    }
+
+    #[test]
+    fn par_map_panic_surfaces_point_payload() {
+        let inputs: Vec<u32> = (0..64).collect();
+        let caught = std::panic::catch_unwind(|| {
+            par_map(&inputs, |&x| {
+                if x == 41 {
+                    panic!("model bug on candidate {x}");
+                }
+                x
+            })
+        })
+        .expect_err("sweep must propagate the panic");
+        let msg = panic_message(caught);
+        assert!(msg.contains("sweep point 41"), "{msg}");
+        assert!(msg.contains("model bug on candidate 41"), "{msg}");
     }
 
     #[test]
@@ -251,6 +666,8 @@ mod tests {
         assert_eq!(calls.load(Ordering::SeqCst), 1);
         assert_eq!(cache.len(), 1);
         assert!(!cache.is_empty());
+        assert_eq!(cache.stats().hits(), 4);
+        assert_eq!(cache.stats().misses(), 1);
     }
 
     #[test]
@@ -262,5 +679,51 @@ mod tests {
         for (i, &v) in inputs.iter().zip(&out) {
             assert_eq!(v, i * 100);
         }
+    }
+
+    #[test]
+    fn sweep_with_stats_measures_throughput_and_caches() {
+        memo_cache!(static STATS_PROBE: u64 => u64, "core.test_stats_probe");
+        let inputs: Vec<u64> = (0..128).map(|i| i % 4).collect();
+        let (out, stats) = sweep_with_stats(
+            &inputs,
+            |&x| STATS_PROBE.get_or_insert_with(x, || x + 1),
+            &SweepOptions::default(),
+        );
+        assert_eq!(out.len(), 128);
+        assert_eq!(stats.points, 128);
+        assert!(stats.points_per_sec() > 0.0);
+        let probe = stats
+            .caches
+            .iter()
+            .find(|c| c.name == "core.test_stats_probe")
+            .expect("probe cache registered");
+        assert_eq!(probe.hits + probe.misses, 128);
+        assert_eq!(probe.misses, 4);
+        assert!(stats.cache_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn layer_timing_is_gated_and_diffed() {
+        // Off by default: no counter appears.
+        layer_timed("core.test_layer_off", || 1 + 1);
+        assert!(!layer_snapshot()
+            .iter()
+            .any(|l| l.name == "core.test_layer_off"));
+
+        set_layer_timing(true);
+        let before = layer_snapshot();
+        for _ in 0..3 {
+            layer_timed("core.test_layer_on", || std::hint::black_box(17u64 * 3));
+        }
+        let after = layer_snapshot();
+        set_layer_timing(false);
+        let delta = diff_layers(&before, after);
+        let l = delta
+            .iter()
+            .find(|l| l.name == "core.test_layer_on")
+            .expect("layer counted");
+        assert_eq!(l.calls, 3);
+        assert!(l.elapsed() >= Duration::ZERO);
     }
 }

@@ -130,7 +130,7 @@ proptest! {
 
 mod sweep_props {
     use proptest::prelude::*;
-    use xlda_core::sweep::{par_map, Cache};
+    use xlda_core::sweep::{par_map, par_map_with, Cache, Schedule, SweepOptions};
 
     proptest! {
         #[test]
@@ -138,6 +138,27 @@ mod sweep_props {
             let par = par_map(&xs, |&x| x * 2.0 + 1.0);
             let seq: Vec<f64> = xs.iter().map(|&x| x * 2.0 + 1.0).collect();
             prop_assert_eq!(par, seq);
+        }
+
+        #[test]
+        fn work_stealing_schedule_never_reorders_output(
+            xs in prop::collection::vec(-1e6f64..1e6, 0..300),
+            threads in 1usize..9,
+            chunk in 1usize..33,
+        ) {
+            // Work-stealing hands out chunks in racy claim order; the
+            // engine must still return results in input order, exactly
+            // matching the v1 static partitioning.
+            let f = |&x: &f64| x.sin() * x + 1.0;
+            let stealing = par_map_with(
+                &xs,
+                f,
+                &SweepOptions { schedule: Schedule::WorkStealing, threads, chunk },
+            );
+            let static_v1 = par_map_with(&xs, f, &SweepOptions::v1_static());
+            let seq: Vec<f64> = xs.iter().map(f).collect();
+            prop_assert_eq!(&stealing, &seq);
+            prop_assert_eq!(&static_v1, &seq);
         }
 
         #[test]

@@ -5,6 +5,23 @@ use crate::CrossbarConfig;
 use xlda_circuit::adc::{RowDac, SarAdc};
 use xlda_circuit::tech::TechNode;
 use xlda_circuit::wire::Wire;
+use xlda_num::memo::quantize;
+use xlda_num::memo_cache;
+
+/// Memoized figure-of-merit bundle of one macro geometry. Design-space
+/// sweeps rebuild the same macro for every candidate sharing a
+/// (geometry, device, node) triple, so the derived costs are cached
+/// process-wide.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MacroFoms {
+    mvm: MvmCost,
+    area_m2: f64,
+}
+
+memo_cache!(
+    static MACRO_FOMS: ((usize, usize, usize), (u8, u8), u64, u64, u64) => MacroFoms,
+    "crossbar.macro"
+);
 
 /// A crossbar macro configuration the model cannot evaluate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,8 +132,31 @@ impl CrossbarMacro {
         3.0 * c_line / g_total.max(1e-9) + wire.elmore_delay()
     }
 
+    /// The memoized FOM bundle for this macro geometry. Read noise and
+    /// stuck-device rate are deliberately absent from the key: they
+    /// shape MVM *fidelity*, not the latency/energy/area model.
+    fn foms(&self) -> MacroFoms {
+        MACRO_FOMS.get_or_insert_with(
+            (
+                (self.config.rows, self.config.cols, self.adc_share),
+                (self.config.dac_bits, self.config.adc_bits),
+                self.config.device.memo_key(),
+                quantize(self.config.v_read),
+                self.tech.memo_key(),
+            ),
+            || MacroFoms {
+                mvm: self.compute_mvm_cost(),
+                area_m2: self.compute_area_m2(),
+            },
+        )
+    }
+
     /// Cost of one full `rows x cols` analog MVM.
     pub fn mvm_cost(&self) -> MvmCost {
+        self.foms().mvm
+    }
+
+    fn compute_mvm_cost(&self) -> MvmCost {
         let conversions = self.config.cols.div_ceil(self.adc_share);
         let latency =
             self.dac.latency() + self.settle_time() + self.adc.latency() * self.adc_share as f64;
@@ -136,6 +176,10 @@ impl CrossbarMacro {
 
     /// Area of the core (m²): array plus converters and muxes.
     pub fn area_m2(&self) -> f64 {
+        self.foms().area_m2
+    }
+
+    fn compute_area_m2(&self) -> f64 {
         let f2 = self.tech.f2_area_m2();
         let cell = self.config.device.cell_area_f2();
         let array = (self.config.rows * self.config.cols) as f64 * cell * f2;

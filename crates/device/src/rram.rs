@@ -186,6 +186,35 @@ impl Rram {
             .fold(0.0, f64::max);
         cell.with_sigma(sigma)
     }
+
+    /// A stable 64-bit digest of every model parameter, used as the
+    /// device component of cross-sweep memo-cache keys (see
+    /// `xlda_num::memo`). Devices differing in any parameter get
+    /// distinct keys; presets hash identically across the process.
+    pub fn memo_key(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.flavor.hash(&mut h);
+        for v in [
+            self.g_min,
+            self.g_max,
+            self.sigma_rel_base,
+            self.sigma_hump,
+            self.hump_center,
+            self.hump_width,
+            self.relax_rel,
+            self.write_voltage,
+            self.write_latency,
+            self.write_energy,
+            self.read_voltage,
+            self.endurance,
+            self.retention,
+            self.cell_area_f2,
+        ] {
+            h.write_u64(v.to_bits());
+        }
+        h.finish()
+    }
 }
 
 impl MemoryDevice for Rram {

@@ -12,7 +12,9 @@
 //!   of operations the crossbar and neural-network models need;
 //! - [`solve`] — iterative and direct linear solvers used by the crossbar
 //!   IR-drop model (Gauss–Seidel on resistive grids, Thomas algorithm for
-//!   tridiagonal systems).
+//!   tridiagonal systems);
+//! - [`memo`] — the sharded, instrumented memoization caches the layer
+//!   crates use to share sub-evaluations across design-space sweep points.
 //!
 //! # Examples
 //!
@@ -26,6 +28,7 @@
 //! ```
 
 pub mod matrix;
+pub mod memo;
 pub mod rng;
 pub mod solve;
 pub mod stats;

@@ -1,0 +1,347 @@
+//! Cross-sweep memoization substrate.
+//!
+//! Design-space sweeps are highly redundant: thousands of points
+//! re-derive the same decoder, driver-chain, matchline, and crossbar
+//! sub-problems because neighbouring design points share most of their
+//! substrate. This module provides the shared machinery the layer crates
+//! use to memoize those sub-evaluations process-wide:
+//!
+//! - [`ShardedCache`]: a concurrent hash map split into shards so sweep
+//!   workers on different keys do not serialize on one lock, with atomic
+//!   hit/miss counters;
+//! - [`quantize`]: the cache-key quantization policy for `f64` model
+//!   parameters (see below);
+//! - a process-global registry ([`snapshot`], [`clear_all`],
+//!   [`set_enabled`]) so the sweep engine can report per-cache hit rates
+//!   and tests can compare memoized against memo-free evaluations.
+//!
+//! # Key quantization policy
+//!
+//! Floating-point cache keys are the bit patterns of the parameters
+//! rounded to [`SIG_BITS`] significant mantissa bits (round to nearest),
+//! with `-0.0` canonicalized to `+0.0` and all NaNs collapsed to one
+//! key. At 44 significant bits the rounding step is ~6e-14 relative —
+//! far below the spacing of any physically meaningful parameter grid, so
+//! two *distinct* sweep parameters never collide in practice, while the
+//! same parameter always produces the same key no matter which sweep
+//! point derived it. Cached values are the exact `f64` results of the
+//! first evaluation, which is what makes memoized sweeps bit-identical
+//! to memo-free ones (see `tests/cache_transparency.rs`).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
+/// Number of significant mantissa bits kept by [`quantize`].
+pub const SIG_BITS: u32 = 44;
+
+/// Shards per cache: enough that workers rarely contend on one lock,
+/// few enough that `len`/`clear` sweeps stay cheap.
+const SHARDS: usize = 16;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Globally enables or disables all memoization.
+///
+/// While disabled, [`ShardedCache::get_or_insert_with`] computes every
+/// call directly (no lookups, no insertions, no stats). Used by the
+/// cache-transparency tests and by benchmarks measuring the memo-free
+/// baseline path.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Whether memoization is currently enabled (default: true).
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Quantizes an `f64` model parameter into a cache-key word under the
+/// module's quantization policy (see module docs).
+pub fn quantize(x: f64) -> u64 {
+    if x.is_nan() {
+        return u64::MAX;
+    }
+    if x.is_infinite() {
+        // Distinct keys for the two infinities, away from finite space.
+        return u64::MAX - if x > 0.0 { 1 } else { 2 };
+    }
+    let x = if x == 0.0 { 0.0 } else { x }; // -0.0 -> +0.0
+    let drop = 52 - SIG_BITS;
+    let half = 1u64 << (drop - 1);
+    // Round-to-nearest in the dropped mantissa bits. A carry out of the
+    // mantissa correctly rolls into the exponent (next binade); the sign
+    // bit is untouched because finite exponents never overflow into it.
+    (x.to_bits().wrapping_add(half)) & !((1u64 << drop) - 1)
+}
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CacheStats {
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to compute.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A concurrent memoization cache split into [`SHARDS`] lock shards.
+///
+/// Values are cloned out; under a racing double-compute the first stored
+/// value wins, keeping results deterministic for pure evaluators.
+#[derive(Debug)]
+pub struct ShardedCache<K, V> {
+    shards: Vec<RwLock<HashMap<K, V>>>,
+    stats: CacheStats,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Returns the cached value for `key`, computing and storing it with
+    /// `compute` on a miss. Bypasses the cache entirely while the global
+    /// memo switch is off.
+    pub fn get_or_insert_with<F: FnOnce() -> V>(&self, key: K, compute: F) -> V {
+        if !enabled() {
+            return compute();
+        }
+        let shard = self.shard(&key);
+        if let Some(v) = shard.read().unwrap_or_else(|e| e.into_inner()).get(&key) {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let value = compute();
+        let mut guard = shard.write().unwrap_or_else(|e| e.into_inner());
+        guard.entry(key).or_insert(value).clone()
+    }
+
+    /// Number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached entry and resets the hit/miss counters.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.write().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+        self.stats.reset();
+    }
+
+    /// This cache's hit/miss counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Default for ShardedCache<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One registered cache's counters at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Registered cache name, e.g. `"circuit.decoder"`.
+    pub name: &'static str,
+    /// Cumulative hits.
+    pub hits: u64,
+    /// Cumulative misses.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: u64,
+}
+
+impl CacheSnapshot {
+    /// Hits over total lookups (0.0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+type Probe = fn() -> (u64, u64, u64);
+type Clearer = fn();
+
+static REGISTRY: Mutex<Vec<(&'static str, Probe, Clearer)>> = Mutex::new(Vec::new());
+
+/// Registers a cache's stats probe and clear hook under `name`.
+///
+/// Called once from each memo site's lazy initializer (see
+/// [`memo_cache!`](crate::memo_cache)); duplicate names are allowed but
+/// make snapshots ambiguous, so sites use `crate.site` naming.
+pub fn register(name: &'static str, probe: Probe, clearer: Clearer) {
+    REGISTRY
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push((name, probe, clearer));
+}
+
+/// Counters of every registered cache, sorted by name.
+///
+/// Caches register lazily on first use, so a cache never exercised does
+/// not appear.
+pub fn snapshot() -> Vec<CacheSnapshot> {
+    let mut out: Vec<CacheSnapshot> = REGISTRY
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(name, probe, _)| {
+            let (hits, misses, entries) = probe();
+            CacheSnapshot {
+                name,
+                hits,
+                misses,
+                entries,
+            }
+        })
+        .collect();
+    out.sort_by_key(|s| s.name);
+    out
+}
+
+/// Clears every registered cache (entries and counters).
+pub fn clear_all() {
+    let clearers: Vec<Clearer> = REGISTRY
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(_, _, c)| *c)
+        .collect();
+    for c in clearers {
+        c();
+    }
+}
+
+/// Declares a process-global memo cache registered with the global
+/// stats/clear registry.
+///
+/// ```ignore
+/// memo_cache!(static FOO: (usize, u64) => f64, "circuit.foo");
+/// let v = FOO.get_or_insert_with(key, || expensive());
+/// ```
+#[macro_export]
+macro_rules! memo_cache {
+    (static $NAME:ident: $K:ty => $V:ty, $label:expr) => {
+        static $NAME: std::sync::LazyLock<$crate::memo::ShardedCache<$K, $V>> =
+            std::sync::LazyLock::new(|| {
+                $crate::memo::register(
+                    $label,
+                    || {
+                        (
+                            $NAME.stats().hits(),
+                            $NAME.stats().misses(),
+                            $NAME.len() as u64,
+                        )
+                    },
+                    || $NAME.clear(),
+                );
+                $crate::memo::ShardedCache::new()
+            });
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn quantize_is_stable_and_canonical() {
+        assert_eq!(quantize(1.0), quantize(1.0));
+        assert_eq!(quantize(0.0), quantize(-0.0));
+        assert_eq!(quantize(f64::NAN), quantize(-f64::NAN));
+        assert_ne!(quantize(f64::INFINITY), quantize(f64::NEG_INFINITY));
+        assert_ne!(quantize(1.0), quantize(2.0));
+        assert_ne!(quantize(1.0), quantize(-1.0));
+    }
+
+    #[test]
+    fn quantize_merges_only_sub_grid_noise() {
+        // Differences far below any parameter-grid spacing collapse...
+        assert_eq!(quantize(1.0), quantize(1.0 + 1e-15));
+        // ...but distinguishable model parameters never do.
+        assert_ne!(quantize(1.0), quantize(1.0 + 1e-9));
+        assert_ne!(quantize(1e-15), quantize(1.001e-15));
+    }
+
+    #[test]
+    fn sharded_cache_counts_hits_and_misses() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        let calls = AtomicUsize::new(0);
+        for _ in 0..4 {
+            for k in 0..8u64 {
+                let v = cache.get_or_insert_with(k, || {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    k * 3
+                });
+                assert_eq!(v, k * 3);
+            }
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 8);
+        assert_eq!(cache.len(), 8);
+        assert_eq!(cache.stats().misses(), 8);
+        assert_eq!(cache.stats().hits(), 24);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits(), 0);
+    }
+
+    #[test]
+    fn registry_snapshots_registered_caches() {
+        memo_cache!(static PROBED: u32 => u32, "num.test_probe");
+        let _ = PROBED.get_or_insert_with(1, || 10);
+        let _ = PROBED.get_or_insert_with(1, || 10);
+        let snap = snapshot();
+        let s = snap
+            .iter()
+            .find(|s| s.name == "num.test_probe")
+            .expect("registered");
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.entries, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -36,6 +36,12 @@ use xlda_device::pcm::Pcm;
 use xlda_device::rram::Rram;
 use xlda_device::sram::Sram;
 use xlda_device::MemoryDevice;
+use xlda_num::memo_cache;
+
+memo_cache!(
+    static RAM_ORG: (u64, usize, RamCell, OptTarget, u64) => Result<(usize, usize), RamError>,
+    "nvram.auto_organize"
+);
 
 /// Storage-cell style for a RAM array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -233,10 +239,30 @@ impl RamArray {
     /// Searches subarray geometries (powers of two, 128..=4096 per side)
     /// and returns the organization minimizing `target`.
     ///
+    /// The 36-geometry search re-runs identically for every sweep point
+    /// sharing a (capacity, word, cell, target, node) tuple, so the
+    /// winning subarray geometry is memoized process-wide; the returned
+    /// array is rebuilt from the caller's config, which the key fully
+    /// determines.
+    ///
     /// # Errors
     ///
     /// Returns [`RamError`] for degenerate configurations.
     pub fn auto_organize(config: &RamConfig, target: OptTarget) -> Result<Self, RamError> {
+        let (rows, cols) = RAM_ORG.get_or_insert_with(
+            (
+                config.capacity_bits,
+                config.word_bits,
+                config.cell,
+                target,
+                config.tech.memo_key(),
+            ),
+            || Self::auto_organize_uncached(config, target).map(|ram| (ram.sub_rows, ram.sub_cols)),
+        )?;
+        Self::with_subarray(config, rows, cols)
+    }
+
+    fn auto_organize_uncached(config: &RamConfig, target: OptTarget) -> Result<Self, RamError> {
         let mut best: Option<(f64, RamArray)> = None;
         for shift_r in 7..=12 {
             for shift_c in 7..=12 {
