@@ -9,9 +9,7 @@
 
 use proptest::prelude::*;
 use xlda_circuit::tech::TechNode;
-use xlda_core::evaluate::{
-    try_hdc_candidates, try_mann_candidates, try_tpu_nvm_candidate, HdcScenario, MannScenario,
-};
+use xlda_core::evaluate::{HdcScenario, MannScenario, Scenario, TpuNvmScenario};
 
 fn arb_tech() -> impl Strategy<Value = TechNode> {
     prop::sample::select(vec![TechNode::n130(), TechNode::n40(), TechNode::n22()])
@@ -43,7 +41,7 @@ proptest! {
             acc_mlp,
             tech,
         };
-        match try_hdc_candidates(&s) {
+        match s.candidates() {
             Ok(cands) => {
                 prop_assert_eq!(cands.len(), 8);
                 for c in &cands {
@@ -76,7 +74,7 @@ proptest! {
             acc_rram,
             tech,
         };
-        match try_mann_candidates(&s) {
+        match s.candidates() {
             Ok(cands) => {
                 prop_assert_eq!(cands.len(), 2);
                 for c in &cands {
@@ -101,8 +99,10 @@ proptest! {
             tech,
             ..HdcScenario::default()
         };
-        match try_tpu_nvm_candidate(&s, batch) {
-            Ok(c) => {
+        match TpuNvmScenario::new(s, batch).candidates() {
+            Ok(cands) => {
+                prop_assert_eq!(cands.len(), 1);
+                let c = &cands[0];
                 prop_assert!(c.fom.is_valid(), "{}: {:?}", c.name, c.fom);
                 prop_assert!(c.fom.area_mm2 > 0.0, "NVM store has silicon area");
             }

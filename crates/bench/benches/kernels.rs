@@ -8,7 +8,7 @@ use std::hint::black_box;
 use xlda_circuit::matchline::{Matchline, MatchlineConfig};
 use xlda_circuit::senseamp::SenseAmp;
 use xlda_circuit::tech::TechNode;
-use xlda_core::evaluate::{hdc_candidates, HdcScenario};
+use xlda_core::evaluate::{HdcScenario, Scenario};
 use xlda_core::triage::{rank, Objective};
 use xlda_crossbar::{Crossbar, CrossbarConfig, Fidelity};
 use xlda_evacam::acam::{AcamArray, AcamConfig, TreeNode};
@@ -94,7 +94,7 @@ fn bench_dse_triage(c: &mut Criterion) {
     let scenario = HdcScenario::default();
     c.bench_function("dse_fig3h_candidates_and_rank", |b| {
         b.iter(|| {
-            let cands = hdc_candidates(black_box(&scenario));
+            let cands = black_box(&scenario).candidates().expect("default models");
             rank(&cands, &Objective::latency_first(Some(0.9)))
         })
     });

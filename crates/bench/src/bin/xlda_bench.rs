@@ -9,31 +9,46 @@
 //! ```text
 //! xlda-bench [--smoke] [--workload NAME]... [--out PATH]
 //!            [--baseline PATH] [--tolerance FRACTION]
+//! xlda-bench --loadgen [--smoke] [--duration-secs N] [--connections N]
+//!            [--serve-addr ADDR] [--out PATH]
 //! ```
 //!
 //! - `--smoke`: shrunken grids for CI (seconds, not minutes).
 //! - `--workload`: `hdc`, `mann`, or `triage`; repeatable; default all.
-//! - `--out`: report path (default `BENCH_sweep.json`).
+//! - `--out`: report path (default `BENCH_sweep.json`, or
+//!   `BENCH_serve.json` under `--loadgen`).
 //! - `--baseline`: gate against this committed report; exit 1 when v2
 //!   throughput falls below its `points_per_sec` floors minus
 //!   `--tolerance` (default 0.30), when a recorded `min_speedup` is
 //!   missed, or when baseline/v2 outputs are not bit-identical.
+//! - `--loadgen`: instead of the sweep benchmark, hammer `xlda-serve`
+//!   with a mixed hdc/mann/triage stream (in-process server unless
+//!   `--serve-addr` names a running daemon), verify bit-exact parity,
+//!   and write the serving trajectory report.
 
 use std::process::ExitCode;
+use std::time::Duration;
+use xlda_bench::loadgen::{self, LoadgenConfig};
 use xlda_bench::sweep_bench::{self, Workload};
 
 struct Args {
     smoke: bool,
     workloads: Vec<Workload>,
-    out: String,
+    out: Option<String>,
     baseline: Option<String>,
     tolerance: f64,
+    loadgen: bool,
+    duration_secs: Option<u64>,
+    connections: Option<usize>,
+    serve_addr: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: xlda-bench [--smoke] [--workload hdc|mann|triage]... \
-         [--out PATH] [--baseline PATH] [--tolerance FRACTION]"
+         [--out PATH] [--baseline PATH] [--tolerance FRACTION]\n\
+         \x20      xlda-bench --loadgen [--smoke] [--duration-secs N] \
+         [--connections N] [--serve-addr ADDR] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -42,20 +57,25 @@ fn parse_args() -> Args {
     let mut args = Args {
         smoke: false,
         workloads: Vec::new(),
-        out: "BENCH_sweep.json".to_string(),
+        out: None,
         baseline: None,
         tolerance: 0.30,
+        loadgen: false,
+        duration_secs: None,
+        connections: None,
+        serve_addr: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => args.smoke = true,
+            "--loadgen" => args.loadgen = true,
             "--workload" => match it.next().as_deref().and_then(Workload::parse) {
                 Some(w) => args.workloads.push(w),
                 None => usage(),
             },
             "--out" => match it.next() {
-                Some(p) => args.out = p,
+                Some(p) => args.out = Some(p),
                 None => usage(),
             },
             "--baseline" => match it.next() {
@@ -66,6 +86,18 @@ fn parse_args() -> Args {
                 Some(t) => args.tolerance = t,
                 None => usage(),
             },
+            "--duration-secs" => match it.next().and_then(|t| t.parse().ok()) {
+                Some(t) => args.duration_secs = Some(t),
+                None => usage(),
+            },
+            "--connections" => match it.next().and_then(|t| t.parse().ok()) {
+                Some(t) if t > 0 => args.connections = Some(t),
+                _ => usage(),
+            },
+            "--serve-addr" => match it.next() {
+                Some(a) => args.serve_addr = Some(a),
+                None => usage(),
+            },
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -73,17 +105,53 @@ fn parse_args() -> Args {
     args
 }
 
+fn run_loadgen(args: &Args) -> ExitCode {
+    let mut config = LoadgenConfig::new(args.smoke);
+    if let Some(secs) = args.duration_secs {
+        config.duration = Duration::from_secs(secs.max(1));
+    }
+    if let Some(n) = args.connections {
+        config.connections = n;
+    }
+    config.serve_addr = args.serve_addr.clone();
+
+    let report = loadgen::run(&config);
+    loadgen::print(&report);
+
+    let out = args.out.as_deref().unwrap_or("BENCH_serve.json");
+    let json = loadgen::to_json(&report, args.smoke, &config);
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("xlda-bench: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nreport written to {out}");
+
+    let failures = loadgen::failures(&report);
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
+    if args.loadgen {
+        return run_loadgen(&args);
+    }
     let results = sweep_bench::run(&args.workloads, args.smoke);
     sweep_bench::print(&results);
 
+    let out = args.out.as_deref().unwrap_or("BENCH_sweep.json");
     let json = sweep_bench::to_json(&results, args.smoke);
-    if let Err(e) = std::fs::write(&args.out, &json) {
-        eprintln!("xlda-bench: cannot write {}: {e}", args.out);
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("xlda-bench: cannot write {out}: {e}");
         return ExitCode::FAILURE;
     }
-    println!("\nreport written to {}", args.out);
+    println!("\nreport written to {out}");
 
     let mut failures: Vec<String> = results
         .iter()

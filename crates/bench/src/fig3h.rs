@@ -13,7 +13,7 @@
 //! `xlda-core`.
 
 use crate::hard_isolet;
-use xlda_core::evaluate::{hdc_candidates, HdcScenario};
+use xlda_core::evaluate::{HdcScenario, Scenario};
 use xlda_core::fom::Candidate;
 use xlda_core::triage::{rank, Objective, Ranked};
 use xlda_device::fefet::Fefet;
@@ -93,7 +93,7 @@ pub fn run(quick: bool) -> Fig3h {
         acc_mlp: data.centroid_accuracy(),
         tech: xlda_circuit::tech::TechNode::n40(),
     };
-    let candidates = hdc_candidates(&scenario);
+    let candidates = scenario.candidates().expect("fig3h scenario models");
     // Near-iso-accuracy floor: the hard synthetic operating point leaves
     // a slightly wider gap than the paper's datasets (see EXPERIMENTS.md).
     let floor = scenario.acc_sw - 0.08;

@@ -5,7 +5,7 @@
 //! skyline; slightly longer signatures recover iso-accuracy; the RRAM
 //! pipeline delivers a large latency improvement.
 
-use xlda_core::evaluate::{mann_candidates, MannScenario};
+use xlda_core::evaluate::{MannScenario, Scenario};
 use xlda_core::fom::Candidate;
 use xlda_datagen::fewshot::FewShotSpec;
 use xlda_mann::controller::{train_controller, TrainConfig};
@@ -63,11 +63,13 @@ pub fn run(quick: bool) -> Fig4e {
     });
 
     let best_rram = rram_sweep.iter().map(|&(_, a)| a).fold(0.0f64, f64::max);
-    let platforms = mann_candidates(&MannScenario {
+    let platforms = MannScenario {
         acc_software: cosine_accuracy,
         acc_rram: best_rram,
         ..MannScenario::default()
-    });
+    }
+    .candidates()
+    .expect("fig4e scenario models");
     Fig4e {
         cosine_accuracy,
         rram_sweep,

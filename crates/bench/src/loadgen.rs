@@ -1,0 +1,520 @@
+//! `--loadgen`: the serving benchmark behind `BENCH_serve.json`.
+//!
+//! Hammers an `xlda-serve` instance with a fixed mixed
+//! hdc/mann/triage/edge request stream over several concurrent TCP
+//! connections, verifying **bit-exact parity** of every response
+//! against direct `Scenario::candidates` library calls while
+//! measuring client-observed throughput and latency.
+//!
+//! Two phases run back to back on the same server process:
+//!
+//! - **cold** — memo caches cleared immediately before the phase, so
+//!   first touches of each sub-problem pay full evaluation cost;
+//! - **warm** — the same request mix again, now served out of the
+//!   process-wide caches the cold phase populated.
+//!
+//! By default the server runs *in process* on an ephemeral port (which
+//! is what lets the harness clear the process-global caches for the
+//! cold phase); `--serve-addr` points the stream at an external daemon
+//! instead (phases then differ only by history). Backpressure
+//! rejections are retried after the server's `retry_after_ms` and
+//! reported separately; a parity mismatch fails the run.
+
+use std::io::{BufRead, BufReader, Write as IoWrite};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use xlda_core::evaluate::{EdgeScenario, HdcScenario, MannScenario, Scenario};
+use xlda_core::fom::Candidate;
+use xlda_core::sweep::memo;
+use xlda_serve::json::{obj, Json};
+use xlda_serve::{Server, ServerConfig};
+
+/// Loadgen knobs (see `xlda-bench --help`).
+pub struct LoadgenConfig {
+    /// Total wall-clock budget across both phases.
+    pub duration: Duration,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// External server address; `None` starts one in process.
+    pub serve_addr: Option<String>,
+}
+
+impl LoadgenConfig {
+    /// Defaults: 10 s total (5 s under `--smoke`), 4 connections,
+    /// in-process server.
+    pub fn new(smoke: bool) -> Self {
+        Self {
+            duration: Duration::from_secs(if smoke { 5 } else { 10 }),
+            connections: 4,
+            serve_addr: None,
+        }
+    }
+}
+
+/// One entry of the fixed request mix.
+struct MixEntry {
+    name: &'static str,
+    /// Request body without the `"id"` field (injected per call).
+    request: String,
+    /// Library ground truth for parity checking.
+    expected: Vec<Candidate>,
+}
+
+/// The fixed mixed stream: two HDC points, two MANN points, a triage
+/// request, and an edge study — enough kind diversity to interleave in
+/// shared batches, small enough that the warm phase re-hits every
+/// cached sub-problem.
+fn request_mix() -> Vec<MixEntry> {
+    let hdc_alt = HdcScenario {
+        classes: 12,
+        acc_sw: 0.93,
+        ..HdcScenario::default()
+    };
+    let mann_alt = MannScenario {
+        hash_bits: 96,
+        entries: 500,
+        ..MannScenario::default()
+    };
+    vec![
+        MixEntry {
+            name: "hdc-default",
+            request: r#""kind":"hdc""#.into(),
+            expected: HdcScenario::default().candidates().expect("models"),
+        },
+        MixEntry {
+            name: "hdc-alt",
+            request: r#""kind":"hdc","scenario":{"classes":12,"acc_sw":0.93}"#.into(),
+            expected: hdc_alt.candidates().expect("models"),
+        },
+        MixEntry {
+            name: "mann-default",
+            request: r#""kind":"mann""#.into(),
+            expected: MannScenario::default().candidates().expect("models"),
+        },
+        MixEntry {
+            name: "mann-alt",
+            request: r#""kind":"mann","scenario":{"hash_bits":96,"entries":500}"#.into(),
+            expected: mann_alt.candidates().expect("models"),
+        },
+        MixEntry {
+            name: "triage",
+            request: r#""kind":"triage","objective":"latency_first","floor":0.9"#.into(),
+            expected: HdcScenario::default().candidates().expect("models"),
+        },
+        MixEntry {
+            name: "edge",
+            request: r#""kind":"edge""#.into(),
+            expected: EdgeScenario::default().candidates().expect("models"),
+        },
+    ]
+}
+
+/// Client-side results of one phase.
+pub struct PhaseStats {
+    /// `"cold"` or `"warm"`.
+    pub name: &'static str,
+    /// Successful responses.
+    pub completed: u64,
+    /// Backpressure rejections observed (each retried).
+    pub rejected: u64,
+    /// Responses whose FOMs were not bit-identical to the library.
+    pub parity_failures: u64,
+    /// Requests per second over the phase window.
+    pub throughput_rps: f64,
+    /// Client-observed latency percentiles, milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile, milliseconds.
+    pub p95_ms: f64,
+    /// Aggregate memo hit rate *within* this phase (stats delta).
+    pub cache_hit_rate: f64,
+}
+
+/// Whole-run results.
+pub struct LoadgenReport {
+    /// Phase breakdown: cold then warm.
+    pub phases: Vec<PhaseStats>,
+    /// Server-reported points/sec at the end of the run.
+    pub server_points_per_sec: f64,
+    /// Server-side queue cap and the depth observed at the end.
+    pub queue_depth_ok: bool,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Bit-exact comparison of a served candidate array with the library's.
+fn check_parity(resp: &Json, expected: &[Candidate]) -> bool {
+    let Some(got) = resp.get("candidates").and_then(Json::as_arr) else {
+        return false;
+    };
+    if got.len() != expected.len() {
+        return false;
+    }
+    got.iter().zip(expected).all(|(g, c)| {
+        g.get("name").and_then(Json::as_str) == Some(c.name.as_str())
+            && [
+                ("latency_s", c.fom.latency_s),
+                ("energy_j", c.fom.energy_j),
+                ("area_mm2", c.fom.area_mm2),
+                ("accuracy", c.fom.accuracy),
+            ]
+            .iter()
+            .all(|(field, want)| {
+                g.get(field).and_then(Json::as_f64).map(f64::to_bits) == Some(want.to_bits())
+            })
+    })
+}
+
+/// One blocking request/response exchange with retry-on-backpressure.
+/// Returns `(response, rejections_seen)`; `None` on transport failure.
+fn exchange(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    id: &str,
+    body: &str,
+) -> Option<(Json, u64)> {
+    let mut rejections = 0;
+    loop {
+        writeln!(stream, "{{\"id\":\"{id}\",{body}}}").ok()?;
+        stream.flush().ok()?;
+        let mut line = String::new();
+        if reader.read_line(&mut line).ok()? == 0 {
+            return None;
+        }
+        let v = Json::parse(line.trim()).ok()?;
+        if v.get("ok").and_then(Json::as_bool) == Some(true) {
+            return Some((v, rejections));
+        }
+        match v.get("retry_after_ms").and_then(Json::as_f64) {
+            Some(ms) => {
+                rejections += 1;
+                std::thread::sleep(Duration::from_millis(ms as u64));
+            }
+            // A non-backpressure failure is a parity failure: the mix
+            // contains only valid requests.
+            None => return Some((v, rejections)),
+        }
+    }
+}
+
+/// Fetches and parses the server's `stats` response.
+fn fetch_stats(addr: &str) -> Option<Json> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let (v, _) = exchange(
+        &mut stream,
+        &mut reader,
+        "loadgen-stats",
+        r#""kind":"stats""#,
+    )?;
+    Some(v)
+}
+
+/// Sums hits/misses across all memo caches in a stats response.
+fn cache_totals(stats: &Json) -> (f64, f64) {
+    let mut hits = 0.0;
+    let mut misses = 0.0;
+    if let Some(caches) = stats.get("caches").and_then(Json::as_arr) {
+        for c in caches {
+            hits += c.get("hits").and_then(Json::as_f64).unwrap_or(0.0);
+            misses += c.get("misses").and_then(Json::as_f64).unwrap_or(0.0);
+        }
+    }
+    (hits, misses)
+}
+
+/// Drives `connections` workers over the mix until the deadline.
+fn run_phase(
+    addr: &str,
+    name: &'static str,
+    duration: Duration,
+    connections: usize,
+    mix: &[MixEntry],
+) -> PhaseStats {
+    let before = fetch_stats(addr);
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let workers: Vec<_> = (0..connections)
+        .map(|w| {
+            let stop = Arc::clone(&stop);
+            let addr = addr.to_string();
+            let mix: Vec<(&'static str, String, Vec<Candidate>)> = mix
+                .iter()
+                .map(|m| (m.name, m.request.clone(), m.expected.clone()))
+                .collect();
+            std::thread::spawn(move || {
+                let mut latencies: Vec<f64> = Vec::new();
+                let mut rejected = 0u64;
+                let mut parity_failures = 0u64;
+                let Ok(mut stream) = TcpStream::connect(&addr) else {
+                    return (latencies, rejected, 1);
+                };
+                let _ = stream.set_nodelay(true);
+                let Ok(read_half) = stream.try_clone() else {
+                    return (latencies, rejected, 1);
+                };
+                let mut reader = BufReader::new(read_half);
+                let mut i = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let (entry, body, expected) = &mix[i % mix.len()];
+                    let id = format!("w{w}-{i}");
+                    let sent = Instant::now();
+                    match exchange(&mut stream, &mut reader, &id, body) {
+                        Some((resp, rejections)) => {
+                            rejected += rejections;
+                            if check_parity(&resp, expected) {
+                                latencies.push(sent.elapsed().as_secs_f64());
+                            } else {
+                                eprintln!("loadgen: parity mismatch on {entry} ({id}): {resp}");
+                                parity_failures += 1;
+                            }
+                        }
+                        None => break,
+                    }
+                    i += 1;
+                }
+                (latencies, rejected, parity_failures)
+            })
+        })
+        .collect();
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut latencies = Vec::new();
+    let mut rejected = 0;
+    let mut parity_failures = 0;
+    for h in workers {
+        let (l, r, p) = h.join().expect("worker thread");
+        latencies.extend(l);
+        rejected += r;
+        parity_failures += p;
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    latencies.sort_by(f64::total_cmp);
+    let after = fetch_stats(addr);
+    let cache_hit_rate = match (&before, &after) {
+        (Some(b), Some(a)) => {
+            let (hb, mb) = cache_totals(b);
+            let (ha, ma) = cache_totals(a);
+            let total = (ha - hb) + (ma - mb);
+            if total > 0.0 {
+                (ha - hb) / total
+            } else {
+                0.0
+            }
+        }
+        _ => 0.0,
+    };
+    PhaseStats {
+        name,
+        completed: latencies.len() as u64,
+        rejected,
+        parity_failures,
+        throughput_rps: latencies.len() as f64 / elapsed,
+        p50_ms: percentile(&latencies, 50.0) * 1e3,
+        p95_ms: percentile(&latencies, 95.0) * 1e3,
+        cache_hit_rate,
+    }
+}
+
+/// Runs the full loadgen: cold phase, warm phase, final server stats.
+pub fn run(config: &LoadgenConfig) -> LoadgenReport {
+    let (addr, server_thread) = match &config.serve_addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            // In-process server on an ephemeral port, so this process
+            // owns the memo caches the cold phase needs to clear.
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+            let addr = listener.local_addr().expect("local addr").to_string();
+            let server = Server::new(ServerConfig::default());
+            let handle = std::thread::spawn(move || {
+                server.run_tcp(listener).expect("server accept loop");
+            });
+            (addr, Some(handle))
+        }
+    };
+    let mix = request_mix();
+    let phase_dur = config.duration / 2;
+
+    if config.serve_addr.is_none() {
+        memo::clear_all();
+    }
+    let cold = run_phase(&addr, "cold", phase_dur, config.connections, &mix);
+    let warm = run_phase(&addr, "warm", phase_dur, config.connections, &mix);
+
+    let final_stats = fetch_stats(&addr);
+    let server_points_per_sec = final_stats
+        .as_ref()
+        .and_then(|s| s.get("points_per_sec").and_then(Json::as_f64))
+        .unwrap_or(0.0);
+    let queue_depth_ok = final_stats
+        .as_ref()
+        .map(|s| {
+            let depth = s.get("queue_depth").and_then(Json::as_f64).unwrap_or(0.0);
+            let cap = s
+                .get("queue_cap")
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::INFINITY);
+            depth <= cap
+        })
+        .unwrap_or(false);
+
+    // Drain the in-process server so the report reflects a clean stop.
+    if server_thread.is_some() {
+        if let Ok(mut stream) = TcpStream::connect(&addr) {
+            if let Ok(read_half) = stream.try_clone() {
+                let mut reader = BufReader::new(read_half);
+                let _ = exchange(
+                    &mut stream,
+                    &mut reader,
+                    "loadgen-bye",
+                    r#""kind":"shutdown""#,
+                );
+            }
+        }
+    }
+    if let Some(h) = server_thread {
+        let _ = h.join();
+    }
+
+    LoadgenReport {
+        phases: vec![cold, warm],
+        server_points_per_sec,
+        queue_depth_ok,
+    }
+}
+
+/// Human-readable summary.
+pub fn print(report: &LoadgenReport) {
+    println!("serve loadgen — mixed hdc/mann/triage/edge stream");
+    crate::rule(72);
+    println!(
+        "{:>6} {:>10} {:>9} {:>8} {:>9} {:>9} {:>10}",
+        "phase", "req/s", "p50 ms", "p95 ms", "rejected", "parity", "cache hit"
+    );
+    for p in &report.phases {
+        println!(
+            "{:>6} {:>10.1} {:>9.3} {:>8.3} {:>9} {:>9} {:>9.1}%",
+            p.name,
+            p.throughput_rps,
+            p.p50_ms,
+            p.p95_ms,
+            p.rejected,
+            if p.parity_failures == 0 { "OK" } else { "FAIL" },
+            p.cache_hit_rate * 100.0,
+        );
+    }
+    println!(
+        "server: {:.0} points/sec; queue bound {}",
+        report.server_points_per_sec,
+        if report.queue_depth_ok {
+            "respected"
+        } else {
+            "VIOLATED"
+        }
+    );
+}
+
+/// `BENCH_serve.json` — the committed serving trajectory point.
+pub fn to_json(report: &LoadgenReport, smoke: bool, config: &LoadgenConfig) -> String {
+    let phases: Vec<Json> = report
+        .phases
+        .iter()
+        .map(|p| {
+            obj(vec![
+                ("name", Json::Str(p.name.to_string())),
+                ("completed", Json::Num(p.completed as f64)),
+                ("rejected", Json::Num(p.rejected as f64)),
+                ("parity_failures", Json::Num(p.parity_failures as f64)),
+                ("throughput_rps", Json::Num(p.throughput_rps)),
+                ("p50_ms", Json::Num(p.p50_ms)),
+                ("p95_ms", Json::Num(p.p95_ms)),
+                ("cache_hit_rate", Json::Num(p.cache_hit_rate)),
+            ])
+        })
+        .collect();
+    let doc = obj(vec![
+        ("schema", Json::Str("xlda-bench-serve/v1".to_string())),
+        ("smoke", Json::Bool(smoke)),
+        ("duration_s", Json::Num(config.duration.as_secs_f64())),
+        ("connections", Json::Num(config.connections as f64)),
+        ("phases", Json::Arr(phases)),
+        (
+            "server_points_per_sec",
+            Json::Num(report.server_points_per_sec),
+        ),
+        ("queue_depth_ok", Json::Bool(report.queue_depth_ok)),
+    ]);
+    let mut s = doc.to_string();
+    s.push('\n');
+    s
+}
+
+/// Gate used by the binary: parity and backpressure must hold.
+pub fn failures(report: &LoadgenReport) -> Vec<String> {
+    let mut out = Vec::new();
+    for p in &report.phases {
+        if p.parity_failures > 0 {
+            out.push(format!(
+                "{} phase: {} responses diverged from direct library evaluation",
+                p.name, p.parity_failures
+            ));
+        }
+        if p.completed == 0 {
+            out.push(format!("{} phase: no requests completed", p.name));
+        }
+    }
+    if !report.queue_depth_ok {
+        out.push("server queue depth exceeded its cap".to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_parity_holds_against_itself() {
+        for entry in request_mix() {
+            assert!(
+                !entry.expected.is_empty(),
+                "{} has ground truth",
+                entry.name
+            );
+        }
+    }
+
+    #[test]
+    fn quick_loadgen_round_trip() {
+        // A very short in-process run: parity must hold and the warm
+        // phase must see cache hits.
+        let config = LoadgenConfig {
+            duration: Duration::from_millis(600),
+            connections: 2,
+            serve_addr: None,
+        };
+        let report = run(&config);
+        assert!(failures(&report).is_empty(), "{:?}", failures(&report));
+        let warm = &report.phases[1];
+        assert!(
+            warm.cache_hit_rate > 0.0,
+            "warm phase hit rate {}",
+            warm.cache_hit_rate
+        );
+        let json = to_json(&report, true, &config);
+        let v = Json::parse(json.trim()).expect("report is valid JSON");
+        assert_eq!(
+            v.get("schema").and_then(Json::as_str),
+            Some("xlda-bench-serve/v1")
+        );
+    }
+}

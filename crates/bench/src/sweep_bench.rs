@@ -20,7 +20,7 @@
 
 use std::fmt::Write as _;
 use xlda_circuit::tech::TechNode;
-use xlda_core::evaluate::{try_hdc_candidates, try_mann_candidates, HdcScenario, MannScenario};
+use xlda_core::evaluate::{HdcScenario, MannScenario, Scenario};
 use xlda_core::sweep::{self, memo, sweep_with_stats, SweepOptions};
 use xlda_core::triage::{rank, Objective};
 
@@ -186,7 +186,7 @@ fn grid_mann(smoke: bool) -> Vec<MannScenario> {
 }
 
 fn eval_hdc(s: &HdcScenario) -> u64 {
-    match try_hdc_candidates(s) {
+    match s.candidates() {
         Ok(cands) => {
             let foms: Vec<f64> = cands
                 .iter()
@@ -206,7 +206,7 @@ fn eval_hdc(s: &HdcScenario) -> u64 {
 }
 
 fn eval_mann(s: &MannScenario) -> u64 {
-    match try_mann_candidates(s) {
+    match s.candidates() {
         Ok(cands) => {
             let foms: Vec<f64> = cands
                 .iter()
@@ -219,7 +219,7 @@ fn eval_mann(s: &MannScenario) -> u64 {
 }
 
 fn eval_triage(s: &HdcScenario) -> u64 {
-    match try_hdc_candidates(s) {
+    match s.candidates() {
         Ok(cands) => {
             let mut scores = Vec::new();
             for obj in [

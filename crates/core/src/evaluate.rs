@@ -1,11 +1,21 @@
-//! Cross-layer candidate evaluators.
+//! Cross-layer candidate evaluators behind the unified [`Scenario`] API.
 //!
-//! These functions assemble end-to-end FOMs for concrete design points by
-//! composing the substrate crates: baseline platform models for
-//! software mappings, the crossbar macro model for in-memory encoding,
-//! and the Eva-CAM array model for associative search. They generate the
-//! candidate sets behind the paper's platform comparisons (Fig. 3H for
-//! HDC, the latency side of Fig. 4E for the MANN).
+//! Every evaluable workload is a type implementing [`Scenario`]: one
+//! fallible [`Scenario::candidates`] call assembles end-to-end FOMs for
+//! its concrete design points by composing the substrate crates —
+//! baseline platform models for software mappings, the crossbar macro
+//! model for in-memory encoding, and the Eva-CAM array model for
+//! associative search. The built-in scenarios generate the candidate
+//! sets behind the paper's platform comparisons ([`HdcScenario`] for
+//! Fig. 3H, [`MannScenario`] for the latency side of Fig. 4E) plus the
+//! two Sec. III open-question studies ([`EdgeScenario`],
+//! [`TpuNvmScenario`]).
+//!
+//! Because dispatch is through one trait, every consumer — the sweep
+//! engine, the triage loop, `xlda-serve`, and `xlda-bench` — picks up a
+//! new workload as soon as it implements `Scenario`. The pre-trait free
+//! functions (`hdc_candidates`, `try_mann_candidates`, …) remain as
+//! deprecated delegating shims.
 
 use crate::error::{validate_fom, XldaError};
 use crate::fom::{Candidate, Fom};
@@ -16,6 +26,45 @@ use xlda_crossbar::macro_model::CrossbarMacro;
 use xlda_crossbar::CrossbarConfig;
 use xlda_evacam::{CamArray, CamCellDesign, CamConfig, DataKind, MatchKind};
 use xlda_nvram::{OptTarget, RamArray, RamCell, RamConfig};
+
+/// One evaluable workload mapping: a bundle of scenario parameters that
+/// can assemble its full candidate set.
+///
+/// This is the single dispatch surface shared by the sweep engine, the
+/// triage loop, the `xlda-serve` daemon, and `xlda-bench`: adding a
+/// workload means implementing this trait once, and every consumer picks
+/// it up without a new per-workload entry point.
+///
+/// Implementations must be pure (same parameters, same candidates) and
+/// thread-safe — sweeps and the serving layer evaluate scenarios from
+/// many workers concurrently.
+///
+/// # Examples
+///
+/// ```
+/// use xlda_core::evaluate::{HdcScenario, Scenario};
+///
+/// let s = HdcScenario::default();
+/// let candidates = s.candidates().expect("default scenario models");
+/// assert_eq!(s.kind(), "hdc");
+/// assert!(!candidates.is_empty());
+/// ```
+pub trait Scenario: Send + Sync {
+    /// Stable workload-kind tag (`"hdc"`, `"mann"`, `"edge"`,
+    /// `"tpu_nvm"`, …) used for request routing, batching labels, and
+    /// reports.
+    fn kind(&self) -> &'static str;
+
+    /// Evaluates the scenario into its candidate set.
+    ///
+    /// # Errors
+    ///
+    /// The first layer rejection ([`XldaError::Cam`], [`XldaError::Ram`],
+    /// [`XldaError::Crossbar`], [`XldaError::Circuit`]) or FOM
+    /// validation failure ([`XldaError::InvalidFom`],
+    /// [`XldaError::NonFinite`]).
+    fn candidates(&self) -> Result<Vec<Candidate>, XldaError>;
+}
 
 /// Scenario parameters for the HDC platform comparison (Fig. 3H).
 ///
@@ -141,104 +190,22 @@ fn hdc_on_cam(
     Ok(out)
 }
 
-/// Builds the full Fig. 3H candidate set.
-///
-/// # Panics
-///
-/// Panics if any shipped design point fails to model — impossible for
-/// scenarios near the default; sweeps over arbitrary scenario grids
-/// should use [`try_hdc_candidates`] and collect per-point errors.
-pub fn hdc_candidates(s: &HdcScenario) -> Vec<Candidate> {
-    try_hdc_candidates(s).expect("shipped HDC design points must model")
-}
+impl Scenario for HdcScenario {
+    fn kind(&self) -> &'static str {
+        "hdc"
+    }
 
-/// Fallible [`hdc_candidates`]: layer models reject infeasible design
-/// points with a typed [`XldaError`] instead of panicking, and every
-/// assembled FOM bundle is validated for finiteness before it enters
-/// the candidate set.
-///
-/// # Errors
-///
-/// The first layer rejection ([`XldaError::Cam`], [`XldaError::Ram`],
-/// [`XldaError::Crossbar`]) or FOM validation failure
-/// ([`XldaError::InvalidFom`]).
-pub fn try_hdc_candidates(s: &HdcScenario) -> Result<Vec<Candidate>, XldaError> {
-    let gpu = Platform::gpu();
-    let mut out = Vec::new();
+    /// Builds the full Fig. 3H candidate set: layer models reject
+    /// infeasible design points with a typed [`XldaError`] instead of
+    /// panicking, and every assembled FOM bundle is validated for
+    /// finiteness before it enters the candidate set.
+    fn candidates(&self) -> Result<Vec<Candidate>, XldaError> {
+        let s = self;
+        let gpu = Platform::gpu();
+        let mut out = Vec::new();
 
-    let (t, e) = hdc_on_platform(s, &gpu, 1, s.hv_dim_sw);
-    let name = "GPU HDC (batch 1)";
-    out.push(Candidate::new(
-        name,
-        validate_fom(
-            name,
-            Fom {
-                latency_s: t,
-                energy_j: e,
-                area_mm2: 0.0,
-                accuracy: s.acc_sw,
-            },
-        )?,
-    ));
-
-    let (t, e) = hdc_on_platform(s, &gpu, 1000, s.hv_dim_sw);
-    let name = "GPU HDC (batch 1000)";
-    out.push(Candidate::new(
-        name,
-        validate_fom(
-            name,
-            Fom {
-                latency_s: t,
-                energy_j: e,
-                area_mm2: 0.0,
-                accuracy: s.acc_sw,
-            },
-        )?,
-    ));
-
-    // TPU encodes (dense MVM), GPU searches.
-    let hybrid = HybridPipeline::tpu_gpu();
-    let encode = Kernel::mvm(s.hv_dim_sw, s.dim_in);
-    let search = Kernel::search(s.classes, s.hv_dim_sw, 4);
-    let batch = 1000;
-    let name = "TPU-GPU hybrid (batch 1000)";
-    out.push(Candidate::new(
-        name,
-        validate_fom(
-            name,
-            Fom {
-                latency_s: hybrid.time(&encode, &search, batch) / batch as f64,
-                energy_j: hybrid.energy(&encode, &search, batch) / batch as f64,
-                area_mm2: 0.0,
-                accuracy: s.acc_sw,
-            },
-        )?,
-    ));
-
-    for (name, design, data, hv, acc) in [
-        (
-            "3b FeFET CAM",
-            CamCellDesign::Fefet2T,
-            DataKind::MultiBit(3),
-            s.hv_dim_3b,
-            s.acc_3b,
-        ),
-        (
-            "2b FeFET CAM",
-            CamCellDesign::Fefet2T,
-            DataKind::MultiBit(2),
-            s.hv_dim_2b,
-            s.acc_2b,
-        ),
-        (
-            "1b SRAM CAM",
-            CamCellDesign::Sram16T,
-            DataKind::Binary,
-            s.hv_dim_1b,
-            s.acc_1b,
-        ),
-    ] {
-        let (t, e, a) = hdc_on_cam(s, design, data, hv)?;
+        let (t, e) = hdc_on_platform(s, &gpu, 1, s.hv_dim_sw);
+        let name = "GPU HDC (batch 1)";
         out.push(Candidate::new(
             name,
             validate_fom(
@@ -246,35 +213,107 @@ pub fn try_hdc_candidates(s: &HdcScenario) -> Result<Vec<Candidate>, XldaError> 
                 Fom {
                     latency_s: t,
                     energy_j: e,
-                    area_mm2: a,
-                    accuracy: acc,
+                    area_mm2: 0.0,
+                    accuracy: s.acc_sw,
                 },
             )?,
         ));
-    }
 
-    out.push(try_tpu_nvm_candidate(s, 1)?);
-
-    // MLP baseline: dim_in -> 512 -> classes on a GPU, batched.
-    let l1 = Kernel::mvm(512, s.dim_in);
-    let l2 = Kernel::mvm(s.classes, 512);
-    let t = gpu.time_per_item(&l1, 1000) + gpu.time_per_item(&l2, 1000);
-    let e = (gpu.energy(&l1, 1000) + gpu.energy(&l2, 1000)) / 1000.0;
-    let name = "GPU MLP (batch 1000)";
-    out.push(Candidate::new(
-        name,
-        validate_fom(
+        let (t, e) = hdc_on_platform(s, &gpu, 1000, s.hv_dim_sw);
+        let name = "GPU HDC (batch 1000)";
+        out.push(Candidate::new(
             name,
-            Fom {
-                latency_s: t,
-                energy_j: e,
-                area_mm2: 0.0,
-                accuracy: s.acc_mlp,
-            },
-        )?,
-    ));
+            validate_fom(
+                name,
+                Fom {
+                    latency_s: t,
+                    energy_j: e,
+                    area_mm2: 0.0,
+                    accuracy: s.acc_sw,
+                },
+            )?,
+        ));
 
-    Ok(out)
+        // TPU encodes (dense MVM), GPU searches.
+        let hybrid = HybridPipeline::tpu_gpu();
+        let encode = Kernel::mvm(s.hv_dim_sw, s.dim_in);
+        let search = Kernel::search(s.classes, s.hv_dim_sw, 4);
+        let batch = 1000;
+        let name = "TPU-GPU hybrid (batch 1000)";
+        out.push(Candidate::new(
+            name,
+            validate_fom(
+                name,
+                Fom {
+                    latency_s: hybrid.time(&encode, &search, batch) / batch as f64,
+                    energy_j: hybrid.energy(&encode, &search, batch) / batch as f64,
+                    area_mm2: 0.0,
+                    accuracy: s.acc_sw,
+                },
+            )?,
+        ));
+
+        for (name, design, data, hv, acc) in [
+            (
+                "3b FeFET CAM",
+                CamCellDesign::Fefet2T,
+                DataKind::MultiBit(3),
+                s.hv_dim_3b,
+                s.acc_3b,
+            ),
+            (
+                "2b FeFET CAM",
+                CamCellDesign::Fefet2T,
+                DataKind::MultiBit(2),
+                s.hv_dim_2b,
+                s.acc_2b,
+            ),
+            (
+                "1b SRAM CAM",
+                CamCellDesign::Sram16T,
+                DataKind::Binary,
+                s.hv_dim_1b,
+                s.acc_1b,
+            ),
+        ] {
+            let (t, e, a) = hdc_on_cam(s, design, data, hv)?;
+            out.push(Candidate::new(
+                name,
+                validate_fom(
+                    name,
+                    Fom {
+                        latency_s: t,
+                        energy_j: e,
+                        area_mm2: a,
+                        accuracy: acc,
+                    },
+                )?,
+            ));
+        }
+
+        out.push(tpu_nvm_fom(s, 1)?);
+
+        // MLP baseline: dim_in -> 512 -> classes on a GPU, batched.
+        let l1 = Kernel::mvm(512, s.dim_in);
+        let l2 = Kernel::mvm(s.classes, 512);
+        let t = gpu.time_per_item(&l1, 1000) + gpu.time_per_item(&l2, 1000);
+        let e = (gpu.energy(&l1, 1000) + gpu.energy(&l2, 1000)) / 1000.0;
+        let name = "GPU MLP (batch 1000)";
+        out.push(Candidate::new(
+            name,
+            validate_fom(
+                name,
+                Fom {
+                    latency_s: t,
+                    energy_j: e,
+                    area_mm2: 0.0,
+                    accuracy: s.acc_mlp,
+                },
+            )?,
+        ));
+
+        Ok(out)
+    }
 }
 
 /// The paper's open question (Sec. III): "What if an existing
@@ -291,18 +330,46 @@ pub fn try_hdc_candidates(s: &HdcScenario) -> Result<Vec<Candidate>, XldaError> 
 /// baselines — especially at batch 1 and in energy — but the technology-
 /// *enabled* CAM design point still wins, i.e. using the new device as
 /// plain dense memory captures only part of its value.
-pub fn tpu_nvm_candidate(s: &HdcScenario, batch: usize) -> Candidate {
-    try_tpu_nvm_candidate(s, batch).expect("NVM weight store organizes")
+#[derive(Debug, Clone, PartialEq)]
+pub struct TpuNvmScenario {
+    /// The HDC workload whose weights the on-chip NVM holds.
+    pub base: HdcScenario,
+    /// Inference batch size the weight streaming amortizes over.
+    pub batch: usize,
 }
 
-/// Fallible [`tpu_nvm_candidate`].
+impl TpuNvmScenario {
+    /// Wraps an HDC scenario at the given batch size.
+    pub fn new(base: HdcScenario, batch: usize) -> Self {
+        Self { base, batch }
+    }
+}
+
+impl Default for TpuNvmScenario {
+    fn default() -> Self {
+        Self::new(HdcScenario::default(), 1)
+    }
+}
+
+impl Scenario for TpuNvmScenario {
+    fn kind(&self) -> &'static str {
+        "tpu_nvm"
+    }
+
+    fn candidates(&self) -> Result<Vec<Candidate>, XldaError> {
+        Ok(vec![tpu_nvm_fom(&self.base, self.batch)?])
+    }
+}
+
+/// Assembles the NVM-backed-TPU candidate shared by [`HdcScenario`]
+/// (batch 1, inside the Fig. 3H set) and [`TpuNvmScenario`].
 ///
 /// # Errors
 ///
 /// [`XldaError::Ram`] if the NVM weight store cannot be organized
 /// (degenerate capacity), [`XldaError::InvalidFom`] if the assembled
 /// FOMs are non-finite.
-pub fn try_tpu_nvm_candidate(s: &HdcScenario, batch: usize) -> Result<Candidate, XldaError> {
+fn tpu_nvm_fom(s: &HdcScenario, batch: usize) -> Result<Candidate, XldaError> {
     let tpu = Platform::tpu();
     // Weight footprint: bipolar projection (1 bit/element) + 4-bit class
     // HVs, held in on-chip FeFET NVM.
@@ -354,52 +421,62 @@ pub fn try_tpu_nvm_candidate(s: &HdcScenario, batch: usize) -> Result<Candidate,
 /// amortize launch overhead, weaker silicon), so the CAM's advantage
 /// widens — the fair baseline question sharpens, rather than weakens,
 /// the technology case.
-pub fn edge_candidates(s: &HdcScenario) -> Vec<Candidate> {
-    try_edge_candidates(s).expect("shipped edge design points must model")
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EdgeScenario {
+    /// The HDC workload deployed at the edge (batch 1).
+    pub base: HdcScenario,
 }
 
-/// Fallible [`edge_candidates`].
-///
-/// # Errors
-///
-/// Propagates layer rejections and FOM validation failures, as
-/// [`try_hdc_candidates`] does.
-pub fn try_edge_candidates(s: &HdcScenario) -> Result<Vec<Candidate>, XldaError> {
-    let mut out = Vec::new();
-    for platform in [Platform::edge_gpu(), Platform::cpu()] {
-        let (t, e) = hdc_on_platform(s, &platform, 1, s.hv_dim_sw);
-        let name = format!("{} HDC (batch 1)", platform.name);
-        let fom = validate_fom(
-            &name,
-            Fom {
-                latency_s: t,
-                energy_j: e,
-                area_mm2: 0.0,
-                accuracy: s.acc_sw,
-            },
-        )?;
-        out.push(Candidate::new(name, fom));
+impl EdgeScenario {
+    /// Wraps an HDC scenario for edge deployment.
+    pub fn new(base: HdcScenario) -> Self {
+        Self { base }
     }
-    let (t, e, a) = hdc_on_cam(
-        s,
-        CamCellDesign::Fefet2T,
-        DataKind::MultiBit(3),
-        s.hv_dim_3b,
-    )?;
-    let name = "3b FeFET CAM";
-    out.push(Candidate::new(
-        name,
-        validate_fom(
+}
+
+impl Scenario for EdgeScenario {
+    fn kind(&self) -> &'static str {
+        "edge"
+    }
+
+    fn candidates(&self) -> Result<Vec<Candidate>, XldaError> {
+        let s = &self.base;
+        let mut out = Vec::new();
+        for platform in [Platform::edge_gpu(), Platform::cpu()] {
+            let (t, e) = hdc_on_platform(s, &platform, 1, s.hv_dim_sw);
+            let name = format!("{} HDC (batch 1)", platform.name);
+            let fom = validate_fom(
+                &name,
+                Fom {
+                    latency_s: t,
+                    energy_j: e,
+                    area_mm2: 0.0,
+                    accuracy: s.acc_sw,
+                },
+            )?;
+            out.push(Candidate::new(name, fom));
+        }
+        let (t, e, a) = hdc_on_cam(
+            s,
+            CamCellDesign::Fefet2T,
+            DataKind::MultiBit(3),
+            s.hv_dim_3b,
+        )?;
+        let name = "3b FeFET CAM";
+        out.push(Candidate::new(
             name,
-            Fom {
-                latency_s: t,
-                energy_j: e,
-                area_mm2: a,
-                accuracy: s.acc_3b,
-            },
-        )?,
-    ));
-    Ok(out)
+            validate_fom(
+                name,
+                Fom {
+                    latency_s: t,
+                    energy_j: e,
+                    area_mm2: a,
+                    accuracy: s.acc_3b,
+                },
+            )?,
+        ));
+        Ok(out)
+    }
 }
 
 /// Scenario for the MANN latency comparison (Fig. 4E right axis).
@@ -435,95 +512,181 @@ impl Default for MannScenario {
     }
 }
 
-/// Builds the MANN platform candidates: GPU software stack vs. the
-/// all-RRAM in-memory pipeline.
+impl Scenario for MannScenario {
+    fn kind(&self) -> &'static str {
+        "mann"
+    }
+
+    /// Builds the MANN platform candidates: GPU software stack vs. the
+    /// all-RRAM in-memory pipeline.
+    fn candidates(&self) -> Result<Vec<Candidate>, XldaError> {
+        let s = self;
+        let gpu = Platform::gpu();
+        // GPU path: CNN + exact cosine search over raw embeddings.
+        let cnn = Kernel {
+            flops_per_item: (s.weights as u64) * 100,
+            bytes_per_item: 28 * 28 * 4,
+            shared_bytes: (s.weights * 4) as u64,
+        };
+        let search = Kernel::search(s.entries, s.emb_dim, 4);
+        let t_gpu = gpu.time_per_item(&cnn, 1) + gpu.time_per_item(&search, 1);
+        let e_gpu = gpu.energy(&cnn, 1) + gpu.energy(&search, 1);
+
+        // RRAM path: CNN on crossbars, hashing on a stochastic crossbar, AM
+        // search in an RRAM TCAM.
+        let xbar_cfg = CrossbarConfig {
+            rows: 64,
+            cols: 64,
+            ..CrossbarConfig::default()
+        };
+        let (xmacro, mvm) = layer_timed("crossbar", || {
+            let xmacro = CrossbarMacro::try_new(&xbar_cfg, &s.tech, 8)?;
+            let mvm = xmacro.mvm_cost();
+            Ok::<_, XldaError>((xmacro, mvm))
+        })?;
+        // Paper: >65k weights across 36 64x64 crossbars; layers pipeline but
+        // inference visits each layer once.
+        let cnn_tiles = s.weights.div_ceil(64 * 64).max(1);
+        let layer_depth = 4.0;
+        let t_cnn = layer_depth * mvm.latency_s;
+        let e_cnn = cnn_tiles as f64 * mvm.energy_j;
+        let hash_tiles = (s.emb_dim.div_ceil(64) * (2 * s.hash_bits).div_ceil(64)).max(1);
+        let t_hash = mvm.latency_s;
+        let e_hash = hash_tiles as f64 * mvm.energy_j;
+        let rep = layer_timed("evacam", || {
+            let cam = CamArray::new(CamConfig {
+                words: s.entries,
+                bits_per_word: s.hash_bits,
+                design: CamCellDesign::Rram2T2R,
+                data: DataKind::Ternary,
+                match_kind: MatchKind::Best { max_distance: 4 },
+                row_banks: 1,
+                tech: s.tech.clone(),
+            })?;
+            Ok::<_, XldaError>(cam.report())
+        })?;
+        let area = (cnn_tiles + hash_tiles) as f64 * xmacro.area_m2() * 1e6 + rep.area_um2 * 1e-6;
+
+        Ok(vec![
+            Candidate::new(
+                "GPU MANN (batch 1)",
+                validate_fom(
+                    "GPU MANN (batch 1)",
+                    Fom {
+                        latency_s: t_gpu,
+                        energy_j: e_gpu,
+                        area_mm2: 0.0,
+                        accuracy: s.acc_software,
+                    },
+                )?,
+            ),
+            Candidate::new(
+                "RRAM in-memory MANN",
+                validate_fom(
+                    "RRAM in-memory MANN",
+                    Fom {
+                        latency_s: t_cnn + t_hash + rep.search_latency_s,
+                        energy_j: e_cnn + e_hash + rep.search_energy_j,
+                        area_mm2: area,
+                        accuracy: s.acc_rram,
+                    },
+                )?,
+            ),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated pre-trait entry points.
+//
+// These free functions predate the `Scenario` trait; they remain as thin
+// delegating shims so downstream code migrates on its own schedule. New
+// code (and everything in-repo) goes through `Scenario::candidates`.
+// ---------------------------------------------------------------------------
+
+/// Builds the full Fig. 3H candidate set.
 ///
 /// # Panics
 ///
-/// Panics if a design point fails to model; sweeps over arbitrary
-/// scenarios should use [`try_mann_candidates`].
-pub fn mann_candidates(s: &MannScenario) -> Vec<Candidate> {
-    try_mann_candidates(s).expect("MANN TCAM design point must model")
+/// Panics if any shipped design point fails to model — impossible for
+/// scenarios near the default; arbitrary scenario grids should use the
+/// fallible [`Scenario::candidates`] and collect per-point errors.
+#[deprecated(since = "0.2.0", note = "use Scenario::candidates on HdcScenario")]
+pub fn hdc_candidates(s: &HdcScenario) -> Vec<Candidate> {
+    s.candidates()
+        .expect("shipped HDC design points must model")
 }
 
-/// Fallible [`mann_candidates`].
+/// Fallible Fig. 3H candidate set.
 ///
 /// # Errors
 ///
-/// Propagates crossbar/CAM model rejections and FOM validation failures.
+/// As [`Scenario::candidates`] on [`HdcScenario`].
+#[deprecated(since = "0.2.0", note = "use Scenario::candidates on HdcScenario")]
+pub fn try_hdc_candidates(s: &HdcScenario) -> Result<Vec<Candidate>, XldaError> {
+    s.candidates()
+}
+
+/// Builds the edge-deployment candidate set.
+///
+/// # Panics
+///
+/// Panics if any shipped design point fails to model.
+#[deprecated(since = "0.2.0", note = "use Scenario::candidates on EdgeScenario")]
+pub fn edge_candidates(s: &HdcScenario) -> Vec<Candidate> {
+    EdgeScenario::new(s.clone())
+        .candidates()
+        .expect("shipped edge design points must model")
+}
+
+/// Fallible edge-deployment candidate set.
+///
+/// # Errors
+///
+/// As [`Scenario::candidates`] on [`EdgeScenario`].
+#[deprecated(since = "0.2.0", note = "use Scenario::candidates on EdgeScenario")]
+pub fn try_edge_candidates(s: &HdcScenario) -> Result<Vec<Candidate>, XldaError> {
+    EdgeScenario::new(s.clone()).candidates()
+}
+
+/// Builds the NVM-backed-TPU candidate.
+///
+/// # Panics
+///
+/// Panics if the NVM weight store cannot be organized.
+#[deprecated(since = "0.2.0", note = "use Scenario::candidates on TpuNvmScenario")]
+pub fn tpu_nvm_candidate(s: &HdcScenario, batch: usize) -> Candidate {
+    tpu_nvm_fom(s, batch).expect("NVM weight store organizes")
+}
+
+/// Fallible NVM-backed-TPU candidate.
+///
+/// # Errors
+///
+/// As [`Scenario::candidates`] on [`TpuNvmScenario`].
+#[deprecated(since = "0.2.0", note = "use Scenario::candidates on TpuNvmScenario")]
+pub fn try_tpu_nvm_candidate(s: &HdcScenario, batch: usize) -> Result<Candidate, XldaError> {
+    tpu_nvm_fom(s, batch)
+}
+
+/// Builds the MANN platform candidates.
+///
+/// # Panics
+///
+/// Panics if a design point fails to model.
+#[deprecated(since = "0.2.0", note = "use Scenario::candidates on MannScenario")]
+pub fn mann_candidates(s: &MannScenario) -> Vec<Candidate> {
+    s.candidates().expect("MANN TCAM design point must model")
+}
+
+/// Fallible MANN platform candidates.
+///
+/// # Errors
+///
+/// As [`Scenario::candidates`] on [`MannScenario`].
+#[deprecated(since = "0.2.0", note = "use Scenario::candidates on MannScenario")]
 pub fn try_mann_candidates(s: &MannScenario) -> Result<Vec<Candidate>, XldaError> {
-    let gpu = Platform::gpu();
-    // GPU path: CNN + exact cosine search over raw embeddings.
-    let cnn = Kernel {
-        flops_per_item: (s.weights as u64) * 100,
-        bytes_per_item: 28 * 28 * 4,
-        shared_bytes: (s.weights * 4) as u64,
-    };
-    let search = Kernel::search(s.entries, s.emb_dim, 4);
-    let t_gpu = gpu.time_per_item(&cnn, 1) + gpu.time_per_item(&search, 1);
-    let e_gpu = gpu.energy(&cnn, 1) + gpu.energy(&search, 1);
-
-    // RRAM path: CNN on crossbars, hashing on a stochastic crossbar, AM
-    // search in an RRAM TCAM.
-    let xbar_cfg = CrossbarConfig {
-        rows: 64,
-        cols: 64,
-        ..CrossbarConfig::default()
-    };
-    let (xmacro, mvm) = layer_timed("crossbar", || {
-        let xmacro = CrossbarMacro::try_new(&xbar_cfg, &s.tech, 8)?;
-        let mvm = xmacro.mvm_cost();
-        Ok::<_, XldaError>((xmacro, mvm))
-    })?;
-    // Paper: >65k weights across 36 64x64 crossbars; layers pipeline but
-    // inference visits each layer once.
-    let cnn_tiles = s.weights.div_ceil(64 * 64).max(1);
-    let layer_depth = 4.0;
-    let t_cnn = layer_depth * mvm.latency_s;
-    let e_cnn = cnn_tiles as f64 * mvm.energy_j;
-    let hash_tiles = (s.emb_dim.div_ceil(64) * (2 * s.hash_bits).div_ceil(64)).max(1);
-    let t_hash = mvm.latency_s;
-    let e_hash = hash_tiles as f64 * mvm.energy_j;
-    let rep = layer_timed("evacam", || {
-        let cam = CamArray::new(CamConfig {
-            words: s.entries,
-            bits_per_word: s.hash_bits,
-            design: CamCellDesign::Rram2T2R,
-            data: DataKind::Ternary,
-            match_kind: MatchKind::Best { max_distance: 4 },
-            row_banks: 1,
-            tech: s.tech.clone(),
-        })?;
-        Ok::<_, XldaError>(cam.report())
-    })?;
-    let area = (cnn_tiles + hash_tiles) as f64 * xmacro.area_m2() * 1e6 + rep.area_um2 * 1e-6;
-
-    Ok(vec![
-        Candidate::new(
-            "GPU MANN (batch 1)",
-            validate_fom(
-                "GPU MANN (batch 1)",
-                Fom {
-                    latency_s: t_gpu,
-                    energy_j: e_gpu,
-                    area_mm2: 0.0,
-                    accuracy: s.acc_software,
-                },
-            )?,
-        ),
-        Candidate::new(
-            "RRAM in-memory MANN",
-            validate_fom(
-                "RRAM in-memory MANN",
-                Fom {
-                    latency_s: t_cnn + t_hash + rep.search_latency_s,
-                    energy_j: e_cnn + e_hash + rep.search_energy_j,
-                    area_mm2: area,
-                    accuracy: s.acc_rram,
-                },
-            )?,
-        ),
-    ])
+    s.candidates()
 }
 
 #[cfg(test)]
@@ -532,7 +695,7 @@ mod tests {
 
     #[test]
     fn hdc_candidate_set_is_complete_and_valid() {
-        let cands = hdc_candidates(&HdcScenario::default());
+        let cands = HdcScenario::default().candidates().unwrap();
         assert_eq!(cands.len(), 8);
         for c in &cands {
             assert!(c.fom.is_valid(), "{}: {:?}", c.name, c.fom);
@@ -542,7 +705,7 @@ mod tests {
 
     #[test]
     fn fig3h_shape_batching_helps_gpu() {
-        let cands = hdc_candidates(&HdcScenario::default());
+        let cands = HdcScenario::default().candidates().unwrap();
         let find = |n: &str| {
             cands
                 .iter()
@@ -559,7 +722,7 @@ mod tests {
     fn fig3h_shape_3b_cam_beats_gpu_latency() {
         // The headline Fig. 3H result: the 3-bit FeFET CAM design point
         // beats even batched GPU inference at iso-accuracy.
-        let cands = hdc_candidates(&HdcScenario::default());
+        let cands = HdcScenario::default().candidates().unwrap();
         let find = |n: &str| cands.iter().find(|c| c.name.contains(n)).expect("exists");
         let cam3 = find("3b FeFET");
         let gpu_b1 = find("GPU HDC (batch 1)");
@@ -571,7 +734,7 @@ mod tests {
 
     #[test]
     fn fig3h_shape_2b_needs_longer_hvs_and_is_slower_than_3b() {
-        let cands = hdc_candidates(&HdcScenario::default());
+        let cands = HdcScenario::default().candidates().unwrap();
         let find = |n: &str| cands.iter().find(|c| c.name.contains(n)).expect("exists");
         let cam3 = find("3b FeFET");
         let cam2 = find("2b FeFET");
@@ -581,7 +744,7 @@ mod tests {
 
     #[test]
     fn fig3h_shape_1b_sram_fast_but_inaccurate() {
-        let cands = hdc_candidates(&HdcScenario::default());
+        let cands = HdcScenario::default().candidates().unwrap();
         let find = |n: &str| cands.iter().find(|c| c.name.contains(n)).expect("exists");
         let sram = find("1b SRAM");
         let cam3 = find("3b FeFET");
@@ -591,7 +754,7 @@ mod tests {
 
     #[test]
     fn fig3h_shape_hybrid_nominal_improvement() {
-        let cands = hdc_candidates(&HdcScenario::default());
+        let cands = HdcScenario::default().candidates().unwrap();
         let find = |n: &str| cands.iter().find(|c| c.name.contains(n)).expect("exists");
         let gpu = find("GPU HDC (batch 1000)");
         let hybrid = find("TPU-GPU");
@@ -605,14 +768,14 @@ mod tests {
         // silicon) the software baselines slow down, so the CAM's
         // advantage is even larger than against the datacenter GPU.
         let s = HdcScenario::default();
-        let edge = edge_candidates(&s);
+        let edge = EdgeScenario::new(s.clone()).candidates().unwrap();
         assert_eq!(edge.len(), 3);
         let cam = edge.iter().find(|c| c.name.contains("CAM")).expect("cam");
         let edge_gpu = edge
             .iter()
             .find(|c| c.name.contains("edge-GPU"))
             .expect("edge gpu");
-        let datacenter = hdc_candidates(&s);
+        let datacenter = s.candidates().unwrap();
         let dc_gpu_b1000 = datacenter
             .iter()
             .find(|c| c.name.contains("batch 1000)") && c.name.contains("GPU HDC"))
@@ -632,7 +795,7 @@ mod tests {
         // baseline* (beats GPU batch-1 latency and batched GPU energy)
         // but not a better *design point* than the FeFET CAM.
         let s = HdcScenario::default();
-        let cands = hdc_candidates(&s);
+        let cands = s.candidates().unwrap();
         let find = |n: &str| cands.iter().find(|c| c.name.contains(n)).expect("exists");
         let nvm_tpu = find("TPU + on-chip NVM");
         let gpu_b1 = find("GPU HDC (batch 1)");
@@ -644,17 +807,62 @@ mod tests {
         assert!(cam.fom.energy_j < nvm_tpu.fom.energy_j);
     }
 
+    /// The deprecated free-function shims must stay bit-identical to the
+    /// trait they delegate to — downstream code migrating one call site
+    /// at a time may not observe any behavior change.
     #[test]
-    fn try_paths_agree_with_infallible_wrappers() {
+    #[allow(deprecated)]
+    fn deprecated_shims_agree_with_scenario_trait() {
         let s = HdcScenario::default();
-        assert_eq!(try_hdc_candidates(&s).unwrap(), hdc_candidates(&s));
-        assert_eq!(try_edge_candidates(&s).unwrap(), edge_candidates(&s));
-        let m = MannScenario::default();
-        assert_eq!(try_mann_candidates(&m).unwrap(), mann_candidates(&m));
+        assert_eq!(try_hdc_candidates(&s).unwrap(), s.candidates().unwrap());
+        assert_eq!(hdc_candidates(&s), s.candidates().unwrap());
         assert_eq!(
-            try_tpu_nvm_candidate(&s, 4).unwrap(),
-            tpu_nvm_candidate(&s, 4)
+            try_edge_candidates(&s).unwrap(),
+            EdgeScenario::new(s.clone()).candidates().unwrap()
         );
+        assert_eq!(
+            edge_candidates(&s),
+            EdgeScenario::new(s.clone()).candidates().unwrap()
+        );
+        let m = MannScenario::default();
+        assert_eq!(try_mann_candidates(&m).unwrap(), m.candidates().unwrap());
+        assert_eq!(mann_candidates(&m), m.candidates().unwrap());
+        let t = TpuNvmScenario::new(s.clone(), 4);
+        assert_eq!(
+            vec![try_tpu_nvm_candidate(&s, 4).unwrap()],
+            t.candidates().unwrap()
+        );
+        assert_eq!(vec![tpu_nvm_candidate(&s, 4)], t.candidates().unwrap());
+    }
+
+    #[test]
+    fn scenario_kinds_are_stable() {
+        assert_eq!(HdcScenario::default().kind(), "hdc");
+        assert_eq!(MannScenario::default().kind(), "mann");
+        assert_eq!(EdgeScenario::default().kind(), "edge");
+        assert_eq!(TpuNvmScenario::default().kind(), "tpu_nvm");
+    }
+
+    #[test]
+    fn scenarios_dispatch_through_trait_objects() {
+        // The serving layer batches heterogeneous requests as one slice
+        // of trait objects; every built-in scenario must evaluate
+        // through that indirection.
+        let batch: Vec<Box<dyn Scenario>> = vec![
+            Box::new(HdcScenario::default()),
+            Box::new(MannScenario::default()),
+            Box::new(EdgeScenario::default()),
+            Box::new(TpuNvmScenario::default()),
+        ];
+        for s in &batch {
+            let cands = s
+                .candidates()
+                .unwrap_or_else(|e| panic!("{}: {e}", s.kind()));
+            assert!(!cands.is_empty(), "{}", s.kind());
+            for c in &cands {
+                assert!(c.fom.is_valid(), "{}: {:?}", c.name, c.fom);
+            }
+        }
     }
 
     #[test]
@@ -663,7 +871,7 @@ mod tests {
             acc_sw: f64::NAN,
             ..HdcScenario::default()
         };
-        match try_hdc_candidates(&s) {
+        match s.candidates() {
             Err(XldaError::InvalidFom { name, fom }) => {
                 assert!(name.contains("GPU HDC"), "{name}");
                 assert!(fom.accuracy.is_nan());
@@ -678,15 +886,12 @@ mod tests {
             acc_rram: 1.5,
             ..MannScenario::default()
         };
-        assert!(matches!(
-            try_mann_candidates(&s),
-            Err(XldaError::InvalidFom { .. })
-        ));
+        assert!(matches!(s.candidates(), Err(XldaError::InvalidFom { .. })));
     }
 
     #[test]
     fn mann_rram_pipeline_beats_gpu_latency() {
-        let cands = mann_candidates(&MannScenario::default());
+        let cands = MannScenario::default().candidates().unwrap();
         assert_eq!(cands.len(), 2);
         let gpu = &cands[0].fom;
         let rram = &cands[1].fom;

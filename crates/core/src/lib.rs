@@ -10,10 +10,12 @@
 //! - [`fom::Fom`] — the common figure-of-merit bundle (latency, energy,
 //!   area, accuracy) with dominance and derived metrics;
 //! - [`pareto`] — Pareto-front extraction over candidate evaluations;
-//! - [`evaluate`] — cross-layer evaluators that assemble end-to-end FOMs
-//!   for concrete mappings (HDC on GPU / TPU-GPU hybrid / multi-bit
-//!   FeFET CAM / SRAM CAM; MLP on GPU; MANN variants) by composing the
-//!   substrate crates — these generate the Fig. 3H-style comparisons;
+//! - [`evaluate`] — the unified [`Scenario`](evaluate::Scenario) trait
+//!   and its cross-layer evaluators that assemble end-to-end FOMs for
+//!   concrete mappings (HDC on GPU / TPU-GPU hybrid / multi-bit
+//!   FeFET CAM / SRAM CAM; MLP on GPU; MANN variants; edge and
+//!   NVM-backed-TPU studies) by composing the substrate crates — these
+//!   generate the Fig. 3H-style comparisons;
 //! - [`triage`] — weighted ranking with iso-accuracy floors, the "rapidly
 //!   and accurately triage technology-enabled architectures" step;
 //! - [`sensitivity`] — bottom-up linkage (Fig. 6): perturb device-level
@@ -27,11 +29,11 @@
 //! # Examples
 //!
 //! ```
-//! use xlda_core::evaluate::{hdc_candidates, HdcScenario};
+//! use xlda_core::evaluate::{HdcScenario, Scenario};
 //! use xlda_core::triage::{rank, Objective};
 //!
 //! let scenario = HdcScenario::default();
-//! let candidates = hdc_candidates(&scenario);
+//! let candidates = scenario.candidates().expect("default scenario models");
 //! let ranking = rank(&candidates, &Objective::latency_first(Some(0.9)));
 //! assert!(!ranking.is_empty());
 //! ```

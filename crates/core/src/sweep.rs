@@ -44,17 +44,44 @@ pub enum Schedule {
     WorkStealing,
 }
 
+/// Target number of work-unit steals per worker when `chunk == 0`: the
+/// auto chunk is sized as `points / (threads * TARGET_STEALS_PER_WORKER)`
+/// so load imbalance is bounded by ~1/8 of a worker's share.
+pub const TARGET_STEALS_PER_WORKER: usize = 8;
+
+/// Smallest chunk the `chunk == 0` heuristic will pick: one point per
+/// steal (tiny inputs degrade to pure self-scheduling).
+pub const MIN_AUTO_CHUNK: usize = 1;
+
+/// Largest chunk the `chunk == 0` heuristic will pick, bounding the
+/// work a single steal can strand behind one slow point on huge inputs.
+pub const MAX_AUTO_CHUNK: usize = 256;
+
 /// Sweep engine tuning knobs.
+///
+/// `#[non_exhaustive]`: construct via [`SweepOptions::default`] plus
+/// struct update, or [`SweepOptions::builder`] — new tuning knobs are
+/// then additive rather than breaking changes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct SweepOptions {
     /// Dispatch schedule (default: [`Schedule::WorkStealing`]).
     pub schedule: Schedule,
     /// Worker threads; `0` means the machine's available parallelism.
     pub threads: usize,
     /// Points per stolen work unit; `0` picks a chunk that gives each
-    /// worker ~8 steals (clamped to `1..=256`). Ignored by
+    /// worker ~[`TARGET_STEALS_PER_WORKER`] steals (clamped to
+    /// [`MIN_AUTO_CHUNK`]`..=`[`MAX_AUTO_CHUNK`]). Ignored by
     /// [`Schedule::StaticChunks`].
     pub chunk: usize,
+    /// Wall-clock budget for the whole sweep, measured from the moment
+    /// the sweep entry point is called. Honored by the *fallible* paths
+    /// ([`par_try_map_with`]): points whose evaluation has not started
+    /// when the budget expires yield
+    /// [`PointFailure::DeadlineExceeded`] instead of being evaluated.
+    /// The infallible paths ignore it (a skipped point has no
+    /// representable outcome there). `None` (the default) never expires.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for SweepOptions {
@@ -63,6 +90,7 @@ impl Default for SweepOptions {
             schedule: Schedule::WorkStealing,
             threads: 0,
             chunk: 0,
+            deadline: None,
         }
     }
 }
@@ -74,6 +102,29 @@ impl SweepOptions {
         Self {
             schedule: Schedule::StaticChunks,
             ..Self::default()
+        }
+    }
+
+    /// Starts a builder over the default configuration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use xlda_core::sweep::{Schedule, SweepOptions};
+    ///
+    /// let opts = SweepOptions::builder()
+    ///     .schedule(Schedule::WorkStealing)
+    ///     .threads(4)
+    ///     .chunk(16)
+    ///     .deadline(Duration::from_millis(250))
+    ///     .build();
+    /// assert_eq!(opts.threads, 4);
+    /// assert_eq!(opts.deadline, Some(Duration::from_millis(250)));
+    /// ```
+    pub fn builder() -> SweepOptionsBuilder {
+        SweepOptionsBuilder {
+            opts: Self::default(),
         }
     }
 
@@ -95,10 +146,48 @@ impl SweepOptions {
                 if self.chunk > 0 {
                     self.chunk
                 } else {
-                    (points / (threads * 8)).clamp(1, 256)
+                    (points / (threads * TARGET_STEALS_PER_WORKER))
+                        .clamp(MIN_AUTO_CHUNK, MAX_AUTO_CHUNK)
                 }
             }
         }
+    }
+}
+
+/// Builder for [`SweepOptions`] (see [`SweepOptions::builder`]).
+#[derive(Debug, Clone)]
+pub struct SweepOptionsBuilder {
+    opts: SweepOptions,
+}
+
+impl SweepOptionsBuilder {
+    /// Sets the dispatch schedule.
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.opts.schedule = schedule;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.opts.threads = threads;
+        self
+    }
+
+    /// Sets the steal chunk size (`0` = auto heuristic).
+    pub fn chunk(mut self, chunk: usize) -> Self {
+        self.opts.chunk = chunk;
+        self
+    }
+
+    /// Sets the sweep wall-clock deadline.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.opts.deadline = Some(deadline);
+        self
+    }
+
+    /// Finalizes the options.
+    pub fn build(self) -> SweepOptions {
+        self.opts
     }
 }
 
@@ -210,6 +299,9 @@ pub enum PointFailure<E> {
     /// The evaluator panicked on this point; the payload message is
     /// preserved when it was a string.
     Panicked(String),
+    /// The sweep's [`SweepOptions::deadline`] expired before this
+    /// point's evaluation started; the point was skipped, not evaluated.
+    DeadlineExceeded,
 }
 
 impl<E: std::fmt::Display> std::fmt::Display for PointFailure<E> {
@@ -217,6 +309,9 @@ impl<E: std::fmt::Display> std::fmt::Display for PointFailure<E> {
         match self {
             PointFailure::Error(e) => write!(f, "{e}"),
             PointFailure::Panicked(msg) => write!(f, "evaluator panicked: {msg}"),
+            PointFailure::DeadlineExceeded => {
+                write!(f, "sweep deadline expired before evaluation")
+            }
         }
     }
 }
@@ -265,6 +360,14 @@ where
 }
 
 /// [`par_try_map`] with explicit [`SweepOptions`].
+///
+/// When [`SweepOptions::deadline`] is set, the budget is measured from
+/// this call: any point whose evaluation has not *started* when it
+/// expires is skipped and reported as
+/// [`PointFailure::DeadlineExceeded`]. Points already being evaluated
+/// run to completion — the engine never interrupts an evaluator, it
+/// stops admitting new ones, so a sweep overshoots by at most one point
+/// per worker.
 pub fn par_try_map_with<I, O, E, F>(
     inputs: &[I],
     f: F,
@@ -276,9 +379,13 @@ where
     E: Send,
     F: Fn(&I) -> Result<O, E> + Sync,
 {
+    let expires_at = opts.deadline.map(|d| Instant::now() + d);
     dispatch(
         inputs,
         |input| {
+            if expires_at.is_some_and(|t| Instant::now() >= t) {
+                return Err(PointFailure::DeadlineExceeded);
+            }
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(input)))
                 .map_err(panic_message)
                 .map_or_else(
@@ -579,16 +686,16 @@ mod tests {
         for opts in [
             SweepOptions::v1_static(),
             SweepOptions::default(),
-            SweepOptions {
-                schedule: Schedule::WorkStealing,
-                threads: 3,
-                chunk: 5,
-            },
-            SweepOptions {
-                schedule: Schedule::WorkStealing,
-                threads: 8,
-                chunk: 1,
-            },
+            SweepOptions::builder()
+                .schedule(Schedule::WorkStealing)
+                .threads(3)
+                .chunk(5)
+                .build(),
+            SweepOptions::builder()
+                .schedule(Schedule::WorkStealing)
+                .threads(8)
+                .chunk(1)
+                .build(),
         ] {
             let out = par_map_with(&inputs, |&x| x.wrapping_mul(x) ^ 7, &opts);
             assert_eq!(out, expect, "schedule {opts:?}");
@@ -645,11 +752,78 @@ mod tests {
     }
 
     #[test]
-    fn point_failure_displays_both_variants() {
+    fn point_failure_displays_all_variants() {
         let e: PointFailure<&str> = PointFailure::Error("infeasible");
         assert_eq!(e.to_string(), "infeasible");
         let p: PointFailure<&str> = PointFailure::Panicked("boom".into());
         assert!(p.to_string().contains("panicked"));
+        let d: PointFailure<&str> = PointFailure::DeadlineExceeded;
+        assert!(d.to_string().contains("deadline"));
+    }
+
+    /// Pins the `chunk == 0` heuristic the serving layer relies on:
+    /// `points / (threads * TARGET_STEALS_PER_WORKER)` clamped to
+    /// `MIN_AUTO_CHUNK..=MAX_AUTO_CHUNK` — ~8 steals per worker, never 0,
+    /// never more than 256 points behind one steal.
+    #[test]
+    fn auto_chunk_heuristic_is_pinned() {
+        assert_eq!(TARGET_STEALS_PER_WORKER, 8);
+        assert_eq!(MIN_AUTO_CHUNK, 1);
+        assert_eq!(MAX_AUTO_CHUNK, 256);
+        let auto = SweepOptions::default();
+        // Mid-range: exact ~8-steals sizing.
+        assert_eq!(auto.resolve_chunk(6400, 4), 6400 / (4 * 8));
+        assert_eq!(auto.resolve_chunk(1024, 8), 1024 / (8 * 8));
+        // Tiny inputs clamp up to one point per steal, never zero.
+        assert_eq!(auto.resolve_chunk(1, 8), MIN_AUTO_CHUNK);
+        assert_eq!(auto.resolve_chunk(7, 1), MIN_AUTO_CHUNK);
+        // Huge inputs clamp down so one steal never strands >256 points.
+        assert_eq!(auto.resolve_chunk(1_000_000, 2), MAX_AUTO_CHUNK);
+        // An explicit chunk bypasses the heuristic entirely...
+        let explicit = SweepOptions::builder().chunk(42).build();
+        assert_eq!(explicit.resolve_chunk(1_000_000, 2), 42);
+        // ...and static scheduling ignores it (one chunk per thread).
+        assert_eq!(SweepOptions::v1_static().resolve_chunk(100, 8), 13);
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        assert_eq!(SweepOptions::builder().build(), SweepOptions::default());
+    }
+
+    #[test]
+    fn expired_deadline_skips_unstarted_points() {
+        let inputs: Vec<u32> = (0..64).collect();
+        let opts = SweepOptions::builder().deadline(Duration::ZERO).build();
+        let out: Vec<Result<u32, PointFailure<&str>>> =
+            par_try_map_with(&inputs, |&x| Ok(x), &opts);
+        assert_eq!(out.len(), 64);
+        assert!(
+            out.iter()
+                .all(|r| matches!(r, Err(PointFailure::DeadlineExceeded))),
+            "an already-expired deadline admits no points"
+        );
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let inputs: Vec<u32> = (0..64).collect();
+        let opts = SweepOptions::builder()
+            .deadline(Duration::from_secs(3600))
+            .build();
+        let out: Vec<Result<u32, PointFailure<&str>>> =
+            par_try_map_with(&inputs, |&x| Ok(x * 2), &opts);
+        let expect: Vec<Result<u32, PointFailure<&str>>> =
+            inputs.iter().map(|&x| Ok(x * 2)).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn infallible_paths_ignore_the_deadline() {
+        let inputs: Vec<u32> = (0..16).collect();
+        let opts = SweepOptions::builder().deadline(Duration::ZERO).build();
+        let out = par_map_with(&inputs, |&x| x + 1, &opts);
+        assert_eq!(out, (1..17).collect::<Vec<u32>>());
     }
 
     #[test]

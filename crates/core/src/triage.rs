@@ -199,7 +199,10 @@ mod tests {
     fn triage_of_fig3h_prefers_3b_cam() {
         // End-to-end: the triage framework should surface the paper's
         // conclusion from the Fig. 3H candidate set.
-        let cands = crate::evaluate::hdc_candidates(&crate::evaluate::HdcScenario::default());
+        use crate::evaluate::Scenario;
+        let cands = crate::evaluate::HdcScenario::default()
+            .candidates()
+            .expect("default scenario models");
         let r = rank(&cands, &Objective::latency_first(Some(0.9)));
         assert_eq!(r[0].name, "3b FeFET CAM", "ranking: {r:#?}");
     }

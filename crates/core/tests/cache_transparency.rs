@@ -15,7 +15,7 @@
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 use std::sync::Mutex;
-use xlda_core::evaluate::{try_hdc_candidates, try_mann_candidates, HdcScenario, MannScenario};
+use xlda_core::evaluate::{HdcScenario, MannScenario, Scenario};
 use xlda_core::sweep::memo;
 
 static MEMO_LOCK: Mutex<()> = Mutex::new(());
@@ -23,7 +23,7 @@ static MEMO_LOCK: Mutex<()> = Mutex::new(());
 /// Bit patterns of every FOM a scenario evaluation produces; errors map
 /// to a fixed marker so infeasible points still compare across regimes.
 fn hdc_bits(s: &HdcScenario) -> Vec<u64> {
-    match try_hdc_candidates(s) {
+    match s.candidates() {
         Ok(cands) => cands
             .iter()
             .flat_map(|c| {
@@ -40,7 +40,7 @@ fn hdc_bits(s: &HdcScenario) -> Vec<u64> {
 }
 
 fn mann_bits(s: &MannScenario) -> Vec<u64> {
-    match try_mann_candidates(s) {
+    match s.candidates() {
         Ok(cands) => cands
             .iter()
             .flat_map(|c| {

@@ -153,7 +153,11 @@ mod sweep_props {
             let stealing = par_map_with(
                 &xs,
                 f,
-                &SweepOptions { schedule: Schedule::WorkStealing, threads, chunk },
+                &SweepOptions::builder()
+                    .schedule(Schedule::WorkStealing)
+                    .threads(threads)
+                    .chunk(chunk)
+                    .build(),
             );
             let static_v1 = par_map_with(&xs, f, &SweepOptions::v1_static());
             let seq: Vec<f64> = xs.iter().map(f).collect();

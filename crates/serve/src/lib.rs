@@ -1,0 +1,28 @@
+//! `xlda-serve` — a batched evaluation service over the unified
+//! [`Scenario`](xlda_core::evaluate::Scenario) API.
+//!
+//! The ROADMAP's north star is a system that serves sustained
+//! evaluation traffic rather than one-shot library calls. This crate
+//! puts a long-lived daemon in front of the sweep engine: requests
+//! arrive as newline-delimited JSON (TCP, or stdio for tests), pass a
+//! bounded admission queue with explicit backpressure, coalesce in a
+//! micro-batch window, and evaluate as one sweep submission on a
+//! shared worker pool with process-wide warm memo caches.
+//!
+//! Layout:
+//!
+//! - [`json`] — hand-rolled JSON (the vendored `serde` is a no-op
+//!   shim), with bit-exact `f64` round-tripping;
+//! - [`protocol`] — request parsing and response formatting;
+//! - [`server`] — queue → batcher → pool → drain pipeline and the two
+//!   transports.
+//!
+//! See DESIGN.md §9 for the architecture and wire schema, and
+//! `xlda-bench --loadgen` for the serving benchmark that produces
+//! `BENCH_serve.json`.
+
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use server::{Server, ServerConfig, SharedWriter};

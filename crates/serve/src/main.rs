@@ -1,0 +1,91 @@
+//! `xlda-serve` binary: the evaluation daemon.
+//!
+//! ```text
+//! xlda-serve --listen 127.0.0.1:7878    # TCP daemon (default)
+//! xlda-serve --stdio                    # line protocol on stdio
+//! ```
+//!
+//! Options: `--queue-cap N`, `--batch-window-ms N`, `--batch-max N`,
+//! `--threads N`, `--deadline-ms N` (default per-request deadline).
+
+use std::net::TcpListener;
+use std::process::exit;
+use std::time::Duration;
+use xlda_serve::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: xlda-serve [--stdio | --listen ADDR] [--queue-cap N] \
+         [--batch-window-ms N] [--batch-max N] [--threads N] [--deadline-ms N]"
+    );
+    exit(2);
+}
+
+fn parse_num(args: &mut std::vec::IntoIter<String>, flag: &str) -> u64 {
+    match args.next().map(|v| v.parse::<u64>()) {
+        Some(Ok(n)) => n,
+        _ => {
+            eprintln!("xlda-serve: {flag} needs a non-negative integer");
+            exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mut config = ServerConfig::default();
+    let mut stdio = false;
+    let mut listen = "127.0.0.1:7878".to_string();
+    let mut args = std::env::args().skip(1).collect::<Vec<_>>().into_iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--stdio" => stdio = true,
+            "--listen" => match args.next() {
+                Some(a) => listen = a,
+                None => usage(),
+            },
+            "--queue-cap" => config.queue_cap = parse_num(&mut args, "--queue-cap") as usize,
+            "--batch-window-ms" => {
+                config.batch_window =
+                    Duration::from_millis(parse_num(&mut args, "--batch-window-ms"));
+            }
+            "--batch-max" => {
+                config.batch_max = (parse_num(&mut args, "--batch-max") as usize).max(1);
+            }
+            "--threads" => config.threads = parse_num(&mut args, "--threads") as usize,
+            "--deadline-ms" => {
+                config.default_deadline =
+                    Some(Duration::from_millis(parse_num(&mut args, "--deadline-ms")));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("xlda-serve: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    if config.queue_cap == 0 {
+        eprintln!("xlda-serve: --queue-cap must be at least 1");
+        exit(2);
+    }
+
+    let server = Server::new(config);
+    if stdio {
+        server.run_stdio();
+        return;
+    }
+    let listener = match TcpListener::bind(&listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("xlda-serve: cannot bind {listen}: {e}");
+            exit(1);
+        }
+    };
+    // The kernel may have picked the port (":0"); report the bound addr.
+    if let Ok(addr) = listener.local_addr() {
+        eprintln!("xlda-serve: listening on {addr}");
+    }
+    if let Err(e) = server.run_tcp(listener) {
+        eprintln!("xlda-serve: accept loop failed: {e}");
+        exit(1);
+    }
+}

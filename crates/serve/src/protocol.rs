@@ -1,0 +1,387 @@
+//! Request/response schema for the newline-delimited JSON protocol.
+//!
+//! One request per line in, one response per line out, matched by the
+//! client-chosen `id`. Evaluation requests dispatch through
+//! [`Scenario`]: the service never matches on workload internals, so a
+//! new workload only has to implement the trait to become servable.
+//!
+//! Request shape:
+//!
+//! ```json
+//! {"id":"r1","kind":"hdc","scenario":{"classes":26,"tech":"n40"},"deadline_ms":500}
+//! {"id":"r2","kind":"triage","objective":"energy_first","floor":0.9}
+//! {"id":"r3","kind":"stats"}
+//! {"id":"r4","kind":"shutdown"}
+//! ```
+//!
+//! `scenario` fields are optional overrides on the workload's
+//! `Default`; `kind` is one of `hdc | mann | edge | tpu_nvm | triage |
+//! stats | shutdown`. See DESIGN.md §9 for the full schema.
+
+use crate::json::{obj, Json};
+use xlda_circuit::tech::TechNode;
+use xlda_core::evaluate::{EdgeScenario, HdcScenario, MannScenario, Scenario, TpuNvmScenario};
+use xlda_core::fom::Candidate;
+use xlda_core::triage::Objective;
+
+/// Ranking objective requested by a `triage` request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TriageObjective {
+    /// `Objective::latency_first`.
+    LatencyFirst,
+    /// `Objective::energy_first`.
+    EnergyFirst,
+}
+
+/// Ranking spec carried by a `triage` request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriageSpec {
+    /// Which weighted objective ranks the candidates.
+    pub objective: TriageObjective,
+    /// Optional iso-accuracy floor.
+    pub floor: Option<f64>,
+}
+
+impl TriageSpec {
+    /// The core-crate objective this spec selects.
+    pub fn objective(&self) -> Objective {
+        match self.objective {
+            TriageObjective::LatencyFirst => Objective::latency_first(self.floor),
+            TriageObjective::EnergyFirst => Objective::energy_first(self.floor),
+        }
+    }
+}
+
+/// A parsed, admissible request.
+pub enum Request {
+    /// Evaluate a scenario (optionally ranking the result).
+    Eval {
+        /// Client-chosen correlation id, echoed in the response.
+        id: String,
+        /// The workload to evaluate, behind the unified trait.
+        scenario: Box<dyn Scenario>,
+        /// Present for `kind: "triage"`.
+        triage: Option<TriageSpec>,
+        /// Per-request deadline in milliseconds from admission.
+        deadline_ms: Option<u64>,
+    },
+    /// Report queue/latency/cache statistics.
+    Stats {
+        /// Correlation id.
+        id: String,
+    },
+    /// Begin a graceful drain.
+    Shutdown {
+        /// Correlation id.
+        id: String,
+    },
+}
+
+/// Parses one request line. `Err` carries `(id-if-known, message)` so
+/// the rejection can still be correlated.
+pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
+    let v = Json::parse(line).map_err(|e| (String::new(), format!("malformed JSON: {e}")))?;
+    let id = v
+        .get("id")
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_string();
+    let fail = |msg: &str| Err((id.clone(), msg.to_string()));
+    let kind = match v.get("kind").and_then(Json::as_str) {
+        Some(k) => k,
+        None => return fail("missing \"kind\""),
+    };
+    if id.is_empty() {
+        return fail("missing \"id\"");
+    }
+    let deadline_ms = match v.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(d) => match d.as_usize() {
+            Some(ms) => Some(ms as u64),
+            None => return fail("\"deadline_ms\" must be a non-negative integer"),
+        },
+    };
+    let spec = v.get("scenario").cloned().unwrap_or(Json::Obj(Vec::new()));
+    let scenario: Box<dyn Scenario> = match kind {
+        "stats" => return Ok(Request::Stats { id }),
+        "shutdown" => return Ok(Request::Shutdown { id }),
+        "hdc" | "triage" => Box::new(hdc_scenario(&spec).map_err(|m| (id.clone(), m))?),
+        "mann" => Box::new(mann_scenario(&spec).map_err(|m| (id.clone(), m))?),
+        "edge" => Box::new(EdgeScenario::new(
+            hdc_scenario(&spec).map_err(|m| (id.clone(), m))?,
+        )),
+        "tpu_nvm" => {
+            let batch = match v.get("batch") {
+                None | Some(Json::Null) => 1,
+                Some(b) => match b.as_usize() {
+                    Some(n) if n > 0 => n,
+                    _ => return fail("\"batch\" must be a positive integer"),
+                },
+            };
+            Box::new(TpuNvmScenario::new(
+                hdc_scenario(&spec).map_err(|m| (id.clone(), m))?,
+                batch,
+            ))
+        }
+        other => return fail(&format!("unknown kind {other:?}")),
+    };
+    let triage = if kind == "triage" {
+        let objective = match v.get("objective").and_then(Json::as_str) {
+            None | Some("latency_first") => TriageObjective::LatencyFirst,
+            Some("energy_first") => TriageObjective::EnergyFirst,
+            Some(o) => return fail(&format!("unknown objective {o:?}")),
+        };
+        let floor = match v.get("floor") {
+            None | Some(Json::Null) => None,
+            Some(f) => match f.as_f64() {
+                Some(x) if x.is_finite() => Some(x),
+                _ => return fail("\"floor\" must be a finite number"),
+            },
+        };
+        Some(TriageSpec { objective, floor })
+    } else {
+        None
+    };
+    Ok(Request::Eval {
+        id,
+        scenario,
+        triage,
+        deadline_ms,
+    })
+}
+
+fn tech_node(name: &str) -> Result<TechNode, String> {
+    Ok(match name {
+        "n130" => TechNode::n130(),
+        "n90" => TechNode::n90(),
+        "n65" => TechNode::n65(),
+        "n45" => TechNode::n45(),
+        "n40" => TechNode::n40(),
+        "n32" => TechNode::n32(),
+        "n22" => TechNode::n22(),
+        other => return Err(format!("unknown tech node {other:?}")),
+    })
+}
+
+/// Reads an optional usize override, erroring on wrong types.
+fn usize_field(spec: &Json, key: &str, into: &mut usize) -> Result<(), String> {
+    match spec.get(key) {
+        None | Some(Json::Null) => Ok(()),
+        Some(v) => match v.as_usize() {
+            Some(n) => {
+                *into = n;
+                Ok(())
+            }
+            None => Err(format!("{key:?} must be a non-negative integer")),
+        },
+    }
+}
+
+/// Reads an optional f64 override, erroring on wrong types.
+fn f64_field(spec: &Json, key: &str, into: &mut f64) -> Result<(), String> {
+    match spec.get(key) {
+        None | Some(Json::Null) => Ok(()),
+        Some(v) => match v.as_f64() {
+            Some(x) => {
+                *into = x;
+                Ok(())
+            }
+            None => Err(format!("{key:?} must be a number")),
+        },
+    }
+}
+
+/// Builds an [`HdcScenario`] from default + JSON overrides.
+pub fn hdc_scenario(spec: &Json) -> Result<HdcScenario, String> {
+    let mut s = HdcScenario::default();
+    usize_field(spec, "dim_in", &mut s.dim_in)?;
+    usize_field(spec, "classes", &mut s.classes)?;
+    usize_field(spec, "hv_dim_sw", &mut s.hv_dim_sw)?;
+    usize_field(spec, "hv_dim_3b", &mut s.hv_dim_3b)?;
+    usize_field(spec, "hv_dim_2b", &mut s.hv_dim_2b)?;
+    usize_field(spec, "hv_dim_1b", &mut s.hv_dim_1b)?;
+    f64_field(spec, "acc_sw", &mut s.acc_sw)?;
+    f64_field(spec, "acc_3b", &mut s.acc_3b)?;
+    f64_field(spec, "acc_2b", &mut s.acc_2b)?;
+    f64_field(spec, "acc_1b", &mut s.acc_1b)?;
+    f64_field(spec, "acc_mlp", &mut s.acc_mlp)?;
+    if let Some(t) = spec.get("tech") {
+        match t.as_str() {
+            Some(name) => s.tech = tech_node(name)?,
+            None => return Err("\"tech\" must be a node name string".into()),
+        }
+    }
+    Ok(s)
+}
+
+/// Builds a [`MannScenario`] from default + JSON overrides.
+pub fn mann_scenario(spec: &Json) -> Result<MannScenario, String> {
+    let mut s = MannScenario::default();
+    usize_field(spec, "weights", &mut s.weights)?;
+    usize_field(spec, "emb_dim", &mut s.emb_dim)?;
+    usize_field(spec, "hash_bits", &mut s.hash_bits)?;
+    usize_field(spec, "entries", &mut s.entries)?;
+    f64_field(spec, "acc_software", &mut s.acc_software)?;
+    f64_field(spec, "acc_rram", &mut s.acc_rram)?;
+    if let Some(t) = spec.get("tech") {
+        match t.as_str() {
+            Some(name) => s.tech = tech_node(name)?,
+            None => return Err("\"tech\" must be a node name string".into()),
+        }
+    }
+    Ok(s)
+}
+
+/// Serializes one candidate with full-precision FOMs.
+pub fn candidate_json(c: &Candidate) -> Json {
+    obj(vec![
+        ("name", Json::Str(c.name.clone())),
+        ("latency_s", Json::Num(c.fom.latency_s)),
+        ("energy_j", Json::Num(c.fom.energy_j)),
+        ("area_mm2", Json::Num(c.fom.area_mm2)),
+        ("accuracy", Json::Num(c.fom.accuracy)),
+    ])
+}
+
+/// A well-formed success response line (no trailing newline).
+pub fn ok_response(id: &str, kind: &'static str, body: Vec<(&str, Json)>) -> String {
+    let mut pairs = vec![
+        ("id", Json::Str(id.to_string())),
+        ("ok", Json::Bool(true)),
+        ("kind", Json::Str(kind.to_string())),
+    ];
+    pairs.extend(body);
+    obj(pairs).to_string()
+}
+
+/// A well-formed error response line. `retry_after_ms` is present only
+/// for backpressure rejections, signalling the client to resubmit.
+pub fn err_response(id: &str, code: &str, message: &str, retry_after_ms: Option<u64>) -> String {
+    let mut pairs = vec![
+        ("id", Json::Str(id.to_string())),
+        ("ok", Json::Bool(false)),
+        ("code", Json::Str(code.to_string())),
+        ("error", Json::Str(message.to_string())),
+    ];
+    if let Some(ms) = retry_after_ms {
+        pairs.push(("retry_after_ms", Json::Num(ms as f64)));
+    }
+    obj(pairs).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_hdc_request() {
+        let r = parse_request(r#"{"id":"a","kind":"hdc"}"#).unwrap();
+        match r {
+            Request::Eval {
+                id,
+                scenario,
+                triage,
+                deadline_ms,
+            } => {
+                assert_eq!(id, "a");
+                assert_eq!(scenario.kind(), "hdc");
+                assert!(triage.is_none());
+                assert!(deadline_ms.is_none());
+            }
+            _ => panic!("not an eval request"),
+        }
+    }
+
+    #[test]
+    fn scenario_overrides_apply() {
+        let r = parse_request(
+            r#"{"id":"a","kind":"hdc","scenario":{"classes":7,"acc_sw":0.77,"tech":"n22"}}"#,
+        )
+        .unwrap();
+        let cands = match r {
+            Request::Eval { scenario, .. } => scenario.candidates().unwrap(),
+            _ => panic!(),
+        };
+        let mut s = HdcScenario {
+            classes: 7,
+            acc_sw: 0.77,
+            ..HdcScenario::default()
+        };
+        s.tech = TechNode::n22();
+        use xlda_core::evaluate::Scenario as _;
+        assert_eq!(cands, s.candidates().unwrap());
+    }
+
+    #[test]
+    fn triage_request_carries_spec() {
+        let r =
+            parse_request(r#"{"id":"t","kind":"triage","objective":"energy_first","floor":0.9}"#)
+                .unwrap();
+        match r {
+            Request::Eval { triage, .. } => {
+                assert_eq!(
+                    triage,
+                    Some(TriageSpec {
+                        objective: TriageObjective::EnergyFirst,
+                        floor: Some(0.9),
+                    })
+                );
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn all_eval_kinds_parse_and_dispatch() {
+        for (kind, expect) in [
+            ("hdc", "hdc"),
+            ("mann", "mann"),
+            ("edge", "edge"),
+            ("tpu_nvm", "tpu_nvm"),
+            ("triage", "hdc"),
+        ] {
+            let line = format!(r#"{{"id":"x","kind":"{kind}"}}"#);
+            match parse_request(&line).unwrap() {
+                Request::Eval { scenario, .. } => assert_eq!(scenario.kind(), expect),
+                _ => panic!("{kind} did not parse as eval"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_requests_with_reason() {
+        for (line, frag) in [
+            ("{}", "missing \"kind\""),
+            (r#"{"kind":"hdc"}"#, "missing \"id\""),
+            (r#"{"id":"a","kind":"nope"}"#, "unknown kind"),
+            (r#"{"id":"a","kind":"hdc","deadline_ms":-5}"#, "deadline_ms"),
+            (
+                r#"{"id":"a","kind":"hdc","scenario":{"classes":"x"}}"#,
+                "classes",
+            ),
+            (
+                r#"{"id":"a","kind":"hdc","scenario":{"tech":"n28"}}"#,
+                "unknown tech node",
+            ),
+            (r#"{"id":"a","kind":"tpu_nvm","batch":0}"#, "batch"),
+            ("not json", "malformed JSON"),
+        ] {
+            let msg = match parse_request(line) {
+                Err((_, msg)) => msg,
+                Ok(_) => panic!("accepted bad request {line}"),
+            };
+            assert!(msg.contains(frag), "{line} -> {msg}");
+        }
+    }
+
+    #[test]
+    fn response_lines_are_parseable_json() {
+        let ok = ok_response("a", "hdc", vec![("candidates", Json::Arr(vec![]))]);
+        let v = Json::parse(&ok).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        let err = err_response("b", "queue_full", "queue full", Some(2));
+        let v = Json::parse(&err).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("retry_after_ms").and_then(Json::as_f64), Some(2.0));
+    }
+}

@@ -1,0 +1,654 @@
+//! The admission/batching pipeline: queue → batcher → pool → drain.
+//!
+//! - **Admission.** Connection readers parse one request per line and
+//!   push evaluation jobs onto a bounded queue. A full queue rejects
+//!   immediately with `retry_after_ms` (explicit backpressure) instead
+//!   of buffering unboundedly; `stats` and `shutdown` bypass the queue
+//!   so observability survives saturation.
+//! - **Batching.** One batcher thread sleeps a short micro-batch window
+//!   after the first job arrives, then drains up to `batch_max` jobs
+//!   and submits them as *one* sweep over `Box<dyn Scenario>` trait
+//!   objects — every request kind shares the same worker pool and the
+//!   same process-wide warm memo caches.
+//! - **Containment.** Each job evaluates under the sweep engine's
+//!   per-point panic/error containment; a panicking or infeasible
+//!   scenario fails its own request only. Per-request deadlines are
+//!   checked at point start inside the same containment boundary.
+//! - **Drain.** `shutdown` (or stdin EOF in `--stdio` mode) stops
+//!   admission; the batcher finishes everything already queued before
+//!   the server returns — no accepted request is silently dropped.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::json::{obj, Json};
+use crate::protocol::{self, Request, TriageSpec};
+use xlda_core::evaluate::Scenario;
+use xlda_core::sweep::{memo, par_try_map_with, PointFailure, SweepOptions};
+use xlda_core::triage::rank;
+use xlda_core::XldaError;
+
+/// Tuning knobs for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Admission queue capacity; beyond this, requests are rejected
+    /// with `retry_after_ms`.
+    pub queue_cap: usize,
+    /// Micro-batch coalescing window after the first queued job.
+    pub batch_window: Duration,
+    /// Maximum jobs drained into one sweep submission.
+    pub batch_max: usize,
+    /// Worker threads per sweep (0 = available parallelism).
+    pub threads: usize,
+    /// Default per-request deadline applied when a request carries
+    /// none. `None` means requests without a deadline never expire.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            queue_cap: 256,
+            batch_window: Duration::from_millis(2),
+            batch_max: 64,
+            threads: 0,
+            default_deadline: None,
+        }
+    }
+}
+
+/// One admitted evaluation job.
+struct Job {
+    id: String,
+    scenario: Box<dyn Scenario>,
+    triage: Option<TriageSpec>,
+    deadline_at: Option<Instant>,
+    enqueued_at: Instant,
+    writer: SharedWriter,
+}
+
+/// Why a job failed; surfaced through the sweep engine's containment.
+enum JobError {
+    Deadline,
+    Eval(XldaError),
+}
+
+/// Latency bookkeeping behind the stats endpoint.
+struct StatsInner {
+    /// Most recent completed-request latencies, seconds.
+    latencies: VecDeque<f64>,
+    completed: u64,
+    rejected: u64,
+    deadline_expired: u64,
+    points: u64,
+    started: Instant,
+}
+
+/// Cap on retained latency samples; percentiles reflect recent load.
+const LATENCY_WINDOW: usize = 4096;
+
+impl StatsInner {
+    fn record(&mut self, latency: Duration, points: u64) {
+        if self.latencies.len() == LATENCY_WINDOW {
+            self.latencies.pop_front();
+        }
+        self.latencies.push_back(latency.as_secs_f64());
+        self.completed += 1;
+        self.points += points;
+    }
+
+    /// Nearest-rank percentile over the retained window, seconds.
+    fn percentile(&self, p: f64) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        let mut sorted: Vec<f64> = self.latencies.iter().copied().collect();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+    }
+}
+
+struct Shared {
+    config: ServerConfig,
+    queue: Mutex<VecDeque<Job>>,
+    not_empty: Condvar,
+    draining: AtomicBool,
+    stats: Mutex<StatsInner>,
+}
+
+/// A line-oriented output sink shared between the admitting reader
+/// (rejections, stats) and the batcher (evaluation responses).
+#[derive(Clone)]
+pub struct SharedWriter(Arc<Mutex<Box<dyn Write + Send>>>);
+
+impl SharedWriter {
+    /// Wraps a sink. Each `send` appends exactly one line and flushes.
+    pub fn new(w: Box<dyn Write + Send>) -> Self {
+        Self(Arc::new(Mutex::new(w)))
+    }
+
+    fn send(&self, line: &str) {
+        let mut w = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        // A dead peer is not a server error; drop the response.
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    }
+}
+
+/// The evaluation service. Construct once, then run in stdio or TCP
+/// mode; both share the same pipeline and warm caches.
+pub struct Server {
+    shared: Arc<Shared>,
+    batcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the batcher; the server is ready to admit requests.
+    pub fn new(config: ServerConfig) -> Self {
+        let shared = Arc::new(Shared {
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            draining: AtomicBool::new(false),
+            stats: Mutex::new(StatsInner {
+                latencies: VecDeque::new(),
+                completed: 0,
+                rejected: 0,
+                deadline_expired: 0,
+                points: 0,
+                started: Instant::now(),
+            }),
+        });
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || batcher_loop(&shared))
+        };
+        Self {
+            shared,
+            batcher: Some(batcher),
+        }
+    }
+
+    /// Whether a drain has been requested.
+    pub fn draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Requests a graceful drain: admission stops, queued work
+    /// completes, run loops return.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.not_empty.notify_all();
+    }
+
+    /// Serves one request line against the given response writer.
+    /// Exposed so both transports (and tests) share one code path.
+    pub fn handle_line(&self, line: &str, writer: &SharedWriter) {
+        handle_line(&self.shared, line, writer);
+    }
+
+    /// Runs the stdio transport: one request per stdin line, one
+    /// response per stdout line. Returns after EOF or `shutdown`,
+    /// once all admitted work has completed.
+    pub fn run_stdio(mut self) {
+        let writer = SharedWriter::new(Box::new(std::io::stdout()));
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            handle_line(&self.shared, &line, &writer);
+            if self.draining() {
+                break;
+            }
+        }
+        self.shutdown();
+        self.join();
+    }
+
+    /// Runs the TCP transport (thread per connection) until a
+    /// `shutdown` request drains the server.
+    pub fn run_tcp(mut self, listener: TcpListener) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        while !self.draining() {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = Arc::clone(&self.shared);
+                    std::thread::spawn(move || connection_loop(&shared, stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.join();
+        Ok(())
+    }
+
+    /// Waits for the batcher to finish draining the queue.
+    fn join(&mut self) {
+        self.shutdown();
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
+    // Line-at-a-time request/response traffic is exactly the pattern
+    // Nagle + delayed ACK turns into ~40 ms stalls; disable batching.
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let writer = SharedWriter::new(Box::new(write_half));
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        handle_line(shared, &line, &writer);
+        if shared.draining.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+/// Parses, admits, or rejects one request line.
+fn handle_line(shared: &Arc<Shared>, line: &str, writer: &SharedWriter) {
+    match protocol::parse_request(line) {
+        Err((id, msg)) => writer.send(&protocol::err_response(&id, "bad_request", &msg, None)),
+        Ok(Request::Stats { id }) => writer.send(&stats_response(shared, &id)),
+        Ok(Request::Shutdown { id }) => {
+            shared.draining.store(true, Ordering::SeqCst);
+            shared.not_empty.notify_all();
+            writer.send(&protocol::ok_response(&id, "shutdown", vec![]));
+        }
+        Ok(Request::Eval {
+            id,
+            scenario,
+            triage,
+            deadline_ms,
+        }) => {
+            let now = Instant::now();
+            let deadline_at = deadline_ms
+                .map(Duration::from_millis)
+                .or(shared.config.default_deadline)
+                .map(|d| now + d);
+            let job = Job {
+                id,
+                scenario,
+                triage,
+                deadline_at,
+                enqueued_at: now,
+                writer: writer.clone(),
+            };
+            if let Err(job) = admit(shared, job) {
+                let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+                stats.rejected += 1;
+                drop(stats);
+                let retry_ms = (shared.config.batch_window.as_millis() as u64).max(1);
+                job.writer.send(&protocol::err_response(
+                    &job.id,
+                    "queue_full",
+                    "admission queue is full",
+                    Some(retry_ms),
+                ));
+            }
+        }
+    }
+}
+
+/// Bounded admission: refuses (returning the job) when draining or at
+/// capacity — the queue never grows past `queue_cap`.
+fn admit(shared: &Shared, job: Job) -> Result<(), Job> {
+    if shared.draining.load(Ordering::SeqCst) {
+        return Err(job);
+    }
+    let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+    if q.len() >= shared.config.queue_cap {
+        return Err(job);
+    }
+    q.push_back(job);
+    drop(q);
+    shared.not_empty.notify_one();
+    Ok(())
+}
+
+/// The single batching thread: wait → coalesce → sweep → respond.
+fn batcher_loop(shared: &Arc<Shared>) {
+    loop {
+        // Wait for work (or drain).
+        {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            while q.is_empty() {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                let (guard, _) = shared
+                    .not_empty
+                    .wait_timeout(q, Duration::from_millis(50))
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        }
+        // Micro-batch window: let compatible requests pile up so one
+        // sweep submission amortizes pool wakeup and shares cache hits.
+        if !shared.config.batch_window.is_zero() {
+            std::thread::sleep(shared.config.batch_window);
+        }
+        let batch: Vec<Job> = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            let n = q.len().min(shared.config.batch_max);
+            q.drain(..n).collect()
+        };
+        if batch.is_empty() {
+            continue;
+        }
+        run_batch(shared, batch);
+    }
+}
+
+/// Evaluates one coalesced batch on the shared pool and writes every
+/// response.
+fn run_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
+    // Batch-level safety net: the sweep stops claiming points once the
+    // latest per-job deadline has passed (per-job checks below handle
+    // the individual budgets).
+    let now = Instant::now();
+    let batch_deadline = batch
+        .iter()
+        .map(|j| j.deadline_at)
+        .collect::<Option<Vec<_>>>()
+        .and_then(|ds| ds.into_iter().max())
+        .map(|t| t.saturating_duration_since(now));
+    let mut opts = SweepOptions::builder().threads(shared.config.threads);
+    if let Some(d) = batch_deadline {
+        opts = opts.deadline(d);
+    }
+    let opts = opts.build();
+
+    let results = par_try_map_with(
+        &batch,
+        |job| {
+            if job.deadline_at.is_some_and(|t| Instant::now() >= t) {
+                return Err(JobError::Deadline);
+            }
+            job.scenario.candidates().map_err(JobError::Eval)
+        },
+        &opts,
+    );
+
+    for (job, result) in batch.iter().zip(results) {
+        let line = match result {
+            Ok(cands) => {
+                let latency = job.enqueued_at.elapsed();
+                let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+                stats.record(latency, cands.len() as u64);
+                drop(stats);
+                let mut body = vec![(
+                    "candidates",
+                    Json::Arr(cands.iter().map(protocol::candidate_json).collect()),
+                )];
+                if let Some(spec) = &job.triage {
+                    let ranking = rank(&cands, &spec.objective());
+                    body.push((
+                        "ranking",
+                        Json::Arr(
+                            ranking
+                                .iter()
+                                .map(|r| {
+                                    obj(vec![
+                                        ("name", Json::Str(r.name.clone())),
+                                        ("score", Json::Num(r.score)),
+                                        ("meets_floor", Json::Bool(r.meets_floor)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ));
+                }
+                protocol::ok_response(&job.id, job.scenario.kind(), body)
+            }
+            Err(PointFailure::Error(JobError::Deadline)) | Err(PointFailure::DeadlineExceeded) => {
+                let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+                stats.deadline_expired += 1;
+                drop(stats);
+                protocol::err_response(&job.id, "deadline", "deadline exceeded", None)
+            }
+            Err(PointFailure::Error(JobError::Eval(e))) => {
+                let code = if e.is_infeasible() {
+                    "infeasible"
+                } else {
+                    "invalid"
+                };
+                protocol::err_response(&job.id, code, &e.to_string(), None)
+            }
+            Err(PointFailure::Panicked(msg)) => protocol::err_response(
+                &job.id,
+                "panic",
+                &format!("evaluation panicked: {msg}"),
+                None,
+            ),
+        };
+        job.writer.send(&line);
+    }
+}
+
+/// Builds the `stats` response: queue/latency/throughput plus the
+/// process-wide memo cache snapshot (warm across requests by design).
+fn stats_response(shared: &Arc<Shared>, id: &str) -> String {
+    let queue_depth = shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len();
+    let stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
+    let elapsed = stats.started.elapsed().as_secs_f64().max(1e-9);
+    let caches: Vec<Json> = memo::snapshot()
+        .iter()
+        .map(|c| {
+            let total = c.hits + c.misses;
+            let hit_rate = if total == 0 {
+                0.0
+            } else {
+                c.hits as f64 / total as f64
+            };
+            obj(vec![
+                ("name", Json::Str(c.name.to_string())),
+                ("hits", Json::Num(c.hits as f64)),
+                ("misses", Json::Num(c.misses as f64)),
+                ("entries", Json::Num(c.entries as f64)),
+                ("hit_rate", Json::Num(hit_rate)),
+            ])
+        })
+        .collect();
+    protocol::ok_response(
+        id,
+        "stats",
+        vec![
+            ("queue_depth", Json::Num(queue_depth as f64)),
+            ("queue_cap", Json::Num(shared.config.queue_cap as f64)),
+            ("completed", Json::Num(stats.completed as f64)),
+            ("rejected", Json::Num(stats.rejected as f64)),
+            ("deadline_expired", Json::Num(stats.deadline_expired as f64)),
+            ("points_total", Json::Num(stats.points as f64)),
+            ("points_per_sec", Json::Num(stats.points as f64 / elapsed)),
+            ("p50_ms", Json::Num(stats.percentile(50.0) * 1e3)),
+            ("p95_ms", Json::Num(stats.percentile(95.0) * 1e3)),
+            ("caches", Json::Arr(caches)),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    /// A writer that forwards complete lines to a channel.
+    struct ChannelWriter {
+        tx: mpsc::Sender<String>,
+        buf: Vec<u8>,
+    }
+
+    impl Write for ChannelWriter {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            self.buf.extend_from_slice(data);
+            while let Some(nl) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=nl).collect();
+                let text = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+                let _ = self.tx.send(text);
+            }
+            Ok(data.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn test_writer() -> (SharedWriter, mpsc::Receiver<String>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            SharedWriter::new(Box::new(ChannelWriter {
+                tx,
+                buf: Vec::new(),
+            })),
+            rx,
+        )
+    }
+
+    fn recv(rx: &mpsc::Receiver<String>) -> Json {
+        let line = rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("response within deadline");
+        Json::parse(&line).expect("well-formed response line")
+    }
+
+    #[test]
+    fn evaluates_and_matches_direct_call() {
+        let server = Server::new(ServerConfig::default());
+        let (w, rx) = test_writer();
+        server.handle_line(r#"{"id":"e1","kind":"hdc"}"#, &w);
+        let v = recv(&rx);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        let got = v.get("candidates").and_then(Json::as_arr).unwrap();
+        use xlda_core::evaluate::HdcScenario;
+        let want = HdcScenario::default().candidates().unwrap();
+        assert_eq!(got.len(), want.len());
+        for (g, c) in got.iter().zip(&want) {
+            assert_eq!(g.get("name").and_then(Json::as_str), Some(c.name.as_str()));
+            assert_eq!(
+                g.get("latency_s").and_then(Json::as_f64).unwrap().to_bits(),
+                c.fom.latency_s.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_line_yields_bad_request() {
+        let server = Server::new(ServerConfig::default());
+        let (w, rx) = test_writer();
+        server.handle_line("garbage", &w);
+        let v = recv(&rx);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("code").and_then(Json::as_str), Some("bad_request"));
+    }
+
+    #[test]
+    fn expired_deadline_fails_the_request_only() {
+        let server = Server::new(ServerConfig::default());
+        let (w, rx) = test_writer();
+        server.handle_line(r#"{"id":"d1","kind":"hdc","deadline_ms":0}"#, &w);
+        server.handle_line(r#"{"id":"d2","kind":"hdc"}"#, &w);
+        let mut by_id = std::collections::HashMap::new();
+        for _ in 0..2 {
+            let v = recv(&rx);
+            by_id.insert(v.get("id").and_then(Json::as_str).unwrap().to_string(), v);
+        }
+        assert_eq!(
+            by_id["d1"].get("code").and_then(Json::as_str),
+            Some("deadline")
+        );
+        assert_eq!(by_id["d2"].get("ok").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn saturated_queue_rejects_with_retry_after() {
+        // A long batch window stalls the batcher so admissions outpace
+        // draining deterministically.
+        let server = Server::new(ServerConfig {
+            queue_cap: 2,
+            batch_window: Duration::from_millis(300),
+            ..ServerConfig::default()
+        });
+        let (w, rx) = test_writer();
+        for i in 0..6 {
+            server.handle_line(&format!(r#"{{"id":"q{i}","kind":"mann"}}"#), &w);
+        }
+        let mut rejected = 0;
+        let mut ok = 0;
+        for _ in 0..6 {
+            let v = recv(&rx);
+            match v.get("ok").and_then(Json::as_bool) {
+                Some(true) => ok += 1,
+                Some(false) => {
+                    assert_eq!(v.get("code").and_then(Json::as_str), Some("queue_full"));
+                    assert!(v.get("retry_after_ms").and_then(Json::as_f64).unwrap() >= 1.0);
+                    rejected += 1;
+                }
+                None => panic!("response without ok"),
+            }
+        }
+        assert_eq!(ok + rejected, 6, "every request answered");
+        assert!(rejected >= 2, "cap 2 must reject some of 6 rapid requests");
+    }
+
+    #[test]
+    fn stats_reports_queue_and_caches() {
+        let server = Server::new(ServerConfig::default());
+        let (w, rx) = test_writer();
+        server.handle_line(r#"{"id":"e","kind":"hdc"}"#, &w);
+        let first = recv(&rx);
+        assert_eq!(first.get("ok").and_then(Json::as_bool), Some(true));
+        server.handle_line(r#"{"id":"s","kind":"stats"}"#, &w);
+        let v = recv(&rx);
+        assert_eq!(v.get("kind").and_then(Json::as_str), Some("stats"));
+        assert_eq!(v.get("completed").and_then(Json::as_f64), Some(1.0));
+        assert!(v.get("p95_ms").and_then(Json::as_f64).unwrap() >= 0.0);
+        assert!(!v.get("caches").and_then(Json::as_arr).unwrap().is_empty());
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work_before_returning() {
+        let server = Server::new(ServerConfig {
+            batch_window: Duration::from_millis(20),
+            ..ServerConfig::default()
+        });
+        let (w, rx) = test_writer();
+        for i in 0..5 {
+            server.handle_line(&format!(r#"{{"id":"g{i}","kind":"hdc"}}"#), &w);
+        }
+        server.handle_line(r#"{"id":"bye","kind":"shutdown"}"#, &w);
+        drop(server); // joins the batcher; must not lose admitted work
+        let mut answered = std::collections::HashSet::new();
+        while let Ok(line) = rx.try_recv() {
+            let v = Json::parse(&line).unwrap();
+            answered.insert(v.get("id").and_then(Json::as_str).unwrap().to_string());
+        }
+        for i in 0..5 {
+            assert!(answered.contains(&format!("g{i}")), "g{i} dropped");
+        }
+        assert!(answered.contains("bye"));
+    }
+}

@@ -8,7 +8,7 @@
 
 use xlda::circuit::matchline::MatchlineConfig;
 use xlda::circuit::tech::TechNode;
-use xlda::core::evaluate::{hdc_candidates, HdcScenario};
+use xlda::core::evaluate::{HdcScenario, Scenario};
 use xlda::core::pareto::pareto_front;
 use xlda::core::profile::{device_priorities, recommend, WorkloadProfile};
 use xlda::core::report::{ranking_to_markdown, to_markdown};
@@ -33,7 +33,9 @@ fn main() {
 
     // --- Cross-layer evaluation: the Fig. 3H candidate set, emitted as
     //     the Markdown report a design review would consume.
-    let candidates = hdc_candidates(&HdcScenario::default());
+    let candidates = HdcScenario::default()
+        .candidates()
+        .expect("default scenario models");
     println!("\nHDC platform candidates:\n");
     print!("{}", to_markdown(&candidates));
 

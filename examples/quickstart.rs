@@ -8,7 +8,7 @@
 //! ```
 
 use xlda::circuit::tech::TechNode;
-use xlda::core::evaluate::{hdc_candidates, HdcScenario};
+use xlda::core::evaluate::{HdcScenario, Scenario};
 use xlda::core::triage::{rank, Objective};
 use xlda::device::fefet::Fefet;
 use xlda::device::MemoryDevice;
@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 3. Application layer: triage platform mappings of an HDC workload.
-    let candidates = hdc_candidates(&HdcScenario::default());
+    let candidates = HdcScenario::default().candidates()?;
     let ranking = rank(&candidates, &Objective::latency_first(Some(0.9)));
     println!("\n== cross-layer triage (Fig. 3H flow) ==");
     for (i, r) in ranking.iter().take(3).enumerate() {

@@ -27,11 +27,11 @@
 //! # Quickstart
 //!
 //! ```
-//! use xlda::core::evaluate::{hdc_candidates, HdcScenario};
+//! use xlda::core::evaluate::{HdcScenario, Scenario};
 //! use xlda::core::triage::{rank, Objective};
 //!
 //! // Evaluate every platform mapping of an HDC workload and triage.
-//! let candidates = hdc_candidates(&HdcScenario::default());
+//! let candidates = HdcScenario::default().candidates().expect("default models");
 //! let ranking = rank(&candidates, &Objective::latency_first(Some(0.9)));
 //! println!("best design point: {}", ranking[0].name);
 //! ```

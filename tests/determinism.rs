@@ -3,7 +3,7 @@
 //! triage methodology auditable — a reported number can be regenerated
 //! bit-for-bit.
 
-use xlda::core::evaluate::{hdc_candidates, HdcScenario};
+use xlda::core::evaluate::{HdcScenario, Scenario};
 use xlda::crossbar::stochastic::StochasticProjection;
 use xlda::crossbar::{Crossbar, CrossbarConfig, Fidelity};
 use xlda::datagen::fewshot::FewShotSpec;
@@ -100,7 +100,7 @@ fn system_and_alp_simulation_deterministic() {
 #[test]
 fn full_candidate_evaluation_deterministic() {
     let s = HdcScenario::default();
-    assert_eq!(hdc_candidates(&s), hdc_candidates(&s));
+    assert_eq!(s.candidates().unwrap(), s.candidates().unwrap());
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! Integration tests pinning the paper's headline claims at the
 //! workspace level (the per-figure detail lives in `xlda-bench`).
 
-use xlda::core::evaluate::{hdc_candidates, mann_candidates, HdcScenario, MannScenario};
+use xlda::core::evaluate::{HdcScenario, MannScenario, Scenario};
 use xlda::core::pareto::pareto_front;
 use xlda::core::triage::{rank, Objective};
 use xlda::evacam::validate::validate_all;
@@ -29,7 +29,7 @@ fn fig5_validation_within_twenty_percent() {
 fn fig3h_headline_three_bit_fefet_cam_wins() {
     // Sec. III / Fig. 3H: at iso-accuracy, the 3-bit FeFET CAM is the
     // superior design point; 1-bit is fast but inaccurate.
-    let candidates = hdc_candidates(&HdcScenario::default());
+    let candidates = HdcScenario::default().candidates().unwrap();
     let ranking = rank(&candidates, &Objective::latency_first(Some(0.9)));
     assert_eq!(ranking[0].name, "3b FeFET CAM");
     let sram = ranking
@@ -46,7 +46,7 @@ fn fig3h_headline_three_bit_fefet_cam_wins() {
 fn sec4_headline_rram_mann_latency_advantage() {
     // Sec. IV / Fig. 4E: the all-RRAM MANN pipeline yields substantial
     // latency and energy improvements at near-iso-accuracy.
-    let cands = mann_candidates(&MannScenario::default());
+    let cands = MannScenario::default().candidates().unwrap();
     let gpu = &cands[0].fom;
     let rram = &cands[1].fom;
     assert!(rram.latency_s * 10.0 < gpu.latency_s);
@@ -73,7 +73,7 @@ fn triage_objectives_change_the_winner_story() {
     // The framework exists to ask "under WHICH objective does a design
     // point win": batched GPU inference must beat batch-1 under any
     // objective, while dedicated hardware wins latency-first.
-    let candidates = hdc_candidates(&HdcScenario::default());
+    let candidates = HdcScenario::default().candidates().unwrap();
     let lat = rank(&candidates, &Objective::latency_first(None));
     let pos = |ranking: &[xlda::core::triage::Ranked], name: &str| {
         ranking

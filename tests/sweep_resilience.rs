@@ -9,7 +9,7 @@
 //! yields a typed, inspectable error.
 
 use xlda::core::error::XldaError;
-use xlda::core::evaluate::{try_hdc_candidates, HdcScenario};
+use xlda::core::evaluate::{HdcScenario, Scenario};
 use xlda::core::sweep::{par_try_map, PointFailure};
 use xlda::core::triage::{rank, Objective};
 use xlda::evacam::{CamArray, CamCellDesign, CamConfig, CamError, CamReport, DataKind, MatchKind};
@@ -145,7 +145,7 @@ fn scenario_sweep_with_poisoned_point_still_ranks_the_rest() {
         ..HdcScenario::default()
     });
 
-    let results = par_try_map(&scenarios, try_hdc_candidates);
+    let results = par_try_map(&scenarios, |s| s.candidates());
     assert_eq!(results.len(), scenarios.len());
 
     let mut ranked_any = false;
