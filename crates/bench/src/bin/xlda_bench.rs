@@ -9,6 +9,8 @@
 //! ```text
 //! xlda-bench [--smoke] [--workload NAME]... [--out PATH]
 //!            [--baseline PATH] [--tolerance FRACTION]
+//!            [--no-obs] [--trace PATH]
+//! xlda-bench --obs-overhead [--smoke] [--workload NAME] [--trace PATH]
 //! xlda-bench --loadgen [--smoke] [--duration-secs N] [--connections N]
 //!            [--serve-addr ADDR] [--out PATH]
 //! ```
@@ -21,6 +23,14 @@
 //!   throughput falls below its `points_per_sec` floors minus
 //!   `--tolerance` (default 0.30), when a recorded `min_speedup` is
 //!   missed, or when baseline/v2 outputs are not bit-identical.
+//! - `--no-obs`: leave span instrumentation off (no per-layer
+//!   breakdown; what production embedders see by default).
+//! - `--trace PATH`: capture per-span events during the run and write
+//!   an NDJSON trace dump (span events + aggregates) to `PATH`.
+//! - `--obs-overhead`: instead of the engine comparison, run one
+//!   workload's v2 path with spans off then on; exit 1 when the
+//!   checksums differ or the enabled-mode wall-time overhead exceeds
+//!   5% (the CI `obs-overhead` gate).
 //! - `--loadgen`: instead of the sweep benchmark, hammer `xlda-serve`
 //!   with a mixed hdc/mann/triage stream (in-process server unless
 //!   `--serve-addr` names a running daemon), verify bit-exact parity,
@@ -37,6 +47,9 @@ struct Args {
     out: Option<String>,
     baseline: Option<String>,
     tolerance: f64,
+    no_obs: bool,
+    trace: Option<String>,
+    obs_overhead: bool,
     loadgen: bool,
     duration_secs: Option<u64>,
     connections: Option<usize>,
@@ -46,7 +59,9 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: xlda-bench [--smoke] [--workload hdc|mann|triage]... \
-         [--out PATH] [--baseline PATH] [--tolerance FRACTION]\n\
+         [--out PATH] [--baseline PATH] [--tolerance FRACTION] \
+         [--no-obs] [--trace PATH]\n\
+         \x20      xlda-bench --obs-overhead [--smoke] [--workload NAME] [--trace PATH]\n\
          \x20      xlda-bench --loadgen [--smoke] [--duration-secs N] \
          [--connections N] [--serve-addr ADDR] [--out PATH]"
     );
@@ -60,6 +75,9 @@ fn parse_args() -> Args {
         out: None,
         baseline: None,
         tolerance: 0.30,
+        no_obs: false,
+        trace: None,
+        obs_overhead: false,
         loadgen: false,
         duration_secs: None,
         connections: None,
@@ -70,6 +88,12 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--smoke" => args.smoke = true,
             "--loadgen" => args.loadgen = true,
+            "--no-obs" => args.no_obs = true,
+            "--obs-overhead" => args.obs_overhead = true,
+            "--trace" => match it.next() {
+                Some(p) => args.trace = Some(p),
+                None => usage(),
+            },
             "--workload" => match it.next().as_deref().and_then(Workload::parse) {
                 Some(w) => args.workloads.push(w),
                 None => usage(),
@@ -137,13 +161,87 @@ fn run_loadgen(args: &Args) -> ExitCode {
     }
 }
 
+/// Starts event capture if `--trace` was given; returns whether it did.
+fn trace_start(args: &Args) -> bool {
+    if args.trace.is_some() {
+        xlda_obs::trace::start();
+        true
+    } else {
+        false
+    }
+}
+
+/// Stops capture and writes the NDJSON dump. Aggregates are from the
+/// final measured run (each trial resets them); events span the whole
+/// capture window.
+fn trace_finish(args: &Args) -> Result<(), ExitCode> {
+    let Some(path) = &args.trace else {
+        return Ok(());
+    };
+    let events = xlda_obs::trace::stop();
+    let aggregates = xlda_obs::aggregate_snapshot();
+    let dump = xlda_obs::export::trace_ndjson(&events, &aggregates, xlda_obs::trace::dropped());
+    if let Err(e) = std::fs::write(path, dump) {
+        eprintln!("xlda-bench: cannot write trace {path}: {e}");
+        return Err(ExitCode::FAILURE);
+    }
+    println!("trace written to {path} ({} span events)", events.len());
+    Ok(())
+}
+
+/// Maximum tolerated wall-time cost of enabled instrumentation.
+const OBS_OVERHEAD_LIMIT: f64 = 0.05;
+
+fn run_obs_overhead(args: &Args) -> ExitCode {
+    let w = args.workloads.first().copied().unwrap_or(Workload::Triage);
+    trace_start(args);
+    let o = sweep_bench::run_obs_overhead(w, args.smoke);
+    sweep_bench::print_obs_overhead(&o);
+    if let Err(code) = trace_finish(args) {
+        return code;
+    }
+    let mut failures = Vec::new();
+    if !o.checksum_match() {
+        failures.push(format!(
+            "{}: instrumentation changed outputs ({:016x} vs {:016x})",
+            o.workload, o.off.checksum, o.on.checksum
+        ));
+    }
+    if o.overhead_frac() > OBS_OVERHEAD_LIMIT {
+        failures.push(format!(
+            "{}: enabled-span overhead {:.2}% exceeds {:.0}%",
+            o.workload,
+            o.overhead_frac() * 100.0,
+            OBS_OVERHEAD_LIMIT * 100.0
+        ));
+    }
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     if args.loadgen {
         return run_loadgen(&args);
     }
-    let results = sweep_bench::run(&args.workloads, args.smoke);
+    if args.obs_overhead {
+        return run_obs_overhead(&args);
+    }
+    let tracing = trace_start(&args);
+    if tracing && args.no_obs {
+        eprintln!("xlda-bench: --trace needs spans; ignoring --no-obs");
+    }
+    let results = sweep_bench::run(&args.workloads, args.smoke, !args.no_obs || tracing);
     sweep_bench::print(&results);
+    if let Err(code) = trace_finish(&args) {
+        return code;
+    }
 
     let out = args.out.as_deref().unwrap_or("BENCH_sweep.json");
     let json = sweep_bench::to_json(&results, args.smoke);

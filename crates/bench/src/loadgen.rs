@@ -138,6 +138,11 @@ pub struct LoadgenReport {
     pub phases: Vec<PhaseStats>,
     /// Server-reported points/sec at the end of the run.
     pub server_points_per_sec: f64,
+    /// Server-side enqueue-to-evaluation wait, (p50, p95) ms — from the
+    /// obs histograms behind the `stats` endpoint.
+    pub server_queue_wait_ms: (f64, f64),
+    /// Server-side pure evaluation time, (p50, p95) ms.
+    pub server_compute_ms: (f64, f64),
     /// Server-side queue cap and the depth observed at the end.
     pub queue_depth_ok: bool,
 }
@@ -355,6 +360,14 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
         .as_ref()
         .and_then(|s| s.get("points_per_sec").and_then(Json::as_f64))
         .unwrap_or(0.0);
+    let stat_ms = |field: &str| {
+        final_stats
+            .as_ref()
+            .and_then(|s| s.get(field).and_then(Json::as_f64))
+            .unwrap_or(0.0)
+    };
+    let server_queue_wait_ms = (stat_ms("queue_wait_p50_ms"), stat_ms("queue_wait_p95_ms"));
+    let server_compute_ms = (stat_ms("compute_p50_ms"), stat_ms("compute_p95_ms"));
     let queue_depth_ok = final_stats
         .as_ref()
         .map(|s| {
@@ -388,6 +401,8 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
     LoadgenReport {
         phases: vec![cold, warm],
         server_points_per_sec,
+        server_queue_wait_ms,
+        server_compute_ms,
         queue_depth_ok,
     }
 }
@@ -421,6 +436,15 @@ pub fn print(report: &LoadgenReport) {
             "VIOLATED"
         }
     );
+    // Where a request's life goes server-side: waiting for a batch slot
+    // vs actually evaluating.
+    println!(
+        "server time split (ms): queue-wait p50 {:.3} / p95 {:.3}, compute p50 {:.3} / p95 {:.3}",
+        report.server_queue_wait_ms.0,
+        report.server_queue_wait_ms.1,
+        report.server_compute_ms.0,
+        report.server_compute_ms.1,
+    );
 }
 
 /// `BENCH_serve.json` — the committed serving trajectory point.
@@ -450,6 +474,22 @@ pub fn to_json(report: &LoadgenReport, smoke: bool, config: &LoadgenConfig) -> S
         (
             "server_points_per_sec",
             Json::Num(report.server_points_per_sec),
+        ),
+        (
+            "server_queue_wait_p50_ms",
+            Json::Num(report.server_queue_wait_ms.0),
+        ),
+        (
+            "server_queue_wait_p95_ms",
+            Json::Num(report.server_queue_wait_ms.1),
+        ),
+        (
+            "server_compute_p50_ms",
+            Json::Num(report.server_compute_ms.0),
+        ),
+        (
+            "server_compute_p95_ms",
+            Json::Num(report.server_compute_ms.1),
         ),
         ("queue_depth_ok", Json::Bool(report.queue_depth_ok)),
     ]);
@@ -504,6 +544,10 @@ mod tests {
         };
         let report = run(&config);
         assert!(failures(&report).is_empty(), "{:?}", failures(&report));
+        assert!(
+            report.server_compute_ms.1 > 0.0,
+            "server must report a compute-time split"
+        );
         let warm = &report.phases[1];
         assert!(
             warm.cache_hit_rate > 0.0,

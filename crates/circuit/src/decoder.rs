@@ -119,13 +119,18 @@ impl Decoder {
 
     /// The memoized FOM bundle for this geometry.
     fn foms(&self) -> DecoderFoms {
+        // Span on the miss path only: hits are ~100 ns lookups, and a
+        // span on every lookup would dominate the measurement.
         DECODER_FOMS.get_or_insert_with(
             (
                 self.outputs,
                 quantize(self.output_load),
                 self.tech.memo_key(),
             ),
-            || self.compute_foms(),
+            || {
+                let _span = xlda_obs::span!("circuit.decoder");
+                self.compute_foms()
+            },
         )
     }
 

@@ -212,6 +212,7 @@ impl Matchline {
         required_mismatches: usize,
         sa: &SenseAmp,
     ) -> Option<usize> {
+        // Span on the miss path only; see `Decoder::foms`.
         MAX_CELLS.get_or_insert_with(
             (
                 config.quantized(),
@@ -219,7 +220,10 @@ impl Matchline {
                 required_mismatches,
                 quantize(sa.min_resolvable),
             ),
-            || Self::max_cells_for_uncached(config, tech, required_mismatches, sa),
+            || {
+                let _span = xlda_obs::span!("circuit.matchline");
+                Self::max_cells_for_uncached(config, tech, required_mismatches, sa)
+            },
         )
     }
 

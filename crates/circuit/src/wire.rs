@@ -95,6 +95,10 @@ impl RepeatedWire {
             length_m > 0.0 && seg_len_m > 0.0,
             "lengths must be positive"
         );
+        // Deliberately unspanned: one wire build is ~200 ns, so even a
+        // miss-path span would cost a third of what it measures (and the
+        // triage grid takes ~1000 misses). Wire time lands in the calling
+        // layer's self time instead.
         REPEATED_WIRE.get_or_insert_with(
             (quantize(length_m), quantize(seg_len_m), tech.memo_key()),
             || Self::new_uncached(length_m, seg_len_m, tech),

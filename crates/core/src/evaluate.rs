@@ -19,7 +19,6 @@
 
 use crate::error::{validate_fom, XldaError};
 use crate::fom::{Candidate, Fom};
-use crate::sweep::layer_timed;
 use xlda_baseline::{HybridPipeline, Kernel, Platform};
 use xlda_circuit::tech::TechNode;
 use xlda_crossbar::macro_model::CrossbarMacro;
@@ -148,23 +147,25 @@ fn hdc_on_cam(
         cols: 256,
         ..CrossbarConfig::default()
     };
-    let (t_encode, e_encode, a_encode) = layer_timed("crossbar", || {
+    let (t_encode, e_encode, a_encode) = {
+        let _span = xlda_obs::span!("crossbar");
         let xmacro = CrossbarMacro::try_new(&xbar_cfg, &s.tech, 8)?;
         let tiles_rows = s.dim_in.div_ceil(256);
         let tiles_cols = hv.div_ceil(256);
         let mvm = xmacro.mvm_cost();
         // Column tiles run in parallel macros; row tiles accumulate
         // serially.
-        Ok::<_, XldaError>((
+        (
             tiles_rows as f64 * mvm.latency_s,
             (tiles_rows * tiles_cols) as f64 * mvm.energy_j,
             (tiles_rows * tiles_cols) as f64 * xmacro.area_m2() * 1e6, // mm²
-        ))
-    })?;
+        )
+    };
 
     // Search: one CAM holding `classes` words of `hv` cells.
     let bits = data.bits_per_cell() as usize;
-    let rep = layer_timed("evacam", || {
+    let rep = {
+        let _span = xlda_obs::span!("evacam");
         let cam = CamArray::new(CamConfig {
             words: s.classes,
             bits_per_word: hv * bits,
@@ -174,8 +175,8 @@ fn hdc_on_cam(
             row_banks: 1,
             tech: s.tech.clone(),
         })?;
-        Ok::<_, XldaError>(cam.report())
-    })?;
+        cam.report()
+    };
     let out = (
         t_encode + rep.search_latency_s,
         e_encode + rep.search_energy_j,
@@ -374,7 +375,8 @@ fn tpu_nvm_fom(s: &HdcScenario, batch: usize) -> Result<Candidate, XldaError> {
     // Weight footprint: bipolar projection (1 bit/element) + 4-bit class
     // HVs, held in on-chip FeFET NVM.
     let weight_bytes = (s.dim_in * s.hv_dim_sw) as u64 / 8 + (s.classes * s.hv_dim_sw) as u64 / 2;
-    let rep = layer_timed("nvram", || {
+    let rep = {
+        let _span = xlda_obs::span!("nvram");
         let ram = RamArray::auto_organize(
             &RamConfig {
                 capacity_bits: weight_bytes * 8,
@@ -384,8 +386,8 @@ fn tpu_nvm_fom(s: &HdcScenario, batch: usize) -> Result<Candidate, XldaError> {
             },
             OptTarget::ReadLatency,
         )?;
-        Ok::<_, XldaError>(ram.report())
-    })?;
+        ram.report()
+    };
     // 16 mats stream in parallel: aggregated on-chip weight bandwidth.
     let nvm_bw = 16.0 * (256.0 / 8.0) / rep.read_latency_s;
     let flops = 2.0 * (s.dim_in * s.hv_dim_sw + s.classes * s.hv_dim_sw) as f64;
@@ -539,11 +541,12 @@ impl Scenario for MannScenario {
             cols: 64,
             ..CrossbarConfig::default()
         };
-        let (xmacro, mvm) = layer_timed("crossbar", || {
+        let (xmacro, mvm) = {
+            let _span = xlda_obs::span!("crossbar");
             let xmacro = CrossbarMacro::try_new(&xbar_cfg, &s.tech, 8)?;
             let mvm = xmacro.mvm_cost();
-            Ok::<_, XldaError>((xmacro, mvm))
-        })?;
+            (xmacro, mvm)
+        };
         // Paper: >65k weights across 36 64x64 crossbars; layers pipeline but
         // inference visits each layer once.
         let cnn_tiles = s.weights.div_ceil(64 * 64).max(1);
@@ -553,7 +556,8 @@ impl Scenario for MannScenario {
         let hash_tiles = (s.emb_dim.div_ceil(64) * (2 * s.hash_bits).div_ceil(64)).max(1);
         let t_hash = mvm.latency_s;
         let e_hash = hash_tiles as f64 * mvm.energy_j;
-        let rep = layer_timed("evacam", || {
+        let rep = {
+            let _span = xlda_obs::span!("evacam");
             let cam = CamArray::new(CamConfig {
                 words: s.entries,
                 bits_per_word: s.hash_bits,
@@ -563,8 +567,8 @@ impl Scenario for MannScenario {
                 row_banks: 1,
                 tech: s.tech.clone(),
             })?;
-            Ok::<_, XldaError>(cam.report())
-        })?;
+            cam.report()
+        };
         let area = (cnn_tiles + hash_tiles) as f64 * xmacro.area_m2() * 1e6 + rep.area_um2 * 1e-6;
 
         Ok(vec![

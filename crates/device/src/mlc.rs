@@ -231,6 +231,7 @@ impl MultiLevelCell {
         bins: usize,
         rng: &mut Rng64,
     ) -> Histogram {
+        let _obs = xlda_obs::span!("device.state_histogram");
         let span = self.levels[self.levels.len() - 1] - self.levels[0];
         let lo = self.levels[0] - 0.25 * span - 4.0 * self.sigma;
         let hi = self.levels[self.levels.len() - 1] + 0.25 * span + 4.0 * self.sigma;

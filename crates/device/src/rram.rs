@@ -150,6 +150,7 @@ impl Rram {
     ///
     /// Panics if `bits` is outside `1..=4`.
     pub fn mlc(&self, bits: u8) -> MultiLevelCell {
+        let _span = xlda_obs::span!("device.mlc");
         let cell = MultiLevelCell::uniform(
             StateVariable::Conductance,
             bits,
@@ -177,6 +178,7 @@ impl Rram {
     ///
     /// Panics if `bits` is outside `1..=4`.
     pub fn mlc_avoiding_variation(&self, bits: u8) -> MultiLevelCell {
+        let _span = xlda_obs::span!("device.mlc");
         let hi = (self.hump_center - self.hump_width).max(2.0 * self.g_min);
         let cell = MultiLevelCell::uniform(StateVariable::Conductance, bits, self.g_min, hi, 0.0);
         let sigma = cell

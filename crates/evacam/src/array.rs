@@ -293,6 +293,7 @@ impl CamArray {
 
     /// Full FOM report.
     pub fn report(&self) -> CamReport {
+        let _span = xlda_obs::span!("evacam.report");
         CamReport {
             area_um2: self.area_um2(),
             search_latency_s: self.search_latency(),

@@ -249,6 +249,7 @@ impl RamArray {
     ///
     /// Returns [`RamError`] for degenerate configurations.
     pub fn auto_organize(config: &RamConfig, target: OptTarget) -> Result<Self, RamError> {
+        let _span = xlda_obs::span!("nvram.auto_organize");
         let (rows, cols) = RAM_ORG.get_or_insert_with(
             (
                 config.capacity_bits,

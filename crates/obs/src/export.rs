@@ -1,0 +1,274 @@
+//! Renderers: shared f64 JSON emit, NDJSON lines, Prometheus text format.
+//!
+//! The f64 formatter here is the single source of truth for JSON number
+//! emission across the workspace: Rust's `{}` formatting produces the
+//! shortest string that round-trips bit-exactly through `f64::from_str`,
+//! and non-finite values (which have no JSON spelling) degrade to `null`.
+//! `xlda-serve`'s JSON layer delegates to it.
+
+use crate::metrics::{bucket_bounds, HistogramSnapshot};
+use crate::span::SpanAgg;
+use crate::trace::SpanEvent;
+use std::fmt::Write as _;
+
+/// Write `x` as a JSON number: shortest bit-exact round-trip spelling, or
+/// `null` for NaN/infinities. The workspace-wide f64 emitter (also behind
+/// `xlda-serve`'s JSON layer).
+pub fn write_f64<W: std::fmt::Write>(out: &mut W, x: f64) -> std::fmt::Result {
+    if x.is_finite() {
+        write!(out, "{x}")
+    } else {
+        out.write_str("null")
+    }
+}
+
+/// [`write_f64`] appending to a `String`.
+pub fn push_f64(out: &mut String, x: f64) {
+    let _ = write_f64(out, x);
+}
+
+/// [`push_f64`] as a `String` (convenience for tests and formatting args).
+pub fn fmt_f64(x: f64) -> String {
+    let mut s = String::new();
+    push_f64(&mut s, x);
+    s
+}
+
+/// Append `s` as a JSON string literal with the mandatory escapes.
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// NDJSON
+// ---------------------------------------------------------------------------
+
+/// One `{"type":"span",...}` trace line.
+pub fn ndjson_span_event(out: &mut String, e: &SpanEvent) {
+    out.push_str("{\"type\":\"span\",\"name\":");
+    push_json_str(out, e.name);
+    let _ = writeln!(
+        out,
+        ",\"thread\":{},\"start_ns\":{},\"dur_ns\":{},\"depth\":{}}}",
+        e.thread, e.start_ns, e.dur_ns, e.depth
+    );
+}
+
+/// One `{"type":"span_agg",...}` aggregate line.
+pub fn ndjson_span_agg(out: &mut String, a: &SpanAgg) {
+    out.push_str("{\"type\":\"span_agg\",\"name\":");
+    push_json_str(out, a.name);
+    let _ = writeln!(
+        out,
+        ",\"total_nanos\":{},\"self_nanos\":{},\"calls\":{}}}",
+        a.total_nanos, a.self_nanos, a.calls
+    );
+}
+
+/// One `{"type":"counter",...}` metric line.
+pub fn ndjson_counter(out: &mut String, name: &str, value: u64) {
+    out.push_str("{\"type\":\"counter\",\"name\":");
+    push_json_str(out, name);
+    let _ = writeln!(out, ",\"value\":{value}}}");
+}
+
+/// One `{"type":"histogram",...}` metric line: count, sum, quantile
+/// midpoints, and the populated `[lo, count]` buckets.
+pub fn ndjson_histogram(out: &mut String, name: &str, snap: &HistogramSnapshot) {
+    out.push_str("{\"type\":\"histogram\",\"name\":");
+    push_json_str(out, name);
+    let _ = write!(out, ",\"count\":{},\"sum\":", snap.count);
+    push_f64(out, snap.sum);
+    for (label, p) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+        let _ = write!(out, ",\"{label}\":");
+        push_f64(out, snap.quantile(p));
+    }
+    out.push_str(",\"buckets\":[");
+    for (i, &(idx, n)) in snap.buckets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        push_f64(out, bucket_bounds(idx).0);
+        let _ = write!(out, ",{n}]");
+    }
+    out.push_str("]}\n");
+}
+
+/// Render a full trace dump: one line per span event, then the aggregate
+/// lines (sorted by name) and a trailing `{"type":"trace_meta",...}` line.
+pub fn trace_ndjson(events: &[SpanEvent], aggregates: &[SpanAgg], dropped: u64) -> String {
+    let mut out = String::new();
+    for e in events {
+        ndjson_span_event(&mut out, e);
+    }
+    for a in aggregates {
+        ndjson_span_agg(&mut out, a);
+    }
+    let _ = writeln!(
+        &mut out,
+        "{{\"type\":\"trace_meta\",\"events\":{},\"dropped\":{dropped}}}",
+        events.len()
+    );
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition format
+// ---------------------------------------------------------------------------
+
+/// Replace characters outside `[a-zA-Z0-9_:]` with `_` so dotted span/metric
+/// names become valid Prometheus metric names.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// `# TYPE` header plus one sample for a counter.
+pub fn prometheus_counter(out: &mut String, name: &str, value: u64) {
+    let n = prometheus_name(name);
+    let _ = writeln!(out, "# TYPE {n} counter\n{n} {value}");
+}
+
+/// Cumulative-bucket rendering of a histogram snapshot: populated `le`
+/// buckets, `+Inf`, `_sum`, `_count`.
+pub fn prometheus_histogram(out: &mut String, name: &str, snap: &HistogramSnapshot) {
+    let n = prometheus_name(name);
+    let _ = writeln!(out, "# TYPE {n} histogram");
+    let mut cumulative = 0u64;
+    for &(idx, count) in &snap.buckets {
+        cumulative += count;
+        let (_, hi) = bucket_bounds(idx);
+        let _ = writeln!(out, "{n}_bucket{{le=\"{}\"}} {cumulative}", fmt_f64(hi));
+    }
+    let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", snap.count);
+    let _ = writeln!(
+        out,
+        "{n}_sum {}\n{n}_count {}",
+        fmt_f64(snap.sum),
+        snap.count
+    );
+}
+
+/// Span aggregates as three counter families labelled by span name:
+/// `xlda_span_seconds_total`, `xlda_span_self_seconds_total`,
+/// `xlda_span_calls_total`.
+pub fn prometheus_spans(out: &mut String, aggregates: &[SpanAgg]) {
+    type Family = (&'static str, fn(&SpanAgg) -> f64);
+    if aggregates.is_empty() {
+        return;
+    }
+    let families: [Family; 3] = [
+        ("xlda_span_seconds_total", |a| a.total_nanos as f64 * 1e-9),
+        ("xlda_span_self_seconds_total", |a| {
+            a.self_nanos as f64 * 1e-9
+        }),
+        ("xlda_span_calls_total", |a| a.calls as f64),
+    ];
+    for (metric, value) in families {
+        let _ = writeln!(out, "# TYPE {metric} counter");
+        for a in aggregates {
+            let _ = write!(out, "{metric}{{span=");
+            push_json_str(out, a.name);
+            let _ = writeln!(out, "}} {}", fmt_f64(value(a)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Histogram;
+
+    #[test]
+    fn f64_emit_round_trips_and_nulls_non_finite() {
+        for &x in &[0.0, -0.0, 1.5, 0.1, 1e-300, -2.5e17, f64::MIN_POSITIVE] {
+            let s = fmt_f64(x);
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} emitted as {s}");
+        }
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn json_str_escapes() {
+        let mut s = String::new();
+        push_json_str(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized() {
+        assert_eq!(prometheus_name("evacam.report"), "evacam_report");
+        assert_eq!(prometheus_name("9lives"), "_9lives");
+        assert_eq!(prometheus_name("a-b c"), "a_b_c");
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative() {
+        let h = Histogram::new();
+        h.record(0.001);
+        h.record(0.001);
+        h.record(1.0);
+        let mut out = String::new();
+        prometheus_histogram(&mut out, "lat.seconds", &h.snapshot());
+        assert!(out.contains("# TYPE lat_seconds histogram"));
+        assert!(out.contains("lat_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(out.contains("lat_seconds_count 3"));
+        // Two buckets populated; the second cumulative count is 3.
+        let cum: Vec<u64> = out
+            .lines()
+            .filter(|l| l.contains("_bucket{le=") && !l.contains("+Inf"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(cum, vec![2, 3]);
+    }
+
+    #[test]
+    fn ndjson_lines_are_parseable_shape() {
+        let mut out = String::new();
+        ndjson_counter(&mut out, "completed", 7);
+        assert_eq!(
+            out,
+            "{\"type\":\"counter\",\"name\":\"completed\",\"value\":7}\n"
+        );
+        let e = SpanEvent {
+            name: "sweep.point",
+            thread: 1,
+            start_ns: 10,
+            dur_ns: 20,
+            depth: 0,
+        };
+        let mut line = String::new();
+        ndjson_span_event(&mut line, &e);
+        assert!(line.starts_with("{\"type\":\"span\",\"name\":\"sweep.point\""));
+        assert!(line.ends_with("}\n"));
+    }
+}

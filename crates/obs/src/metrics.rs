@@ -1,0 +1,351 @@
+//! Lock-free counters and log-bucketed histograms.
+//!
+//! A [`Histogram`] buckets positive samples by their binary exponent plus the
+//! top [`SUB_BITS`] mantissa bits: 8 sub-buckets per power of two, so each
+//! bucket spans a ≤12.5% relative range and reported quantiles are exact
+//! within that resolution. The exponent is clamped to `[MIN_EXP, MAX_EXP)`
+//! (≈5.4e-20 .. 4.3e9 — generous for both seconds and point counts);
+//! out-of-range and non-positive samples land in the edge buckets, and
+//! non-finite samples are ignored.
+//!
+//! All state is atomic adds, so recording commutes: any partition of the same
+//! sample multiset across threads produces a bit-identical
+//! [`HistogramSnapshot`] (property-tested in `tests/histogram_props.rs`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Mantissa bits used for sub-bucketing: 2^3 = 8 sub-buckets per binade.
+pub const SUB_BITS: u32 = 3;
+/// Sub-buckets per power of two.
+pub const SUBS: usize = 1 << SUB_BITS;
+/// Smallest unbiased exponent with its own buckets; below goes to bucket 0.
+pub const MIN_EXP: i32 = -64;
+/// One past the largest represented exponent; above goes to the last bucket.
+pub const MAX_EXP: i32 = 32;
+/// Total bucket count: 96 binades x 8 sub-buckets.
+pub const NBUCKETS: usize = (MAX_EXP - MIN_EXP) as usize * SUBS;
+
+/// Map a sample to its bucket, or `None` for NaN/infinities.
+fn bucket_index(v: f64) -> Option<usize> {
+    if !v.is_finite() {
+        return None;
+    }
+    if v <= 0.0 {
+        return Some(0);
+    }
+    let bits = v.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+    if exp < MIN_EXP {
+        // Includes subnormals (biased exponent 0).
+        return Some(0);
+    }
+    if exp >= MAX_EXP {
+        return Some(NBUCKETS - 1);
+    }
+    let sub = ((bits >> (52 - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+    Some((exp - MIN_EXP) as usize * SUBS + sub)
+}
+
+/// Nominal `[lo, hi)` range of a bucket. Edge buckets additionally absorb
+/// clamped samples outside the nominal range.
+pub fn bucket_bounds(index: usize) -> (f64, f64) {
+    let binade = (index / SUBS) as i32 + MIN_EXP;
+    let sub = (index % SUBS) as f64;
+    let base = (binade as f64).exp2();
+    let lo = base * (1.0 + sub / SUBS as f64);
+    let hi = base * (1.0 + (sub + 1.0) / SUBS as f64);
+    (lo, hi)
+}
+
+/// Monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Log-bucketed histogram; see the module docs for the bucket layout.
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// f64 bits, updated by CAS so the sum is exact in f64 arithmetic order
+    /// up to add commutation (adds of finite positives are order-insensitive
+    /// enough for reporting; the count and buckets are exact).
+    sum_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..NBUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Record one sample. NaN and infinities are ignored.
+    pub fn record(&self, v: f64) {
+        let Some(idx) = bucket_index(v) else { return };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Record a duration in seconds.
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_secs_f64());
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<(usize, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((i, n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            buckets,
+        }
+    }
+}
+
+/// Point-in-time copy of a histogram: `(bucket index, count)` pairs for the
+/// populated buckets only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: f64,
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Bucket holding the nearest-rank `p`-quantile (`p` in `[0, 1]`), or
+    /// `None` if the histogram is empty.
+    fn quantile_bucket(&self, p: f64) -> Option<usize> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(idx, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(idx);
+            }
+        }
+        self.buckets.last().map(|&(idx, _)| idx)
+    }
+
+    /// Nearest-rank quantile, reported as the midpoint of its bucket.
+    /// Exact within the bucket's ≤12.5% relative width. NaN when empty.
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.quantile_bucket(p).map_or(f64::NAN, |idx| {
+            let (lo, hi) = bucket_bounds(idx);
+            (lo + hi) / 2.0
+        })
+    }
+
+    /// Nominal `[lo, hi)` bounds of the bucket holding the `p`-quantile.
+    /// `(NaN, NaN)` when empty.
+    pub fn quantile_bounds(&self, p: f64) -> (f64, f64) {
+        self.quantile_bucket(p)
+            .map_or((f64::NAN, f64::NAN), bucket_bounds)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// A named group of instruments, e.g. one per server instance. Get-or-create
+/// by name; handles are `Arc`s so callers cache them outside the lock.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<Vec<(String, Arc<Counter>)>>,
+    histograms: Mutex<Vec<(String, Arc<Histogram>)>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut list = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, c)) = list.iter().find(|(n, _)| n == name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::new());
+        list.push((name.to_string(), Arc::clone(&c)));
+        c
+    }
+
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut list = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, h)) = list.iter().find(|(n, _)| n == name) {
+            return Arc::clone(h);
+        }
+        let h = Arc::new(Histogram::new());
+        list.push((name.to_string(), Arc::clone(&h)));
+        h
+    }
+
+    /// All counters as `(name, value)`, sorted by name.
+    pub fn counter_snapshot(&self) -> Vec<(String, u64)> {
+        let list = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<(String, u64)> = list.iter().map(|(n, c)| (n.clone(), c.get())).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// All histograms as `(name, snapshot)`, sorted by name.
+    pub fn histogram_snapshot(&self) -> Vec<(String, HistogramSnapshot)> {
+        let list = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<(String, HistogramSnapshot)> = list
+            .iter()
+            .map(|(n, h)| (n.clone(), h.snapshot()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Render every instrument in Prometheus text exposition format.
+    pub fn prometheus_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.counter_snapshot() {
+            crate::export::prometheus_counter(&mut out, &name, value);
+        }
+        for (name, snap) in self.histogram_snapshot() {
+            crate::export::prometheus_histogram(&mut out, &name, &snap);
+        }
+        out
+    }
+
+    /// Render every instrument as NDJSON metric lines.
+    pub fn ndjson(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.counter_snapshot() {
+            crate::export::ndjson_counter(&mut out, &name, value);
+        }
+        for (name, snap) in self.histogram_snapshot() {
+            crate::export::ndjson_histogram(&mut out, &name, &snap);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_width_is_within_one_eighth() {
+        for idx in 0..NBUCKETS {
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo > 0.0 && hi > lo, "bucket {idx}: [{lo}, {hi})");
+            assert!(hi / lo <= 1.0 + 1.0 / 7.0 + 1e-12, "bucket {idx} too wide");
+        }
+    }
+
+    #[test]
+    fn samples_land_in_their_nominal_bucket() {
+        for &v in &[1e-12, 3.7e-3, 0.99, 1.0, 1.5, 2.0, 123.456, 8.1e8] {
+            let idx = bucket_index(v).unwrap();
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= v && v < hi, "{v} not in [{lo}, {hi}) (bucket {idx})");
+        }
+    }
+
+    #[test]
+    fn edge_cases_clamp_or_skip() {
+        assert_eq!(bucket_index(0.0), Some(0));
+        assert_eq!(bucket_index(-1.0), Some(0));
+        assert_eq!(bucket_index(1e-300), Some(0));
+        assert_eq!(bucket_index(1e300), Some(NBUCKETS - 1));
+        assert_eq!(bucket_index(f64::NAN), None);
+        assert_eq!(bucket_index(f64::INFINITY), None);
+    }
+
+    #[test]
+    fn quantiles_track_recorded_samples() {
+        let h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 / 1000.0); // 0.001 ..= 1.000
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        assert!((snap.sum - 500.5).abs() < 1e-6);
+        for (p, exact) in [(0.5, 0.5), (0.95, 0.95), (0.99, 0.99)] {
+            let (lo, hi) = snap.quantile_bounds(p);
+            assert!(
+                lo <= exact && exact < hi,
+                "p{p}: {exact} not in [{lo}, {hi})"
+            );
+            let q = snap.quantile(p);
+            assert!((q / exact - 1.0).abs() < 0.15, "p{p}: {q} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_nan() {
+        let snap = Histogram::new().snapshot();
+        assert!(snap.is_empty());
+        assert!(snap.quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn registry_is_get_or_create() {
+        let reg = Registry::new();
+        let a = reg.counter("requests");
+        let b = reg.counter("requests");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("requests").get(), 3);
+        assert_eq!(reg.counter_snapshot(), vec![("requests".to_string(), 3)]);
+        let h = reg.histogram("latency");
+        h.record(0.25);
+        assert_eq!(reg.histogram("latency").snapshot().count, 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Histogram correctness properties (ISSUE 5 satellite):
+//!
+//! 1. For any recorded sample set, the *exact* nearest-rank p50/p95 of the
+//!    samples lies inside the bucket the histogram reports for that quantile
+//!    — i.e. the reported quantile is within one bucket's relative error
+//!    (≤12.5%) of the true one.
+//! 2. Recording is commutative: any partition of the same multiset across
+//!    threads produces a bit-identical snapshot (merge determinism).
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use xlda_obs::metrics::Histogram;
+
+/// Samples well inside the histogram's nominal exponent range so edge-bucket
+/// clamping never kicks in: (2^-60, 2^30).
+fn arb_sample() -> impl Strategy<Value = f64> {
+    (-60.0f64..30.0).prop_map(|e| e.exp2())
+}
+
+/// Exact nearest-rank quantile of a sample set.
+fn exact_quantile(sorted: &[f64], p: f64) -> f64 {
+    let rank = ((p * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reported_quantiles_bracket_the_exact_ones(
+        samples in prop::collection::vec(arb_sample(), 1..400),
+        p in prop::sample::select(vec![0.5f64, 0.95]),
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, samples.len() as u64);
+
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let exact = exact_quantile(&sorted, p);
+
+        // The exact sample quantile must fall in the reported bucket, and
+        // the reported midpoint is then within one bucket width of it.
+        let (lo, hi) = snap.quantile_bounds(p);
+        prop_assert!(
+            lo <= exact && exact < hi,
+            "p{}: exact {} outside reported bucket [{}, {})",
+            p, exact, lo, hi
+        );
+        let reported = snap.quantile(p);
+        prop_assert!(
+            (reported / exact - 1.0).abs() <= 0.125 + 1e-9,
+            "p{}: reported {} not within bucket resolution of exact {}",
+            p, reported, exact
+        );
+    }
+
+    #[test]
+    fn cross_thread_merge_is_deterministic(
+        samples in prop::collection::vec(arb_sample(), 1..256),
+        threads in 2usize..5,
+    ) {
+        // Reference: record everything sequentially on one thread.
+        let reference = Histogram::new();
+        for &v in &samples {
+            reference.record(v);
+        }
+
+        // Same multiset, striped across worker threads in round-robin.
+        let shared = Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = Arc::clone(&shared);
+                let chunk: Vec<f64> = samples
+                    .iter()
+                    .copied()
+                    .skip(t)
+                    .step_by(threads)
+                    .collect();
+                std::thread::spawn(move || {
+                    for v in chunk {
+                        h.record(v);
+                    }
+                })
+            })
+            .collect();
+        for hnd in handles {
+            hnd.join().unwrap();
+        }
+
+        let a = reference.snapshot();
+        let b = shared.snapshot();
+        prop_assert_eq!(a.count, b.count);
+        prop_assert_eq!(&a.buckets, &b.buckets);
+        // Bucket counts and total count are exactly deterministic; the f64
+        // sum can differ only by addition reassociation.
+        let scale = a.sum.abs().max(1.0);
+        prop_assert!(((a.sum - b.sum) / scale).abs() < 1e-9);
+        prop_assert_eq!(a.quantile(0.5).to_bits(), b.quantile(0.5).to_bits());
+        prop_assert_eq!(a.quantile(0.95).to_bits(), b.quantile(0.95).to_bits());
+    }
+}

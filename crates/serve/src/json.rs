@@ -335,9 +335,10 @@ impl fmt::Display for Json {
             // Non-finite numbers have no JSON spelling; FOMs are
             // validated finite upstream, so this only fires on
             // diagnostics and degrades to null rather than emitting
-            // an unparseable token.
-            Json::Num(x) if !x.is_finite() => f.write_str("null"),
-            Json::Num(x) => write!(f, "{x}"),
+            // an unparseable token. The emitter is shared with the
+            // observability exporters so traces and responses agree
+            // bit-for-bit.
+            Json::Num(x) => xlda_obs::export::write_f64(f, *x),
             Json::Str(s) => write_escaped(f, s),
             Json::Arr(items) => {
                 f.write_str("[")?;

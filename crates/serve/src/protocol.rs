@@ -11,12 +11,13 @@
 //! {"id":"r1","kind":"hdc","scenario":{"classes":26,"tech":"n40"},"deadline_ms":500}
 //! {"id":"r2","kind":"triage","objective":"energy_first","floor":0.9}
 //! {"id":"r3","kind":"stats"}
-//! {"id":"r4","kind":"shutdown"}
+//! {"id":"r4","kind":"metrics"}
+//! {"id":"r5","kind":"shutdown"}
 //! ```
 //!
 //! `scenario` fields are optional overrides on the workload's
 //! `Default`; `kind` is one of `hdc | mann | edge | tpu_nvm | triage |
-//! stats | shutdown`. See DESIGN.md §9 for the full schema.
+//! stats | metrics | shutdown`. See DESIGN.md §9 for the full schema.
 
 use crate::json::{obj, Json};
 use xlda_circuit::tech::TechNode;
@@ -70,6 +71,12 @@ pub enum Request {
         /// Correlation id.
         id: String,
     },
+    /// Report the server's counters, histograms, span aggregates, and
+    /// memo caches in Prometheus text exposition format.
+    Metrics {
+        /// Correlation id.
+        id: String,
+    },
     /// Begin a graceful drain.
     Shutdown {
         /// Correlation id.
@@ -104,6 +111,7 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
     let spec = v.get("scenario").cloned().unwrap_or(Json::Obj(Vec::new()));
     let scenario: Box<dyn Scenario> = match kind {
         "stats" => return Ok(Request::Stats { id }),
+        "metrics" => return Ok(Request::Metrics { id }),
         "shutdown" => return Ok(Request::Shutdown { id }),
         "hdc" | "triage" => Box::new(hdc_scenario(&spec).map_err(|m| (id.clone(), m))?),
         "mann" => Box::new(mann_scenario(&spec).map_err(|m| (id.clone(), m))?),
@@ -345,6 +353,14 @@ mod tests {
                 Request::Eval { scenario, .. } => assert_eq!(scenario.kind(), expect),
                 _ => panic!("{kind} did not parse as eval"),
             }
+        }
+    }
+
+    #[test]
+    fn metrics_kind_parses() {
+        match parse_request(r#"{"id":"m","kind":"metrics"}"#).unwrap() {
+            Request::Metrics { id } => assert_eq!(id, "m"),
+            _ => panic!("metrics did not parse"),
         }
     }
 

@@ -31,6 +31,7 @@ use xlda_core::evaluate::Scenario;
 use xlda_core::sweep::{memo, par_try_map_with, PointFailure, SweepOptions};
 use xlda_core::triage::rank;
 use xlda_core::XldaError;
+use xlda_obs::{Counter, Histogram, Registry};
 
 /// Tuning knobs for one server instance.
 #[derive(Debug, Clone)]
@@ -77,39 +78,50 @@ enum JobError {
     Eval(XldaError),
 }
 
-/// Latency bookkeeping behind the stats endpoint.
-struct StatsInner {
-    /// Most recent completed-request latencies, seconds.
-    latencies: VecDeque<f64>,
-    completed: u64,
-    rejected: u64,
-    deadline_expired: u64,
-    points: u64,
+/// Lock-free per-instance instruments behind the `stats` and `metrics`
+/// endpoints (an obs [`Registry`], so every value is also renderable as
+/// Prometheus text). Per server instance, not process-global: tests and
+/// embedders can run several servers without cross-talk.
+struct Metrics {
+    registry: Registry,
+    /// Enqueue-to-response latency of completed requests, seconds.
+    latency: Arc<Histogram>,
+    /// Enqueue-to-evaluation-start wait, seconds (queueing + batching).
+    queue_wait: Arc<Histogram>,
+    /// Pure evaluation time per request, seconds.
+    compute: Arc<Histogram>,
+    completed: Arc<Counter>,
+    rejected: Arc<Counter>,
+    deadline_expired: Arc<Counter>,
+    points: Arc<Counter>,
     started: Instant,
 }
 
-/// Cap on retained latency samples; percentiles reflect recent load.
-const LATENCY_WINDOW: usize = 4096;
-
-impl StatsInner {
-    fn record(&mut self, latency: Duration, points: u64) {
-        if self.latencies.len() == LATENCY_WINDOW {
-            self.latencies.pop_front();
+impl Metrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        Self {
+            latency: registry.histogram("xlda_serve_request_latency_seconds"),
+            queue_wait: registry.histogram("xlda_serve_queue_wait_seconds"),
+            compute: registry.histogram("xlda_serve_compute_seconds"),
+            completed: registry.counter("xlda_serve_completed_total"),
+            rejected: registry.counter("xlda_serve_rejected_total"),
+            deadline_expired: registry.counter("xlda_serve_deadline_expired_total"),
+            points: registry.counter("xlda_serve_points_total"),
+            started: Instant::now(),
+            registry,
         }
-        self.latencies.push_back(latency.as_secs_f64());
-        self.completed += 1;
-        self.points += points;
     }
 
-    /// Nearest-rank percentile over the retained window, seconds.
-    fn percentile(&self, p: f64) -> f64 {
-        if self.latencies.is_empty() {
-            return 0.0;
+    /// A histogram quantile in milliseconds, 0.0 when empty (matching
+    /// the pre-obs stats shape).
+    fn quantile_ms(h: &Histogram, p: f64) -> f64 {
+        let snap = h.snapshot();
+        if snap.is_empty() {
+            0.0
+        } else {
+            snap.quantile(p) * 1e3
         }
-        let mut sorted: Vec<f64> = self.latencies.iter().copied().collect();
-        sorted.sort_by(f64::total_cmp);
-        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
     }
 }
 
@@ -118,7 +130,7 @@ struct Shared {
     queue: Mutex<VecDeque<Job>>,
     not_empty: Condvar,
     draining: AtomicBool,
-    stats: Mutex<StatsInner>,
+    metrics: Metrics,
 }
 
 /// A line-oriented output sink shared between the admitting reader
@@ -155,14 +167,7 @@ impl Server {
             queue: Mutex::new(VecDeque::new()),
             not_empty: Condvar::new(),
             draining: AtomicBool::new(false),
-            stats: Mutex::new(StatsInner {
-                latencies: VecDeque::new(),
-                completed: 0,
-                rejected: 0,
-                deadline_expired: 0,
-                points: 0,
-                started: Instant::now(),
-            }),
+            metrics: Metrics::new(),
         });
         let batcher = {
             let shared = Arc::clone(&shared);
@@ -273,6 +278,7 @@ fn handle_line(shared: &Arc<Shared>, line: &str, writer: &SharedWriter) {
     match protocol::parse_request(line) {
         Err((id, msg)) => writer.send(&protocol::err_response(&id, "bad_request", &msg, None)),
         Ok(Request::Stats { id }) => writer.send(&stats_response(shared, &id)),
+        Ok(Request::Metrics { id }) => writer.send(&metrics_response(shared, &id)),
         Ok(Request::Shutdown { id }) => {
             shared.draining.store(true, Ordering::SeqCst);
             shared.not_empty.notify_all();
@@ -298,9 +304,7 @@ fn handle_line(shared: &Arc<Shared>, line: &str, writer: &SharedWriter) {
                 writer: writer.clone(),
             };
             if let Err(job) = admit(shared, job) {
-                let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
-                stats.rejected += 1;
-                drop(stats);
+                shared.metrics.rejected.inc();
                 let retry_ms = (shared.config.batch_window.as_millis() as u64).max(1);
                 job.writer.send(&protocol::err_response(
                     &job.id,
@@ -382,13 +386,20 @@ fn run_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
     }
     let opts = opts.build();
 
+    let metrics = &shared.metrics;
     let results = par_try_map_with(
         &batch,
         |job| {
-            if job.deadline_at.is_some_and(|t| Instant::now() >= t) {
+            let eval_start = Instant::now();
+            metrics
+                .queue_wait
+                .record_duration(eval_start.saturating_duration_since(job.enqueued_at));
+            if job.deadline_at.is_some_and(|t| eval_start >= t) {
                 return Err(JobError::Deadline);
             }
-            job.scenario.candidates().map_err(JobError::Eval)
+            let result = job.scenario.candidates().map_err(JobError::Eval);
+            metrics.compute.record_duration(eval_start.elapsed());
+            result
         },
         &opts,
     );
@@ -396,10 +407,9 @@ fn run_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
     for (job, result) in batch.iter().zip(results) {
         let line = match result {
             Ok(cands) => {
-                let latency = job.enqueued_at.elapsed();
-                let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
-                stats.record(latency, cands.len() as u64);
-                drop(stats);
+                metrics.latency.record_duration(job.enqueued_at.elapsed());
+                metrics.completed.inc();
+                metrics.points.add(cands.len() as u64);
                 let mut body = vec![(
                     "candidates",
                     Json::Arr(cands.iter().map(protocol::candidate_json).collect()),
@@ -425,9 +435,7 @@ fn run_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
                 protocol::ok_response(&job.id, job.scenario.kind(), body)
             }
             Err(PointFailure::Error(JobError::Deadline)) | Err(PointFailure::DeadlineExceeded) => {
-                let mut stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
-                stats.deadline_expired += 1;
-                drop(stats);
+                metrics.deadline_expired.inc();
                 protocol::err_response(&job.id, "deadline", "deadline exceeded", None)
             }
             Err(PointFailure::Error(JobError::Eval(e))) => {
@@ -451,10 +459,13 @@ fn run_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
 
 /// Builds the `stats` response: queue/latency/throughput plus the
 /// process-wide memo cache snapshot (warm across requests by design).
+/// Latency quantiles come from the same obs histograms the `metrics`
+/// endpoint renders, so both endpoints always agree within bucket
+/// resolution.
 fn stats_response(shared: &Arc<Shared>, id: &str) -> String {
     let queue_depth = shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len();
-    let stats = shared.stats.lock().unwrap_or_else(|e| e.into_inner());
-    let elapsed = stats.started.elapsed().as_secs_f64().max(1e-9);
+    let m = &shared.metrics;
+    let elapsed = m.started.elapsed().as_secs_f64().max(1e-9);
     let caches: Vec<Json> = memo::snapshot()
         .iter()
         .map(|c| {
@@ -479,14 +490,71 @@ fn stats_response(shared: &Arc<Shared>, id: &str) -> String {
         vec![
             ("queue_depth", Json::Num(queue_depth as f64)),
             ("queue_cap", Json::Num(shared.config.queue_cap as f64)),
-            ("completed", Json::Num(stats.completed as f64)),
-            ("rejected", Json::Num(stats.rejected as f64)),
-            ("deadline_expired", Json::Num(stats.deadline_expired as f64)),
-            ("points_total", Json::Num(stats.points as f64)),
-            ("points_per_sec", Json::Num(stats.points as f64 / elapsed)),
-            ("p50_ms", Json::Num(stats.percentile(50.0) * 1e3)),
-            ("p95_ms", Json::Num(stats.percentile(95.0) * 1e3)),
+            ("completed", Json::Num(m.completed.get() as f64)),
+            ("rejected", Json::Num(m.rejected.get() as f64)),
+            (
+                "deadline_expired",
+                Json::Num(m.deadline_expired.get() as f64),
+            ),
+            ("points_total", Json::Num(m.points.get() as f64)),
+            ("points_per_sec", Json::Num(m.points.get() as f64 / elapsed)),
+            ("p50_ms", Json::Num(Metrics::quantile_ms(&m.latency, 0.5))),
+            ("p95_ms", Json::Num(Metrics::quantile_ms(&m.latency, 0.95))),
+            (
+                "queue_wait_p50_ms",
+                Json::Num(Metrics::quantile_ms(&m.queue_wait, 0.5)),
+            ),
+            (
+                "queue_wait_p95_ms",
+                Json::Num(Metrics::quantile_ms(&m.queue_wait, 0.95)),
+            ),
+            (
+                "compute_p50_ms",
+                Json::Num(Metrics::quantile_ms(&m.compute, 0.5)),
+            ),
+            (
+                "compute_p95_ms",
+                Json::Num(Metrics::quantile_ms(&m.compute, 0.95)),
+            ),
             ("caches", Json::Arr(caches)),
+        ],
+    )
+}
+
+/// Builds the `metrics` response: the Prometheus text exposition of this
+/// server's obs registry, plus the process-wide span aggregates and memo
+/// cache counters, wrapped in one JSON envelope like every other reply.
+fn metrics_response(shared: &Arc<Shared>, id: &str) -> String {
+    use std::fmt::Write as _;
+    let mut text = shared.metrics.registry.prometheus_text();
+    xlda_obs::export::prometheus_spans(&mut text, &xlda_obs::aggregate_snapshot());
+    let caches = memo::snapshot();
+    if !caches.is_empty() {
+        for (metric, kind) in [
+            ("xlda_memo_cache_hits_total", "counter"),
+            ("xlda_memo_cache_misses_total", "counter"),
+            ("xlda_memo_cache_entries", "gauge"),
+        ] {
+            let _ = writeln!(text, "# TYPE {metric} {kind}");
+            for c in &caches {
+                let v = match metric {
+                    "xlda_memo_cache_hits_total" => c.hits,
+                    "xlda_memo_cache_misses_total" => c.misses,
+                    _ => c.entries,
+                };
+                let _ = writeln!(text, "{metric}{{cache=\"{}\"}} {v}", c.name);
+            }
+        }
+    }
+    protocol::ok_response(
+        id,
+        "metrics",
+        vec![
+            (
+                "content_type",
+                Json::Str("text/plain; version=0.0.4".to_string()),
+            ),
+            ("prometheus", Json::Str(text)),
         ],
     )
 }
@@ -626,7 +694,37 @@ mod tests {
         assert_eq!(v.get("kind").and_then(Json::as_str), Some("stats"));
         assert_eq!(v.get("completed").and_then(Json::as_f64), Some(1.0));
         assert!(v.get("p95_ms").and_then(Json::as_f64).unwrap() >= 0.0);
+        assert!(v.get("queue_wait_p95_ms").and_then(Json::as_f64).unwrap() >= 0.0);
+        assert!(v.get("compute_p95_ms").and_then(Json::as_f64).unwrap() > 0.0);
         assert!(!v.get("caches").and_then(Json::as_arr).unwrap().is_empty());
+    }
+
+    #[test]
+    fn metrics_renders_prometheus_text_matching_stats() {
+        let server = Server::new(ServerConfig::default());
+        let (w, rx) = test_writer();
+        server.handle_line(r#"{"id":"e","kind":"hdc"}"#, &w);
+        let first = recv(&rx);
+        assert_eq!(first.get("ok").and_then(Json::as_bool), Some(true));
+        server.handle_line(r#"{"id":"m","kind":"metrics"}"#, &w);
+        let v = recv(&rx);
+        assert_eq!(v.get("kind").and_then(Json::as_str), Some("metrics"));
+        assert_eq!(
+            v.get("content_type").and_then(Json::as_str),
+            Some("text/plain; version=0.0.4")
+        );
+        let text = v.get("prometheus").and_then(Json::as_str).unwrap();
+        // Counters agree with the stats endpoint (per-instance, so the
+        // single eval above is exactly what both report).
+        assert!(text.contains("# TYPE xlda_serve_completed_total counter"));
+        assert!(text.contains("xlda_serve_completed_total 1"));
+        assert!(text.contains("xlda_serve_rejected_total 0"));
+        // The latency histogram saw exactly the one completed request.
+        assert!(text.contains("# TYPE xlda_serve_request_latency_seconds histogram"));
+        assert!(text.contains("xlda_serve_request_latency_seconds_count 1"));
+        assert!(text.contains("xlda_serve_request_latency_seconds_bucket{le=\"+Inf\"} 1"));
+        // Process-wide memo caches ride along, labelled by cache name.
+        assert!(text.contains("xlda_memo_cache_hits_total{cache="));
     }
 
     #[test]
