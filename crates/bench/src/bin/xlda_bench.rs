@@ -54,6 +54,7 @@ struct Args {
     duration_secs: Option<u64>,
     connections: Option<usize>,
     serve_addr: Option<String>,
+    transport: loadgen::Transport,
 }
 
 fn usage() -> ! {
@@ -63,7 +64,8 @@ fn usage() -> ! {
          [--no-obs] [--trace PATH]\n\
          \x20      xlda-bench --obs-overhead [--smoke] [--workload NAME] [--trace PATH]\n\
          \x20      xlda-bench --loadgen [--smoke] [--duration-secs N] \
-         [--connections N] [--serve-addr ADDR] [--out PATH]"
+         [--connections N] [--serve-addr ADDR] [--transport event|threaded] \
+         [--baseline PATH] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -82,6 +84,7 @@ fn parse_args() -> Args {
         duration_secs: None,
         connections: None,
         serve_addr: None,
+        transport: loadgen::Transport::Event,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -122,6 +125,10 @@ fn parse_args() -> Args {
                 Some(a) => args.serve_addr = Some(a),
                 None => usage(),
             },
+            "--transport" => match it.next().as_deref().and_then(loadgen::Transport::parse) {
+                Some(t) => args.transport = t,
+                None => usage(),
+            },
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -138,6 +145,7 @@ fn run_loadgen(args: &Args) -> ExitCode {
         config.connections = n;
     }
     config.serve_addr = args.serve_addr.clone();
+    config.transport = args.transport;
 
     let report = loadgen::run(&config);
     loadgen::print(&report);
@@ -150,7 +158,19 @@ fn run_loadgen(args: &Args) -> ExitCode {
     }
     println!("\nreport written to {out}");
 
-    let failures = loadgen::failures(&report);
+    let mut failures = loadgen::failures(&report);
+    if let Some(path) = &args.baseline {
+        match std::fs::read_to_string(path) {
+            Ok(baseline) => {
+                let gate = loadgen::check_against_baseline(&report, &baseline);
+                if gate.is_empty() {
+                    println!("serve baseline gate: PASS (vs {path})");
+                }
+                failures.extend(gate);
+            }
+            Err(e) => failures.push(format!("cannot read baseline {path}: {e}")),
+        }
+    }
     if failures.is_empty() {
         ExitCode::SUCCESS
     } else {

@@ -20,6 +20,7 @@
 //! rejections are retried after the server's `retry_after_ms` and
 //! reported separately; a parity mismatch fails the run.
 
+use std::fmt::Write as FmtWrite;
 use std::io::{BufRead, BufReader, Write as IoWrite};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -32,6 +33,33 @@ use xlda_core::sweep::memo;
 use xlda_serve::json::{obj, Json};
 use xlda_serve::{Server, ServerConfig};
 
+/// Which TCP transport the in-process server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// The readiness-driven event loop (the default transport).
+    Event,
+    /// The legacy thread-per-connection loop, kept as an A/B baseline.
+    Threaded,
+}
+
+impl Transport {
+    /// Parses `event` / `threaded`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "event" => Some(Self::Event),
+            "threaded" => Some(Self::Threaded),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Self::Event => "event",
+            Self::Threaded => "threaded",
+        }
+    }
+}
+
 /// Loadgen knobs (see `xlda-bench --help`).
 pub struct LoadgenConfig {
     /// Total wall-clock budget across both phases.
@@ -40,16 +68,25 @@ pub struct LoadgenConfig {
     pub connections: usize,
     /// External server address; `None` starts one in process.
     pub serve_addr: Option<String>,
+    /// Transport for the in-process server (ignored with
+    /// `serve_addr`: an external daemon picked its own).
+    pub transport: Transport,
 }
 
 impl LoadgenConfig {
-    /// Defaults: 10 s total (5 s under `--smoke`), 4 connections,
-    /// in-process server.
+    /// Defaults: 10 s total (5 s under `--smoke`), 2 connections,
+    /// in-process server on the event-loop transport. Two connections,
+    /// not more: client threads share the machine with the server, and
+    /// on the small CI box a larger fleet oversubscribes the cores and
+    /// measures scheduler queueing instead of serving latency — Little's
+    /// law pins client p50 near `connections / throughput` regardless of
+    /// how fast the server is.
     pub fn new(smoke: bool) -> Self {
         Self {
             duration: Duration::from_secs(if smoke { 5 } else { 10 }),
-            connections: 4,
+            connections: 2,
             serve_addr: None,
+            transport: Transport::Event,
         }
     }
 }
@@ -179,25 +216,34 @@ fn check_parity(resp: &Json, expected: &[Candidate]) -> bool {
 }
 
 /// One blocking request/response exchange with retry-on-backpressure.
-/// Returns `(response, rejections_seen)`; `None` on transport failure.
+/// Returns `(raw response line, rejections_seen)`; `None` on transport
+/// failure. The response is returned unparsed so the caller can take
+/// the byte-compare parity fast path.
 fn exchange(
     stream: &mut TcpStream,
     reader: &mut BufReader<TcpStream>,
     id: &str,
     body: &str,
-) -> Option<(Json, u64)> {
+) -> Option<(String, u64)> {
     let mut rejections = 0;
+    // One buffer, one write syscall, one TCP segment per request —
+    // formatting straight into the unbuffered stream would issue a
+    // write per format fragment and shatter the frame across segments.
+    let mut frame = String::with_capacity(body.len() + id.len() + 16);
+    let _ = writeln!(frame, "{{\"id\":\"{id}\",{body}}}");
     loop {
-        writeln!(stream, "{{\"id\":\"{id}\",{body}}}").ok()?;
-        stream.flush().ok()?;
+        stream.write_all(frame.as_bytes()).ok()?;
         let mut line = String::new();
         if reader.read_line(&mut line).ok()? == 0 {
             return None;
         }
-        let v = Json::parse(line.trim()).ok()?;
-        if v.get("ok").and_then(Json::as_bool) == Some(true) {
-            return Some((v, rejections));
+        let line = line.trim().to_string();
+        // Responses put `ok` right after `id`; only failures need a
+        // full parse (for the backpressure hint).
+        if !line.contains("\"ok\":false") {
+            return Some((line, rejections));
         }
+        let v = Json::parse(&line).ok()?;
         match v.get("retry_after_ms").and_then(Json::as_f64) {
             Some(ms) => {
                 rejections += 1;
@@ -205,7 +251,7 @@ fn exchange(
             }
             // A non-backpressure failure is a parity failure: the mix
             // contains only valid requests.
-            None => return Some((v, rejections)),
+            None => return Some((line, rejections)),
         }
     }
 }
@@ -215,13 +261,13 @@ fn fetch_stats(addr: &str) -> Option<Json> {
     let mut stream = TcpStream::connect(addr).ok()?;
     let _ = stream.set_nodelay(true);
     let mut reader = BufReader::new(stream.try_clone().ok()?);
-    let (v, _) = exchange(
+    let (line, _) = exchange(
         &mut stream,
         &mut reader,
         "loadgen-stats",
         r#""kind":"stats""#,
     )?;
-    Some(v)
+    Json::parse(&line).ok()
 }
 
 /// Sums hits/misses across all memo caches in a stats response.
@@ -268,18 +314,42 @@ fn run_phase(
                     return (latencies, rejected, 1);
                 };
                 let mut reader = BufReader::new(read_half);
+                // Per-entry response body after the `{"id":"..."` prefix,
+                // captured from the first fully-verified response. The
+                // server's JSON emission is deterministic, so later
+                // responses must match byte-for-byte — parity becomes a
+                // memcmp instead of a parse, keeping harness overhead out
+                // of the measured latency.
+                let mut verified_suffix: Vec<Option<String>> = mix.iter().map(|_| None).collect();
                 let mut i = 0usize;
                 while !stop.load(Ordering::Relaxed) {
-                    let (entry, body, expected) = &mix[i % mix.len()];
+                    let entry_idx = i % mix.len();
+                    let (entry, body, expected) = &mix[entry_idx];
                     let id = format!("w{w}-{i}");
                     let sent = Instant::now();
                     match exchange(&mut stream, &mut reader, &id, body) {
-                        Some((resp, rejections)) => {
+                        Some((line, rejections)) => {
+                            // Stamp before the parity check: verification
+                            // is harness work, not request latency.
+                            let elapsed = sent.elapsed().as_secs_f64();
                             rejected += rejections;
-                            if check_parity(&resp, expected) {
-                                latencies.push(sent.elapsed().as_secs_f64());
+                            let suffix = line.get(8 + id.len()..);
+                            let parity_ok = match (&verified_suffix[entry_idx], suffix) {
+                                (Some(seen), Some(sfx)) if seen == sfx => true,
+                                _ => match Json::parse(&line) {
+                                    Ok(v) if check_parity(&v, expected) => {
+                                        if line.starts_with(&format!("{{\"id\":\"{id}\"")) {
+                                            verified_suffix[entry_idx] = suffix.map(str::to_string);
+                                        }
+                                        true
+                                    }
+                                    _ => false,
+                                },
+                            };
+                            if parity_ok {
+                                latencies.push(elapsed);
                             } else {
-                                eprintln!("loadgen: parity mismatch on {entry} ({id}): {resp}");
+                                eprintln!("loadgen: parity mismatch on {entry} ({id}): {line}");
                                 parity_failures += 1;
                             }
                         }
@@ -340,8 +410,13 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
             let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
             let addr = listener.local_addr().expect("local addr").to_string();
             let server = Server::new(ServerConfig::default());
+            let transport = config.transport;
             let handle = std::thread::spawn(move || {
-                server.run_tcp(listener).expect("server accept loop");
+                match transport {
+                    Transport::Event => server.run_tcp(listener),
+                    Transport::Threaded => server.run_tcp_threaded(listener),
+                }
+                .expect("server transport");
             });
             (addr, Some(handle))
         }
@@ -468,6 +543,7 @@ pub fn to_json(report: &LoadgenReport, smoke: bool, config: &LoadgenConfig) -> S
     let doc = obj(vec![
         ("schema", Json::Str("xlda-bench-serve/v1".to_string())),
         ("smoke", Json::Bool(smoke)),
+        ("transport", Json::Str(config.transport.name().to_string())),
         ("duration_s", Json::Num(config.duration.as_secs_f64())),
         ("connections", Json::Num(config.connections as f64)),
         ("phases", Json::Arr(phases)),
@@ -496,6 +572,53 @@ pub fn to_json(report: &LoadgenReport, smoke: bool, config: &LoadgenConfig) -> S
     let mut s = doc.to_string();
     s.push('\n');
     s
+}
+
+/// Gate against the committed baseline's `serve` section
+/// (`ci/bench_baseline.json`): warm-phase throughput floor, warm-phase
+/// client p50 ceiling, and distinct queue-wait quantiles (the ISSUE 6
+/// regression: a fixed batch window collapses every request onto the
+/// same wait, and the old histogram quantiles hid it by reporting
+/// p50 == p95).
+pub fn check_against_baseline(report: &LoadgenReport, baseline_text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let Ok(baseline) = Json::parse(baseline_text.trim()) else {
+        return vec!["baseline file is not valid JSON".to_string()];
+    };
+    let Some(serve) = baseline.get("serve") else {
+        return vec!["baseline has no `serve` section".to_string()];
+    };
+    let Some(warm) = report.phases.iter().find(|p| p.name == "warm") else {
+        return vec!["report has no warm phase".to_string()];
+    };
+    if let Some(floor) = serve.get("warm_throughput_rps_min").and_then(Json::as_f64) {
+        if warm.throughput_rps < floor {
+            out.push(format!(
+                "warm throughput {:.0} req/s below baseline floor {floor:.0}",
+                warm.throughput_rps
+            ));
+        }
+    }
+    if let Some(ceiling) = serve.get("warm_p50_ms_max").and_then(Json::as_f64) {
+        if warm.p50_ms > ceiling {
+            out.push(format!(
+                "warm client p50 {:.3} ms above baseline ceiling {ceiling:.3} ms",
+                warm.p50_ms
+            ));
+        }
+    }
+    if serve
+        .get("queue_wait_quantiles_distinct")
+        .and_then(Json::as_bool)
+        == Some(true)
+        && report.server_queue_wait_ms.0 == report.server_queue_wait_ms.1
+    {
+        out.push(format!(
+            "queue-wait p50 == p95 == {} ms: quantile collapse regressed",
+            report.server_queue_wait_ms.0
+        ));
+    }
+    out
 }
 
 /// Gate used by the binary: parity and backpressure must hold.
@@ -541,6 +664,7 @@ mod tests {
             duration: Duration::from_millis(600),
             connections: 2,
             serve_addr: None,
+            transport: Transport::Event,
         };
         let report = run(&config);
         assert!(failures(&report).is_empty(), "{:?}", failures(&report));

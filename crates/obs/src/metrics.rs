@@ -161,30 +161,46 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
-    /// Bucket holding the nearest-rank `p`-quantile (`p` in `[0, 1]`), or
-    /// `None` if the histogram is empty.
-    fn quantile_bucket(&self, p: f64) -> Option<usize> {
+    /// Nearest-rank position of the `p`-quantile: the holding bucket, the
+    /// cumulative count *before* it, and its own count. `None` when empty.
+    fn quantile_position(&self, p: f64) -> Option<(usize, u64, u64)> {
         if self.count == 0 {
             return None;
         }
         let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for &(idx, n) in &self.buckets {
-            seen += n;
-            if seen >= rank {
-                return Some(idx);
+            if seen + n >= rank {
+                return Some((idx, seen, n));
             }
+            seen += n;
         }
-        self.buckets.last().map(|&(idx, _)| idx)
+        self.buckets.last().map(|&(idx, n)| (idx, seen - n, n))
     }
 
-    /// Nearest-rank quantile, reported as the midpoint of its bucket.
-    /// Exact within the bucket's ≤12.5% relative width. NaN when empty.
+    /// Bucket holding the nearest-rank `p`-quantile (`p` in `[0, 1]`), or
+    /// `None` if the histogram is empty.
+    fn quantile_bucket(&self, p: f64) -> Option<usize> {
+        self.quantile_position(p).map(|(idx, _, _)| idx)
+    }
+
+    /// Nearest-rank quantile with within-bucket linear interpolation: the
+    /// bucket's samples are treated as evenly spread over its `[lo, hi)`
+    /// range, and the quantile rank picks the midpoint of its slot. Exact
+    /// within the bucket's ≤12.5% relative width, and strictly monotone in
+    /// rank — nearby quantiles (p50 vs p95) no longer collapse to one bare
+    /// bucket midpoint when their samples share a bucket. NaN when empty.
     pub fn quantile(&self, p: f64) -> f64 {
-        self.quantile_bucket(p).map_or(f64::NAN, |idx| {
-            let (lo, hi) = bucket_bounds(idx);
-            (lo + hi) / 2.0
-        })
+        self.quantile_position(p)
+            .map_or(f64::NAN, |(idx, seen, n)| {
+                let (lo, hi) = bucket_bounds(idx);
+                let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+                // 1-based rank within this bucket, mapped to the middle of its
+                // 1/n slot: rank 1 of 1 is the midpoint, recovering the old
+                // behaviour for single-sample buckets.
+                let slot = (rank - seen).min(n) as f64 - 0.5;
+                lo + (hi - lo) * (slot / n as f64)
+            })
     }
 
     /// Nominal `[lo, hi)` bounds of the bucket holding the `p`-quantile.
@@ -326,6 +342,37 @@ mod tests {
             let q = snap.quantile(p);
             assert!((q / exact - 1.0).abs() < 0.15, "p{p}: {q} vs {exact}");
         }
+    }
+
+    #[test]
+    fn nearby_samples_do_not_collapse_quantiles() {
+        // Regression for the BENCH_serve.json pathology: queue-wait samples
+        // clustered around 2.3 ms reported p50 == p95 == 2.3193359375 ms
+        // exactly, because quantile() returned a bare bucket midpoint.
+        let h = Histogram::new();
+        for i in 0..200 {
+            h.record(2.2e-3 + i as f64 * 1e-6); // 2.200 .. 2.399 ms
+        }
+        let snap = h.snapshot();
+        let (p50, p95) = (snap.quantile(0.5), snap.quantile(0.95));
+        assert!(
+            p50 < p95,
+            "p50 {p50} must be strictly below p95 {p95} on spread samples"
+        );
+        // Interpolated quantiles stay inside their bucket bounds.
+        for (p, q) in [(0.5, p50), (0.95, p95)] {
+            let (lo, hi) = snap.quantile_bounds(p);
+            assert!(lo <= q && q < hi, "p{p}: {q} outside [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn single_sample_bucket_reports_its_midpoint() {
+        let h = Histogram::new();
+        h.record(1.3);
+        let snap = h.snapshot();
+        let (lo, hi) = snap.quantile_bounds(0.5);
+        assert_eq!(snap.quantile(0.5), (lo + hi) / 2.0);
     }
 
     #[test]

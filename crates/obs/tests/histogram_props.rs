@@ -58,6 +58,26 @@ proptest! {
         );
     }
 
+    /// Within-bucket interpolation keeps distinct quantile ranks strictly
+    /// ordered: for any 2+ samples, reported p50 < p95 — even when every
+    /// sample lands in one bucket (the ISSUE 6 quantile-collapse bugfix).
+    #[test]
+    fn spread_samples_keep_p50_strictly_below_p95(
+        samples in prop::collection::vec(arb_sample(), 2..400),
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let (p50, p95) = (snap.quantile(0.5), snap.quantile(0.95));
+        prop_assert!(
+            p50 < p95,
+            "p50 {} not strictly below p95 {} over {} samples",
+            p50, p95, samples.len()
+        );
+    }
+
     #[test]
     fn cross_thread_merge_is_deterministic(
         samples in prop::collection::vec(arb_sample(), 1..256),

@@ -1,0 +1,259 @@
+//! The readiness-driven TCP transport (unix only): one thread, one
+//! poller, every socket nonblocking.
+//!
+//! Replaces the thread-per-connection transport on unix. The loop owns
+//! the listener, a self-wake pipe, and a slab of connections keyed by
+//! poller token:
+//!
+//! - token 0 — the listener; readable means `accept` until
+//!   `WouldBlock`, treating aborted/reset/EMFILE-class failures as
+//!   retryable instead of fatal;
+//! - token 1 — the waker read end; workers poke it when a response
+//!   spilled to a backlog (write interest needed) or a half-closed
+//!   connection finished its last job (close needed), and `shutdown`
+//!   pokes it to start the drain;
+//! - tokens ≥ 2 — connections, at `token - 2` in the slab.
+//!
+//! Requests admitted here are answered by worker threads writing
+//! straight to the socket (see [`crate::conn::ConnSink`]); the loop
+//! only ever touches a connection's write side to drain a backlog, so
+//! the common-case response path crosses no extra thread.
+//!
+//! On `shutdown` the loop stops accepting, lets the workers finish the
+//! queue, flushes every backlog, and returns once all sinks are idle —
+//! the same no-admitted-request-dropped guarantee as the stdio
+//! transport.
+
+use std::io::{self, Read};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::conn::{Conn, FillOutcome, Waker};
+use crate::poll::{Interest, Poller};
+use crate::protocol;
+use crate::server::{self, loop_support as sup, ResponseSink, Shared};
+
+const LISTENER: usize = 0;
+const WAKER: usize = 1;
+const CONN_BASE: usize = 2;
+
+/// Idle tick: an upper bound on how stale the loop's view of the drain
+/// flag can get, not a latency floor — anything actionable arrives as
+/// an fd event or a waker poke.
+const TICK: Duration = Duration::from_millis(50);
+
+/// One live connection plus the interest currently registered for it,
+/// so interest churn costs a syscall only when it changes.
+struct Slot {
+    conn: Conn,
+    interest: Interest,
+}
+
+pub(crate) fn run(shared: &Arc<Shared>, listener: TcpListener) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let (wake_tx, wake_rx) = UnixStream::pair()?;
+    wake_tx.set_nonblocking(true)?;
+    wake_rx.set_nonblocking(true)?;
+    let waker = Waker::new(wake_tx);
+    sup::install_waker(shared, waker.clone());
+    let result = run_inner(shared, &listener, &waker, &wake_rx);
+    sup::clear_waker(shared);
+    result
+}
+
+fn run_inner(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    waker: &Waker,
+    wake_rx: &UnixStream,
+) -> io::Result<()> {
+    let mut poller = Poller::new()?;
+    poller.register(listener.as_raw_fd(), LISTENER, Interest::READ)?;
+    poller.register(wake_rx.as_raw_fd(), WAKER, Interest::READ)?;
+    let max_frame = sup::config(shared).max_frame;
+    let mut slots: Vec<Option<Slot>> = Vec::new();
+    let mut events = Vec::new();
+    let mut accepting = true;
+
+    loop {
+        events.clear();
+        poller.wait(&mut events, Some(TICK))?;
+
+        for ev in events.iter().copied() {
+            match ev.token {
+                LISTENER => {
+                    accept_ready(shared, listener, waker, &mut poller, &mut slots, max_frame)?
+                }
+                WAKER => drain_waker(wake_rx),
+                token => {
+                    let idx = token - CONN_BASE;
+                    // Stale token: the slot closed earlier this tick.
+                    let Some(slot) = slots.get_mut(idx).and_then(Option::as_mut) else {
+                        continue;
+                    };
+                    if ev.writable {
+                        slot.conn.sink.flush_backlog();
+                    }
+                    let close = (ev.readable && read_ready(shared, &mut slot.conn)) || ev.hangup;
+                    if close {
+                        close_slot(shared, &mut poller, &mut slots, idx);
+                    }
+                }
+            }
+        }
+
+        // Sweep: close drained connections (job_finished wakes us with
+        // no token) and re-sync registered interest with sink state.
+        for idx in 0..slots.len() {
+            let Some(slot) = slots[idx].as_mut() else {
+                continue;
+            };
+            if slot.conn.drained() {
+                close_slot(shared, &mut poller, &mut slots, idx);
+                continue;
+            }
+            let desired = Interest {
+                readable: !slot.conn.half_closed,
+                writable: slot.conn.sink.wants_write(),
+            };
+            if desired != slot.interest {
+                poller.modify(slot.conn.fd(), CONN_BASE + idx, desired)?;
+                slot.interest = desired;
+            }
+        }
+
+        if sup::draining(shared) {
+            if accepting {
+                accepting = false;
+                poller.deregister(listener.as_raw_fd())?;
+            }
+            // Exit once nothing is owed: the queue is empty and every
+            // connection has no job in flight and no unflushed bytes.
+            let owed =
+                sup::queue_len(shared) > 0 || slots.iter().flatten().any(|s| !s.conn.sink.idle());
+            if !owed {
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Accepts until the listener would block. Aborted/reset peers and
+/// fd/memory exhaustion are retryable — back off briefly and leave the
+/// rest of the backlog for the next readiness event rather than
+/// killing the server.
+fn accept_ready(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    waker: &Waker,
+    poller: &mut Poller,
+    slots: &mut Vec<Option<Slot>>,
+    max_frame: usize,
+) -> io::Result<()> {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => register_conn(shared, waker, poller, slots, stream, max_frame),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if server::accept_retryable(&e) => {
+                std::thread::sleep(Duration::from_millis(1));
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn register_conn(
+    shared: &Arc<Shared>,
+    waker: &Waker,
+    poller: &mut Poller,
+    slots: &mut Vec<Option<Slot>>,
+    stream: TcpStream,
+    max_frame: usize,
+) {
+    // Request/response lines are exactly the traffic Nagle + delayed
+    // ACK penalizes; and every read/write must be nonblocking.
+    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+        return;
+    }
+    let idx = slots.iter().position(Option::is_none).unwrap_or_else(|| {
+        slots.push(None);
+        slots.len() - 1
+    });
+    let token = CONN_BASE + idx;
+    let Ok(conn) = Conn::new(stream, token, max_frame, waker.clone()) else {
+        return;
+    };
+    if poller.register(conn.fd(), token, Interest::READ).is_ok() {
+        sup::connection_opened(shared);
+        slots[idx] = Some(Slot {
+            conn,
+            interest: Interest::READ,
+        });
+    }
+}
+
+/// One read pass over a readable connection: fill, frame, dispatch.
+/// Returns `true` when the connection must be closed now (broken
+/// socket or oversized frame); EOF only half-closes — queued responses
+/// still go back before [`Conn::drained`] retires the slot.
+fn read_ready(shared: &Arc<Shared>, conn: &mut Conn) -> bool {
+    let outcome = conn.fill();
+    if matches!(outcome, FillOutcome::Broken) {
+        conn.sink.poison();
+        return true;
+    }
+    let sink: Arc<dyn ResponseSink> = conn.sink.clone();
+    while let Some(frame) = conn.next_line() {
+        match frame {
+            Ok(line) => {
+                if !line.trim().is_empty() {
+                    server::handle_line_from(shared, line, &sink, true);
+                }
+            }
+            // A malformed frame fails alone; the stream stays framed,
+            // so the connection remains usable.
+            Err(()) => sink.send(&protocol::err_response(
+                "",
+                "bad_request",
+                "request frame is not valid UTF-8",
+                None,
+            )),
+        }
+    }
+    conn.compact();
+    if conn.frame_overflow() {
+        sink.send(&protocol::err_response(
+            "",
+            "frame_too_large",
+            &format!("request frame exceeds {} bytes", conn.max_frame()),
+            None,
+        ));
+        // The framing cursor is unrecoverable past this point; flush
+        // what the socket will take, then drop the connection.
+        conn.sink.flush_backlog();
+        conn.sink.poison();
+        return true;
+    }
+    if matches!(outcome, FillOutcome::Eof) {
+        conn.half_closed = true;
+    }
+    false
+}
+
+fn close_slot(shared: &Arc<Shared>, poller: &mut Poller, slots: &mut [Option<Slot>], idx: usize) {
+    if let Some(slot) = slots[idx].take() {
+        let _ = poller.deregister(slot.conn.fd());
+        sup::connection_closed(shared);
+    }
+}
+
+/// Swallows pending wake bytes; any number of pokes collapse into one
+/// loop iteration.
+fn drain_waker(mut wake_rx: &UnixStream) {
+    let mut buf = [0u8; 64];
+    while matches!(wake_rx.read(&mut buf), Ok(n) if n > 0) {}
+}

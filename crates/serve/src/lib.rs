@@ -14,10 +14,13 @@
 //! - [`json`] — hand-rolled JSON (the vendored `serde` is a no-op
 //!   shim), with bit-exact `f64` round-tripping;
 //! - [`protocol`] — request parsing and response formatting;
-//! - [`server`] — queue → batcher → pool → drain pipeline and the two
-//!   transports.
+//! - [`server`] — queue → adaptive batcher → pool → drain pipeline and
+//!   the transports;
+//! - [`poll`] / [`conn`] / `event_loop` (unix) — the readiness-driven
+//!   TCP transport: hand-rolled epoll/poll, zero-copy framing, direct
+//!   worker-to-socket writes.
 //!
-//! See DESIGN.md §9 for the architecture and wire schema, and
+//! See DESIGN.md §9 (pipeline, wire schema) and §11 (event loop), and
 //! `xlda-bench --loadgen` for the serving benchmark that produces
 //! `BENCH_serve.json`.
 
@@ -25,4 +28,11 @@ pub mod json;
 pub mod protocol;
 pub mod server;
 
-pub use server::{Server, ServerConfig, SharedWriter};
+#[cfg(unix)]
+pub mod conn;
+#[cfg(unix)]
+pub(crate) mod event_loop;
+#[cfg(unix)]
+pub mod poll;
+
+pub use server::{ResponseSink, Server, ServerConfig, SharedWriter};

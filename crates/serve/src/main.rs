@@ -5,8 +5,10 @@
 //! xlda-serve --stdio                    # line protocol on stdio
 //! ```
 //!
-//! Options: `--queue-cap N`, `--batch-window-ms N`, `--batch-max N`,
-//! `--threads N`, `--deadline-ms N` (default per-request deadline).
+//! Options: `--queue-cap N`, `--batch-window-ms N` (saturation-test
+//! knob, default 0), `--batch-max N`, `--threads N`, `--deadline-ms N`
+//! (default per-request deadline), `--max-frame BYTES`, `--threaded`
+//! (legacy thread-per-connection TCP transport).
 
 use std::net::TcpListener;
 use std::process::exit;
@@ -16,7 +18,8 @@ use xlda_serve::{Server, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: xlda-serve [--stdio | --listen ADDR] [--queue-cap N] \
-         [--batch-window-ms N] [--batch-max N] [--threads N] [--deadline-ms N]"
+         [--batch-window-ms N] [--batch-max N] [--threads N] [--deadline-ms N] \
+         [--max-frame BYTES] [--threaded]"
     );
     exit(2);
 }
@@ -34,6 +37,7 @@ fn parse_num(args: &mut std::vec::IntoIter<String>, flag: &str) -> u64 {
 fn main() {
     let mut config = ServerConfig::default();
     let mut stdio = false;
+    let mut threaded = false;
     let mut listen = "127.0.0.1:7878".to_string();
     let mut args = std::env::args().skip(1).collect::<Vec<_>>().into_iter();
     while let Some(arg) = args.next() {
@@ -56,6 +60,10 @@ fn main() {
                 config.default_deadline =
                     Some(Duration::from_millis(parse_num(&mut args, "--deadline-ms")));
             }
+            "--max-frame" => {
+                config.max_frame = (parse_num(&mut args, "--max-frame") as usize).max(1);
+            }
+            "--threaded" => threaded = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("xlda-serve: unknown argument {other:?}");
@@ -84,8 +92,13 @@ fn main() {
     if let Ok(addr) = listener.local_addr() {
         eprintln!("xlda-serve: listening on {addr}");
     }
-    if let Err(e) = server.run_tcp(listener) {
-        eprintln!("xlda-serve: accept loop failed: {e}");
+    let result = if threaded {
+        server.run_tcp_threaded(listener)
+    } else {
+        server.run_tcp(listener)
+    };
+    if let Err(e) = result {
+        eprintln!("xlda-serve: transport failed: {e}");
         exit(1);
     }
 }

@@ -1,37 +1,58 @@
-//! The admission/batching pipeline: queue → batcher → pool → drain.
+//! The serving pipeline: readiness loop → queue → adaptive batcher →
+//! workers → drain.
 //!
-//! - **Admission.** Connection readers parse one request per line and
-//!   push evaluation jobs onto a bounded queue. A full queue rejects
-//!   immediately with `retry_after_ms` (explicit backpressure) instead
-//!   of buffering unboundedly; `stats` and `shutdown` bypass the queue
-//!   so observability survives saturation.
-//! - **Batching.** One batcher thread sleeps a short micro-batch window
-//!   after the first job arrives, then drains up to `batch_max` jobs
-//!   and submits them as *one* sweep over `Box<dyn Scenario>` trait
-//!   objects — every request kind shares the same worker pool and the
-//!   same process-wide warm memo caches.
-//! - **Containment.** Each job evaluates under the sweep engine's
-//!   per-point panic/error containment; a panicking or infeasible
-//!   scenario fails its own request only. Per-request deadlines are
-//!   checked at point start inside the same containment boundary.
+//! - **Transport.** On unix the TCP transport is a single-threaded,
+//!   readiness-driven event loop (epoll on Linux, `poll()` elsewhere —
+//!   see [`crate::poll`]) owning the listener and every client socket.
+//!   Connections are nonblocking; requests are framed zero-copy out of
+//!   per-connection read buffers ([`crate::conn`]) and multiplexed by
+//!   client-chosen request ids — many requests can be in flight per
+//!   connection, answered in completion order. Workers write responses
+//!   directly to the socket when it has room; only backpressured bytes
+//!   detour through the loop.
+//! - **Admission.** Parsed evaluation jobs land on a bounded queue. A
+//!   full queue rejects immediately with a `retry_after_ms` hint derived
+//!   from the *observed* per-job drain rate (EWMA, 1 ms floor) —
+//!   explicit backpressure instead of unbounded buffering. `stats` and
+//!   `metrics` and `shutdown` bypass the queue so observability
+//!   survives saturation.
+//! - **Adaptive batching.** Worker threads pull from the queue with no
+//!   fixed window: an idle worker dispatches the moment a job arrives
+//!   (micro-batch of one), and while every worker is busy the queue
+//!   accumulates so the next free worker drains up to `batch_max` jobs
+//!   in one lock acquisition. Coalescing happens exactly when the pool
+//!   is saturated and never costs latency when it is not. (The old
+//!   fixed 2 ms window put a ~250x sleep tax on 9 µs evaluations;
+//!   `batch_window` survives only as an artificial pre-drain delay for
+//!   saturation tests, default zero.)
+//! - **Containment.** Each job evaluates under per-job panic/error
+//!   containment; a panicking or infeasible scenario fails its own
+//!   request only. Per-request deadlines are checked at evaluation
+//!   start inside the same boundary.
 //! - **Drain.** `shutdown` (or stdin EOF in `--stdio` mode) stops
-//!   admission; the batcher finishes everything already queued before
-//!   the server returns — no accepted request is silently dropped.
+//!   admission; workers finish everything already queued and the event
+//!   loop flushes every pending response before the server returns —
+//!   no accepted request is silently dropped.
 
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::json::{obj, Json};
 use crate::protocol::{self, Request, TriageSpec};
 use xlda_core::evaluate::Scenario;
-use xlda_core::sweep::{memo, par_try_map_with, PointFailure, SweepOptions};
+use xlda_core::sweep::memo;
 use xlda_core::triage::rank;
 use xlda_core::XldaError;
 use xlda_obs::{Counter, Histogram, Registry};
+
+/// Hard cap on bytes a single request frame may occupy before a
+/// newline shows up; beyond this the connection is closed with
+/// `frame_too_large`.
+pub const MAX_FRAME_DEFAULT: usize = 1 << 20;
 
 /// Tuning knobs for one server instance.
 #[derive(Debug, Clone)]
@@ -39,27 +60,45 @@ pub struct ServerConfig {
     /// Admission queue capacity; beyond this, requests are rejected
     /// with `retry_after_ms`.
     pub queue_cap: usize,
-    /// Micro-batch coalescing window after the first queued job.
+    /// Artificial delay between a worker waking and draining its batch.
+    /// The adaptive batcher needs no window — this exists so saturation
+    /// tests can stall draining deterministically. Default zero.
     pub batch_window: Duration,
-    /// Maximum jobs drained into one sweep submission.
+    /// Maximum jobs drained into one worker batch.
     pub batch_max: usize,
-    /// Worker threads per sweep (0 = available parallelism).
+    /// Evaluation worker threads (0 = available parallelism).
     pub threads: usize,
     /// Default per-request deadline applied when a request carries
     /// none. `None` means requests without a deadline never expire.
     pub default_deadline: Option<Duration>,
+    /// Largest request frame accepted before the connection is closed
+    /// with `frame_too_large`.
+    pub max_frame: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             queue_cap: 256,
-            batch_window: Duration::from_millis(2),
+            batch_window: Duration::ZERO,
             batch_max: 64,
             threads: 0,
             default_deadline: None,
+            max_frame: MAX_FRAME_DEFAULT,
         }
     }
+}
+
+/// A line-oriented response destination. Implementations must tolerate
+/// being called from worker threads and must never block on a slow
+/// peer (buffer or drop instead).
+pub trait ResponseSink: Send + Sync {
+    /// Emits exactly one response line (no trailing newline in `line`).
+    fn send(&self, line: &str);
+    /// Accounting hook: a queue job now owes this sink a response.
+    fn job_started(&self) {}
+    /// Accounting hook: the owed response has been sent (or discarded).
+    fn job_finished(&self) {}
 }
 
 /// One admitted evaluation job.
@@ -69,13 +108,14 @@ struct Job {
     triage: Option<TriageSpec>,
     deadline_at: Option<Instant>,
     enqueued_at: Instant,
-    writer: SharedWriter,
+    sink: Arc<dyn ResponseSink>,
 }
 
-/// Why a job failed; surfaced through the sweep engine's containment.
+/// Why a job failed.
 enum JobError {
     Deadline,
     Eval(XldaError),
+    Panicked(String),
 }
 
 /// Lock-free per-instance instruments behind the `stats` and `metrics`
@@ -94,6 +134,11 @@ struct Metrics {
     rejected: Arc<Counter>,
     deadline_expired: Arc<Counter>,
     points: Arc<Counter>,
+    connections_opened: Arc<Counter>,
+    connections_closed: Arc<Counter>,
+    /// EWMA of worker nanoseconds per drained job; 0 until the first
+    /// batch completes. Feeds the `retry_after_ms` backpressure hint.
+    drain_ns_per_job: AtomicU64,
     started: Instant,
 }
 
@@ -108,6 +153,9 @@ impl Metrics {
             rejected: registry.counter("xlda_serve_rejected_total"),
             deadline_expired: registry.counter("xlda_serve_deadline_expired_total"),
             points: registry.counter("xlda_serve_points_total"),
+            connections_opened: registry.counter("xlda_serve_connections_opened_total"),
+            connections_closed: registry.counter("xlda_serve_connections_closed_total"),
+            drain_ns_per_job: AtomicU64::new(0),
             started: Instant::now(),
             registry,
         }
@@ -123,18 +171,58 @@ impl Metrics {
             snap.quantile(p) * 1e3
         }
     }
+
+    /// Folds one drained batch into the drain-rate EWMA (α = 1/4).
+    fn observe_drain(&self, elapsed: Duration, jobs: usize) {
+        if jobs == 0 {
+            return;
+        }
+        let sample = (elapsed.as_nanos() / jobs as u128).clamp(1, u64::MAX as u128) as u64;
+        let cur = self.drain_ns_per_job.load(Ordering::Relaxed);
+        let next = if cur == 0 {
+            sample
+        } else {
+            cur - cur / 4 + sample / 4
+        };
+        self.drain_ns_per_job.store(next, Ordering::Relaxed);
+    }
+
+    fn open_connections(&self) -> u64 {
+        self.connections_opened
+            .get()
+            .saturating_sub(self.connections_closed.get())
+    }
 }
 
-struct Shared {
+pub(crate) struct Shared {
     config: ServerConfig,
+    /// Worker count after resolving `threads == 0`.
+    workers: usize,
     queue: Mutex<VecDeque<Job>>,
     not_empty: Condvar,
     draining: AtomicBool,
     metrics: Metrics,
+    /// Installed by the event loop so `shutdown()` and workers can wake
+    /// it; `None` under stdio/threaded transports.
+    #[cfg(unix)]
+    waker: Mutex<Option<crate::conn::Waker>>,
+}
+
+impl Shared {
+    #[cfg(unix)]
+    fn wake_loop(&self) {
+        if let Some(w) = &*self.waker.lock().unwrap_or_else(|e| e.into_inner()) {
+            w.wake();
+        }
+    }
+
+    #[cfg(not(unix))]
+    fn wake_loop(&self) {}
 }
 
 /// A line-oriented output sink shared between the admitting reader
-/// (rejections, stats) and the batcher (evaluation responses).
+/// (rejections, stats) and the workers (evaluation responses); used by
+/// the stdio transport and tests.
 #[derive(Clone)]
 pub struct SharedWriter(Arc<Mutex<Box<dyn Write + Send>>>);
 
@@ -143,7 +231,9 @@ impl SharedWriter {
     pub fn new(w: Box<dyn Write + Send>) -> Self {
         Self(Arc::new(Mutex::new(w)))
     }
+}
 
+impl ResponseSink for SharedWriter {
     fn send(&self, line: &str) {
         let mut w = self.0.lock().unwrap_or_else(|e| e.into_inner());
         // A dead peer is not a server error; drop the response.
@@ -156,27 +246,34 @@ impl SharedWriter {
 /// mode; both share the same pipeline and warm caches.
 pub struct Server {
     shared: Arc<Shared>,
-    batcher: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
-    /// Starts the batcher; the server is ready to admit requests.
+    /// Starts the worker pool; the server is ready to admit requests.
     pub fn new(config: ServerConfig) -> Self {
+        let worker_count = if config.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.threads
+        };
         let shared = Arc::new(Shared {
             config,
+            workers: worker_count,
             queue: Mutex::new(VecDeque::new()),
             not_empty: Condvar::new(),
             draining: AtomicBool::new(false),
             metrics: Metrics::new(),
+            #[cfg(unix)]
+            waker: Mutex::new(None),
         });
-        let batcher = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || batcher_loop(&shared))
-        };
-        Self {
-            shared,
-            batcher: Some(batcher),
-        }
+        let workers = (0..worker_count)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Self { shared, workers }
     }
 
     /// Whether a drain has been requested.
@@ -189,12 +286,14 @@ impl Server {
     pub fn shutdown(&self) {
         self.shared.draining.store(true, Ordering::SeqCst);
         self.shared.not_empty.notify_all();
+        self.shared.wake_loop();
     }
 
     /// Serves one request line against the given response writer.
     /// Exposed so both transports (and tests) share one code path.
     pub fn handle_line(&self, line: &str, writer: &SharedWriter) {
-        handle_line(&self.shared, line, writer);
+        let sink: Arc<dyn ResponseSink> = Arc::new(writer.clone());
+        handle_line_from(&self.shared, line, &sink, false);
     }
 
     /// Runs the stdio transport: one request per stdin line, one
@@ -202,13 +301,14 @@ impl Server {
     /// once all admitted work has completed.
     pub fn run_stdio(mut self) {
         let writer = SharedWriter::new(Box::new(std::io::stdout()));
+        let sink: Arc<dyn ResponseSink> = Arc::new(writer);
         let stdin = std::io::stdin();
         for line in stdin.lock().lines() {
             let Ok(line) = line else { break };
             if line.trim().is_empty() {
                 continue;
             }
-            handle_line(&self.shared, &line, &writer);
+            handle_line_from(&self.shared, &line, &sink, false);
             if self.draining() {
                 break;
             }
@@ -217,30 +317,31 @@ impl Server {
         self.join();
     }
 
-    /// Runs the TCP transport (thread per connection) until a
-    /// `shutdown` request drains the server.
+    /// Runs the TCP transport until a `shutdown` request drains the
+    /// server. On unix this is the readiness-driven event loop; on
+    /// other targets it falls back to a thread per connection.
     pub fn run_tcp(mut self, listener: TcpListener) -> std::io::Result<()> {
-        listener.set_nonblocking(true)?;
-        while !self.draining() {
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    let shared = Arc::clone(&self.shared);
-                    std::thread::spawn(move || connection_loop(&shared, stream));
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                Err(e) => return Err(e),
-            }
-        }
+        #[cfg(unix)]
+        let result = crate::event_loop::run(&self.shared, listener);
+        #[cfg(not(unix))]
+        let result = run_tcp_threaded_inner(&self.shared, listener);
         self.join();
-        Ok(())
+        result
     }
 
-    /// Waits for the batcher to finish draining the queue.
+    /// Runs the legacy thread-per-connection TCP transport. Kept as the
+    /// A/B baseline for the event loop (responses must be bit-exact
+    /// across both) and as the non-unix fallback.
+    pub fn run_tcp_threaded(mut self, listener: TcpListener) -> std::io::Result<()> {
+        let result = run_tcp_threaded_inner(&self.shared, listener);
+        self.join();
+        result
+    }
+
+    /// Waits for the workers to finish draining the queue.
     fn join(&mut self) {
         self.shutdown();
-        if let Some(h) = self.batcher.take() {
+        for h in self.workers.drain(..) {
             let _ = h.join();
         }
     }
@@ -252,6 +353,48 @@ impl Drop for Server {
     }
 }
 
+/// Whether an `accept(2)` failure is transient. Aborted/reset covers a
+/// peer that connected and vanished before the accept; EMFILE/ENFILE
+/// (24/23) and ENOMEM (12) are resource exhaustion that draining
+/// existing connections can resolve — none of them justify tearing the
+/// server down.
+pub(crate) fn accept_retryable(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::OutOfMemory
+    ) || matches!(e.raw_os_error(), Some(23) | Some(24) | Some(12))
+}
+
+fn run_tcp_threaded_inner(shared: &Arc<Shared>, listener: TcpListener) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    while !shared.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                shared.metrics.connections_opened.inc();
+                std::thread::spawn(move || {
+                    connection_loop(&shared, stream);
+                    shared.metrics.connections_closed.inc();
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // Poll for drain at 1 ms; the event loop (the default
+                // transport on unix) has no such tax — its listener is
+                // readiness-driven.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) if accept_retryable(&e) => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
 fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
     // Line-at-a-time request/response traffic is exactly the pattern
     // Nagle + delayed ACK turns into ~40 ms stalls; disable batching.
@@ -259,30 +402,60 @@ fn connection_loop(shared: &Arc<Shared>, stream: TcpStream) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
-    let writer = SharedWriter::new(Box::new(write_half));
+    let sink: Arc<dyn ResponseSink> = Arc::new(SharedWriter::new(Box::new(write_half)));
     let reader = BufReader::new(stream);
     for line in reader.lines() {
         let Ok(line) = line else { break };
         if line.trim().is_empty() {
             continue;
         }
-        handle_line(shared, &line, &writer);
+        handle_line_from(shared, &line, &sink, false);
         if shared.draining.load(Ordering::SeqCst) {
             break;
         }
     }
 }
 
-/// Parses, admits, or rejects one request line.
-fn handle_line(shared: &Arc<Shared>, line: &str, writer: &SharedWriter) {
+/// Largest observed per-job cost at which the event loop evaluates a
+/// request on its own thread instead of handing it to the pool. Warm
+/// cache-hit evaluations run ~10 µs; a cross-thread handoff on a small
+/// box costs more than that in context switches alone.
+const INLINE_MAX_NS: u64 = 200_000;
+
+/// Whether the event loop may evaluate the next request in place:
+/// nothing is queued ahead of it, the observed drain rate says jobs
+/// are far cheaper than a handoff, and no saturation-test window is
+/// forcing the queue path.
+pub(crate) fn inline_eligible(shared: &Shared) -> bool {
+    let ns = shared.metrics.drain_ns_per_job.load(Ordering::Relaxed);
+    ns != 0
+        && ns <= INLINE_MAX_NS
+        && shared.config.batch_window.is_zero()
+        && shared
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_empty()
+}
+
+/// Parses, admits, or rejects one request line. With `inline_eval`,
+/// eligible evaluation jobs run on the calling thread (the event
+/// loop's fast path); everything else goes through the queue.
+pub(crate) fn handle_line_from(
+    shared: &Arc<Shared>,
+    line: &str,
+    sink: &Arc<dyn ResponseSink>,
+    inline_eval: bool,
+) {
     match protocol::parse_request(line) {
-        Err((id, msg)) => writer.send(&protocol::err_response(&id, "bad_request", &msg, None)),
-        Ok(Request::Stats { id }) => writer.send(&stats_response(shared, &id)),
-        Ok(Request::Metrics { id }) => writer.send(&metrics_response(shared, &id)),
+        Err((id, msg)) => sink.send(&protocol::err_response(&id, "bad_request", &msg, None)),
+        Ok(Request::Stats { id }) => sink.send(&stats_response(shared, &id)),
+        Ok(Request::Metrics { id }) => sink.send(&metrics_response(shared, &id)),
         Ok(Request::Shutdown { id }) => {
             shared.draining.store(true, Ordering::SeqCst);
             shared.not_empty.notify_all();
-            writer.send(&protocol::ok_response(&id, "shutdown", vec![]));
+            shared.wake_loop();
+            sink.send(&protocol::ok_response(&id, "shutdown", vec![]));
         }
         Ok(Request::Eval {
             id,
@@ -301,17 +474,24 @@ fn handle_line(shared: &Arc<Shared>, line: &str, writer: &SharedWriter) {
                 triage,
                 deadline_at,
                 enqueued_at: now,
-                writer: writer.clone(),
+                sink: Arc::clone(sink),
             };
+            job.sink.job_started();
+            if inline_eval && !shared.draining.load(Ordering::SeqCst) && inline_eligible(shared) {
+                let started = Instant::now();
+                run_one(shared, job);
+                shared.metrics.observe_drain(started.elapsed(), 1);
+                return;
+            }
             if let Err(job) = admit(shared, job) {
                 shared.metrics.rejected.inc();
-                let retry_ms = (shared.config.batch_window.as_millis() as u64).max(1);
-                job.writer.send(&protocol::err_response(
+                job.sink.send(&protocol::err_response(
                     &job.id,
                     "queue_full",
                     "admission queue is full",
-                    Some(retry_ms),
+                    Some(retry_after_ms(shared)),
                 ));
+                job.sink.job_finished();
             }
         }
     }
@@ -333,8 +513,22 @@ fn admit(shared: &Shared, job: Job) -> Result<(), Job> {
     Ok(())
 }
 
-/// The single batching thread: wait → coalesce → sweep → respond.
-fn batcher_loop(shared: &Arc<Shared>) {
+/// The backpressure hint: how long until a full queue has drained,
+/// estimated from the observed per-job worker time. Before any batch
+/// has completed the estimate is the 1 ms floor; the hint is capped at
+/// 10 s so a stalled pool cannot park clients forever.
+fn retry_after_ms(shared: &Shared) -> u64 {
+    let ns_per_job = shared.metrics.drain_ns_per_job.load(Ordering::Relaxed);
+    let queue_ns =
+        ns_per_job as u128 * shared.config.queue_cap as u128 / shared.workers.max(1) as u128;
+    ((queue_ns / 1_000_000) as u64).clamp(1, 10_000)
+}
+
+/// One evaluation worker: wait → drain up to `batch_max` → evaluate →
+/// respond. Waking workers on first enqueue gives immediate dispatch
+/// when the pool has idle capacity; batch draining gives coalescing
+/// when it does not.
+fn worker_loop(shared: &Arc<Shared>) {
     loop {
         // Wait for work (or drain).
         {
@@ -350,8 +544,8 @@ fn batcher_loop(shared: &Arc<Shared>) {
                 q = guard;
             }
         }
-        // Micro-batch window: let compatible requests pile up so one
-        // sweep submission amortizes pool wakeup and shares cache hits.
+        // Test-only saturation knob: emulate the old fixed-window
+        // batcher by stalling between wakeup and drain.
         if !shared.config.batch_window.is_zero() {
             std::thread::sleep(shared.config.batch_window);
         }
@@ -363,98 +557,94 @@ fn batcher_loop(shared: &Arc<Shared>) {
         if batch.is_empty() {
             continue;
         }
+        let started = Instant::now();
+        let jobs = batch.len();
         run_batch(shared, batch);
+        shared.metrics.observe_drain(started.elapsed(), jobs);
     }
 }
 
-/// Evaluates one coalesced batch on the shared pool and writes every
-/// response.
+/// Extracts a printable panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string())
+}
+
+/// Evaluates one drained batch and writes every response.
 fn run_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
-    // Batch-level safety net: the sweep stops claiming points once the
-    // latest per-job deadline has passed (per-job checks below handle
-    // the individual budgets).
-    let now = Instant::now();
-    let batch_deadline = batch
-        .iter()
-        .map(|j| j.deadline_at)
-        .collect::<Option<Vec<_>>>()
-        .and_then(|ds| ds.into_iter().max())
-        .map(|t| t.saturating_duration_since(now));
-    let mut opts = SweepOptions::builder().threads(shared.config.threads);
-    if let Some(d) = batch_deadline {
-        opts = opts.deadline(d);
+    for job in batch {
+        run_one(shared, job);
     }
-    let opts = opts.build();
+}
 
+/// Evaluates one job under per-job containment and sends its response.
+fn run_one(shared: &Arc<Shared>, job: Job) {
     let metrics = &shared.metrics;
-    let results = par_try_map_with(
-        &batch,
-        |job| {
-            let eval_start = Instant::now();
-            metrics
-                .queue_wait
-                .record_duration(eval_start.saturating_duration_since(job.enqueued_at));
-            if job.deadline_at.is_some_and(|t| eval_start >= t) {
-                return Err(JobError::Deadline);
+    let eval_start = Instant::now();
+    metrics
+        .queue_wait
+        .record_duration(eval_start.saturating_duration_since(job.enqueued_at));
+    let result = if job.deadline_at.is_some_and(|t| eval_start >= t) {
+        Err(JobError::Deadline)
+    } else {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.scenario.candidates()))
+            .map_err(|p| JobError::Panicked(panic_message(p)))
+            .and_then(|r| r.map_err(JobError::Eval))
+    };
+    metrics.compute.record_duration(eval_start.elapsed());
+    let line = match result {
+        Ok(cands) => {
+            metrics.latency.record_duration(job.enqueued_at.elapsed());
+            metrics.completed.inc();
+            metrics.points.add(cands.len() as u64);
+            let mut body = vec![(
+                "candidates",
+                Json::Arr(cands.iter().map(protocol::candidate_json).collect()),
+            )];
+            if let Some(spec) = &job.triage {
+                let ranking = rank(&cands, &spec.objective());
+                body.push((
+                    "ranking",
+                    Json::Arr(
+                        ranking
+                            .iter()
+                            .map(|r| {
+                                obj(vec![
+                                    ("name", Json::Str(r.name.clone())),
+                                    ("score", Json::Num(r.score)),
+                                    ("meets_floor", Json::Bool(r.meets_floor)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ));
             }
-            let result = job.scenario.candidates().map_err(JobError::Eval);
-            metrics.compute.record_duration(eval_start.elapsed());
-            result
-        },
-        &opts,
-    );
-
-    for (job, result) in batch.iter().zip(results) {
-        let line = match result {
-            Ok(cands) => {
-                metrics.latency.record_duration(job.enqueued_at.elapsed());
-                metrics.completed.inc();
-                metrics.points.add(cands.len() as u64);
-                let mut body = vec![(
-                    "candidates",
-                    Json::Arr(cands.iter().map(protocol::candidate_json).collect()),
-                )];
-                if let Some(spec) = &job.triage {
-                    let ranking = rank(&cands, &spec.objective());
-                    body.push((
-                        "ranking",
-                        Json::Arr(
-                            ranking
-                                .iter()
-                                .map(|r| {
-                                    obj(vec![
-                                        ("name", Json::Str(r.name.clone())),
-                                        ("score", Json::Num(r.score)),
-                                        ("meets_floor", Json::Bool(r.meets_floor)),
-                                    ])
-                                })
-                                .collect(),
-                        ),
-                    ));
-                }
-                protocol::ok_response(&job.id, job.scenario.kind(), body)
-            }
-            Err(PointFailure::Error(JobError::Deadline)) | Err(PointFailure::DeadlineExceeded) => {
-                metrics.deadline_expired.inc();
-                protocol::err_response(&job.id, "deadline", "deadline exceeded", None)
-            }
-            Err(PointFailure::Error(JobError::Eval(e))) => {
-                let code = if e.is_infeasible() {
-                    "infeasible"
-                } else {
-                    "invalid"
-                };
-                protocol::err_response(&job.id, code, &e.to_string(), None)
-            }
-            Err(PointFailure::Panicked(msg)) => protocol::err_response(
-                &job.id,
-                "panic",
-                &format!("evaluation panicked: {msg}"),
-                None,
-            ),
-        };
-        job.writer.send(&line);
-    }
+            protocol::ok_response(&job.id, job.scenario.kind(), body)
+        }
+        Err(JobError::Deadline) => {
+            metrics.deadline_expired.inc();
+            protocol::err_response(&job.id, "deadline", "deadline exceeded", None)
+        }
+        Err(JobError::Eval(e)) => {
+            let code = if e.is_infeasible() {
+                "infeasible"
+            } else {
+                "invalid"
+            };
+            protocol::err_response(&job.id, code, &e.to_string(), None)
+        }
+        Err(JobError::Panicked(msg)) => protocol::err_response(
+            &job.id,
+            "panic",
+            &format!("evaluation panicked: {msg}"),
+            None,
+        ),
+    };
+    job.sink.send(&line);
+    job.sink.job_finished();
 }
 
 /// Builds the `stats` response: queue/latency/throughput plus the
@@ -490,6 +680,8 @@ fn stats_response(shared: &Arc<Shared>, id: &str) -> String {
         vec![
             ("queue_depth", Json::Num(queue_depth as f64)),
             ("queue_cap", Json::Num(shared.config.queue_cap as f64)),
+            ("workers", Json::Num(shared.workers as f64)),
+            ("open_connections", Json::Num(m.open_connections() as f64)),
             ("completed", Json::Num(m.completed.get() as f64)),
             ("rejected", Json::Num(m.rejected.get() as f64)),
             (
@@ -498,6 +690,7 @@ fn stats_response(shared: &Arc<Shared>, id: &str) -> String {
             ),
             ("points_total", Json::Num(m.points.get() as f64)),
             ("points_per_sec", Json::Num(m.points.get() as f64 / elapsed)),
+            ("retry_hint_ms", Json::Num(retry_after_ms(shared) as f64)),
             ("p50_ms", Json::Num(Metrics::quantile_ms(&m.latency, 0.5))),
             ("p95_ms", Json::Num(Metrics::quantile_ms(&m.latency, 0.95))),
             (
@@ -557,6 +750,40 @@ fn metrics_response(shared: &Arc<Shared>, id: &str) -> String {
             ("prometheus", Json::Str(text)),
         ],
     )
+}
+
+/// Event-loop access to per-instance connection accounting.
+#[cfg(unix)]
+pub(crate) mod loop_support {
+    use super::*;
+
+    pub(crate) fn config(shared: &Shared) -> &ServerConfig {
+        &shared.config
+    }
+
+    pub(crate) fn draining(shared: &Shared) -> bool {
+        shared.draining.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn queue_len(shared: &Shared) -> usize {
+        shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    pub(crate) fn connection_opened(shared: &Shared) {
+        shared.metrics.connections_opened.inc();
+    }
+
+    pub(crate) fn connection_closed(shared: &Shared) {
+        shared.metrics.connections_closed.inc();
+    }
+
+    pub(crate) fn install_waker(shared: &Shared, waker: crate::conn::Waker) {
+        *shared.waker.lock().unwrap_or_else(|e| e.into_inner()) = Some(waker);
+    }
+
+    pub(crate) fn clear_waker(shared: &Shared) {
+        *shared.waker.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
 }
 
 #[cfg(test)]
@@ -653,10 +880,12 @@ mod tests {
 
     #[test]
     fn saturated_queue_rejects_with_retry_after() {
-        // A long batch window stalls the batcher so admissions outpace
-        // draining deterministically.
+        // A long pre-drain stall (the batch_window saturation knob) with
+        // a single worker makes admissions outpace draining
+        // deterministically.
         let server = Server::new(ServerConfig {
             queue_cap: 2,
+            threads: 1,
             batch_window: Duration::from_millis(300),
             ..ServerConfig::default()
         });
@@ -672,7 +901,11 @@ mod tests {
                 Some(true) => ok += 1,
                 Some(false) => {
                     assert_eq!(v.get("code").and_then(Json::as_str), Some("queue_full"));
-                    assert!(v.get("retry_after_ms").and_then(Json::as_f64).unwrap() >= 1.0);
+                    let retry = v.get("retry_after_ms").and_then(Json::as_f64).unwrap();
+                    assert!(
+                        (1.0..=10_000.0).contains(&retry),
+                        "hint {retry} out of range"
+                    );
                     rejected += 1;
                 }
                 None => panic!("response without ok"),
@@ -680,6 +913,36 @@ mod tests {
         }
         assert_eq!(ok + rejected, 6, "every request answered");
         assert!(rejected >= 2, "cap 2 must reject some of 6 rapid requests");
+    }
+
+    #[test]
+    fn retry_hint_tracks_observed_drain_rate() {
+        let shared = Arc::new(Shared {
+            config: ServerConfig {
+                queue_cap: 100,
+                ..ServerConfig::default()
+            },
+            workers: 1,
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            draining: AtomicBool::new(false),
+            metrics: Metrics::new(),
+            #[cfg(unix)]
+            waker: Mutex::new(None),
+        });
+        // No drains observed yet: the hint is the 1 ms floor, not the
+        // (now meaningless) batch window.
+        assert_eq!(retry_after_ms(&shared), 1);
+        // 100 queued jobs at an observed 2 ms/job on one worker ≈ 200 ms.
+        shared.metrics.observe_drain(Duration::from_millis(20), 10);
+        let hint = retry_after_ms(&shared);
+        assert!((150..=250).contains(&hint), "hint {hint} vs ~200 ms drain");
+        // A stalled pool cannot park clients past the 10 s cap.
+        shared
+            .metrics
+            .drain_ns_per_job
+            .store(u64::MAX / 2, Ordering::Relaxed);
+        assert_eq!(retry_after_ms(&shared), 10_000);
     }
 
     #[test]
@@ -693,6 +956,9 @@ mod tests {
         let v = recv(&rx);
         assert_eq!(v.get("kind").and_then(Json::as_str), Some("stats"));
         assert_eq!(v.get("completed").and_then(Json::as_f64), Some(1.0));
+        assert!(v.get("workers").and_then(Json::as_f64).unwrap() >= 1.0);
+        assert!(v.get("retry_hint_ms").and_then(Json::as_f64).unwrap() >= 1.0);
+        assert_eq!(v.get("open_connections").and_then(Json::as_f64), Some(0.0));
         assert!(v.get("p95_ms").and_then(Json::as_f64).unwrap() >= 0.0);
         assert!(v.get("queue_wait_p95_ms").and_then(Json::as_f64).unwrap() >= 0.0);
         assert!(v.get("compute_p95_ms").and_then(Json::as_f64).unwrap() > 0.0);
@@ -719,6 +985,7 @@ mod tests {
         assert!(text.contains("# TYPE xlda_serve_completed_total counter"));
         assert!(text.contains("xlda_serve_completed_total 1"));
         assert!(text.contains("xlda_serve_rejected_total 0"));
+        assert!(text.contains("xlda_serve_connections_opened_total 0"));
         // The latency histogram saw exactly the one completed request.
         assert!(text.contains("# TYPE xlda_serve_request_latency_seconds histogram"));
         assert!(text.contains("xlda_serve_request_latency_seconds_count 1"));
@@ -730,6 +997,7 @@ mod tests {
     #[test]
     fn shutdown_drains_queued_work_before_returning() {
         let server = Server::new(ServerConfig {
+            threads: 1,
             batch_window: Duration::from_millis(20),
             ..ServerConfig::default()
         });
@@ -738,7 +1006,7 @@ mod tests {
             server.handle_line(&format!(r#"{{"id":"g{i}","kind":"hdc"}}"#), &w);
         }
         server.handle_line(r#"{"id":"bye","kind":"shutdown"}"#, &w);
-        drop(server); // joins the batcher; must not lose admitted work
+        drop(server); // joins the workers; must not lose admitted work
         let mut answered = std::collections::HashSet::new();
         while let Ok(line) = rx.try_recv() {
             let v = Json::parse(&line).unwrap();

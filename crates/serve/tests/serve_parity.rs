@@ -250,7 +250,14 @@ fn saturated_queue_rejections_are_well_formed_and_retryable() {
                         .get("retry_after_ms")
                         .and_then(Json::as_f64)
                         .expect("backpressure carries retry_after_ms");
-                    assert!(retry_ms >= 1.0);
+                    // The hint is derived from the observed drain rate,
+                    // clamped to [1 ms, 10 s]; pin the contract so a
+                    // config change can't silently widen it.
+                    assert!(
+                        (1.0..=10_000.0).contains(&retry_ms),
+                        "retry_after_ms {retry_ms} outside pinned [1, 10000] range"
+                    );
+                    assert_eq!(retry_ms.fract(), 0.0, "hint is whole milliseconds");
                     rejections += 1;
                     retry.push(id);
                 }
