@@ -1,6 +1,6 @@
 //! `xlda-bench` — sweep-engine benchmark harness and CI throughput gate.
 //!
-//! Runs the fixed HDC/MANN/triage sweep workloads, comparing the v1
+//! Runs the fixed HDC/MANN/triage/MC sweep workloads, comparing the v1
 //! engine path (static chunking, no memoization) against the v2 path
 //! (work-stealing + cross-point memoization), writes the
 //! `BENCH_sweep.json` trajectory report, and optionally gates against a
@@ -16,7 +16,10 @@
 //! ```
 //!
 //! - `--smoke`: shrunken grids for CI (seconds, not minutes).
-//! - `--workload`: `hdc`, `mann`, or `triage`; repeatable; default all.
+//! - `--workload`: `hdc`, `mann`, `triage`, or `mc`; repeatable;
+//!   default all. `mc` runs Monte-Carlo trial populations per point and
+//!   adds `trials_per_sec` to the report; its v1/v2 checksum match is
+//!   the chunking-determinism gate.
 //! - `--out`: report path (default `BENCH_sweep.json`, or
 //!   `BENCH_serve.json` under `--loadgen`).
 //! - `--baseline`: gate against this committed report; exit 1 when v2
@@ -59,7 +62,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: xlda-bench [--smoke] [--workload hdc|mann|triage]... \
+        "usage: xlda-bench [--smoke] [--workload hdc|mann|triage|mc]... \
          [--out PATH] [--baseline PATH] [--tolerance FRACTION] \
          [--no-obs] [--trace PATH]\n\
          \x20      xlda-bench --obs-overhead [--smoke] [--workload NAME] [--trace PATH]\n\

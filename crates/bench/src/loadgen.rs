@@ -29,6 +29,7 @@ use std::time::{Duration, Instant};
 
 use xlda_core::evaluate::{EdgeScenario, HdcScenario, MannScenario, Scenario};
 use xlda_core::fom::Candidate;
+use xlda_core::mc::{MannAccuracyMcScenario, McParams};
 use xlda_core::sweep::memo;
 use xlda_serve::json::{obj, Json};
 use xlda_serve::{Server, ServerConfig};
@@ -101,9 +102,12 @@ struct MixEntry {
 }
 
 /// The fixed mixed stream: two HDC points, two MANN points, a triage
-/// request, and an edge study — enough kind diversity to interleave in
-/// shared batches, small enough that the warm phase re-hits every
-/// cached sub-problem.
+/// request, an edge study, and a small Monte-Carlo population — enough
+/// kind diversity to interleave in shared batches, small enough that
+/// the warm phase re-hits every cached sub-problem. The MC entry's
+/// candidate parity doubles as a served-determinism check: the same
+/// `(seed, trials)` must reproduce the library's quantiles bit-for-bit
+/// on every repetition.
 fn request_mix() -> Vec<MixEntry> {
     let hdc_alt = HdcScenario {
         classes: 12,
@@ -114,6 +118,15 @@ fn request_mix() -> Vec<MixEntry> {
         hash_bits: 96,
         entries: 500,
         ..MannScenario::default()
+    };
+    let mann_mc = MannAccuracyMcScenario {
+        mc: McParams {
+            trials: 128,
+            seed: 11,
+            ..McParams::default()
+        },
+        hash_bits: 32,
+        ..MannAccuracyMcScenario::default()
     };
     vec![
         MixEntry {
@@ -145,6 +158,12 @@ fn request_mix() -> Vec<MixEntry> {
             name: "edge",
             request: r#""kind":"edge""#.into(),
             expected: EdgeScenario::default().candidates().expect("models"),
+        },
+        MixEntry {
+            name: "mann-mc",
+            request: r#""kind":"mann_mc","scenario":{"trials":128,"seed":11,"hash_bits":32}"#
+                .into(),
+            expected: mann_mc.candidates().expect("models"),
         },
     ]
 }

@@ -11,7 +11,12 @@
 //!   network/memory shapes;
 //! - **triage** — full cross-layer triage: the HDC candidate set plus
 //!   weighted ranking under two objectives per scenario, the paper's
-//!   "rapidly triage technology-enabled architectures" loop.
+//!   "rapidly triage technology-enabled architectures" loop;
+//! - **mc** — Monte-Carlo MANN accuracy distributions under device
+//!   variation (`xlda_core::mc`), a grid of hash/relaxation shapes; each
+//!   point runs a full trial population, so the report also carries
+//!   `trials_per_sec`, and the v1/v2 checksum match doubles as the
+//!   chunking-determinism gate (the two arms schedule differently).
 //!
 //! Both runs evaluate the identical point set and must produce
 //! bit-identical results (`checksum_match`); the JSON report
@@ -21,6 +26,7 @@
 use std::fmt::Write as _;
 use xlda_circuit::tech::TechNode;
 use xlda_core::evaluate::{HdcScenario, MannScenario, Scenario};
+use xlda_core::mc::{MannAccuracyMcScenario, McParams};
 use xlda_core::sweep::{memo, sweep_with_stats, SweepOptions};
 use xlda_core::triage::{rank, Objective};
 
@@ -33,12 +39,19 @@ pub enum Workload {
     Mann,
     /// HDC candidates + dual-objective ranking (full triage loop).
     Triage,
+    /// MANN accuracy Monte-Carlo under variation, over a shape grid.
+    Mc,
 }
 
 impl Workload {
     /// All workloads, in report order.
-    pub fn all() -> [Workload; 3] {
-        [Workload::Hdc, Workload::Mann, Workload::Triage]
+    pub fn all() -> [Workload; 4] {
+        [
+            Workload::Hdc,
+            Workload::Mann,
+            Workload::Triage,
+            Workload::Mc,
+        ]
     }
 
     /// Report name.
@@ -47,6 +60,7 @@ impl Workload {
             Workload::Hdc => "hdc",
             Workload::Mann => "mann",
             Workload::Triage => "triage",
+            Workload::Mc => "mc",
         }
     }
 
@@ -56,6 +70,7 @@ impl Workload {
             "hdc" => Some(Workload::Hdc),
             "mann" => Some(Workload::Mann),
             "triage" => Some(Workload::Triage),
+            "mc" => Some(Workload::Mc),
             _ => None,
         }
     }
@@ -94,6 +109,9 @@ pub struct WorkloadResult {
     pub baseline: RunStats,
     /// v2 path: work-stealing, memoization on.
     pub v2: RunStats,
+    /// Monte-Carlo trials evaluated inside each point (0 for the
+    /// deterministic workloads).
+    pub trials_per_point: usize,
 }
 
 impl WorkloadResult {
@@ -105,6 +123,12 @@ impl WorkloadResult {
     /// Whether both paths produced bit-identical outputs.
     pub fn checksum_match(&self) -> bool {
         self.baseline.checksum == self.v2.checksum
+    }
+
+    /// Monte-Carlo trials per second on the v2 path (0 for the
+    /// deterministic workloads).
+    pub fn trials_per_sec(&self) -> f64 {
+        self.v2.points_per_sec * self.trials_per_point as f64
     }
 }
 
@@ -184,6 +208,58 @@ fn grid_mann(smoke: bool) -> Vec<MannScenario> {
         }
     }
     out
+}
+
+/// Trial population per MC grid point. Constant across the grid so the
+/// report's `trials_per_sec` is exact, not an average.
+const MC_TRIALS_PER_POINT: usize = 1024;
+
+fn grid_mc(smoke: bool) -> Vec<MannAccuracyMcScenario> {
+    let hash_bits: &[usize] = if smoke { &[64] } else { &[64, 128] };
+    let decades: &[f64] = if smoke { &[3.0] } else { &[0.5, 1.5, 3.0, 4.5] };
+    let noises: &[f64] = if smoke { &[0.01] } else { &[0.01, 0.05] };
+    let mut out = Vec::new();
+    for (i, &bits) in hash_bits.iter().enumerate() {
+        for (j, &d) in decades.iter().enumerate() {
+            for (k, &rn) in noises.iter().enumerate() {
+                out.push(MannAccuracyMcScenario {
+                    mc: McParams {
+                        trials: MC_TRIALS_PER_POINT,
+                        // Distinct seeds per point: the workload must not
+                        // degenerate into one repeated stream.
+                        seed: 0xBE2C_0000 + (i * 100 + j * 10 + k) as u64,
+                        ..McParams::default()
+                    },
+                    hash_bits: bits,
+                    relax_decades: d,
+                    read_noise: rn,
+                    ..MannAccuracyMcScenario::default()
+                });
+            }
+        }
+    }
+    out
+}
+
+fn eval_mc(s: &MannAccuracyMcScenario) -> u64 {
+    match s.evaluate() {
+        Ok(eval) => eval.distributions.iter().fold(FNV_OFFSET, |h, d| {
+            let h = [
+                d.summary.mean,
+                d.summary.std_dev,
+                d.summary.p5,
+                d.summary.p50,
+                d.summary.p95,
+                d.yield_fraction,
+            ]
+            .iter()
+            .fold(h, |h, v| (h ^ v.to_bits()).wrapping_mul(FNV_PRIME));
+            // The per-column checksum covers every trial bit, so a
+            // single drifting draw anywhere fails the v1/v2 match.
+            (h ^ d.checksum).wrapping_mul(FNV_PRIME)
+        }),
+        Err(_) => FNV_PRIME,
+    }
 }
 
 fn eval_hdc(s: &HdcScenario) -> u64 {
@@ -322,6 +398,7 @@ where
         points: inputs.len(),
         baseline,
         v2,
+        trials_per_point: 0,
     }
 }
 
@@ -333,6 +410,11 @@ pub fn run_workload_obs(w: Workload, smoke: bool, obs_on: bool) -> WorkloadResul
         Workload::Hdc => compare("hdc", &grid_hdc(smoke), eval_hdc, obs_on),
         Workload::Mann => compare("mann", &grid_mann(smoke), eval_mann, obs_on),
         Workload::Triage => compare("triage", &grid_hdc(smoke), eval_triage, obs_on),
+        Workload::Mc => {
+            let mut r = compare("mc", &grid_mc(smoke), eval_mc, obs_on);
+            r.trials_per_point = MC_TRIALS_PER_POINT;
+            r
+        }
     }
 }
 
@@ -439,6 +521,7 @@ pub fn run_obs_overhead(w: Workload, _smoke: bool) -> ObsOverhead {
         Workload::Hdc => overhead_compare("hdc", &grid_hdc(false), eval_hdc),
         Workload::Mann => overhead_compare("mann", &grid_mann(false), eval_mann),
         Workload::Triage => overhead_compare("triage", &grid_hdc(false), eval_triage),
+        Workload::Mc => overhead_compare("mc", &grid_mc(false), eval_mc),
     }
 }
 
@@ -508,6 +591,11 @@ pub fn to_json(results: &[WorkloadResult], smoke: bool) -> String {
         push_run(&mut out, &r.v2);
         out.push_str(",\"speedup\":");
         push_json_f64(&mut out, r.speedup());
+        if r.trials_per_point > 0 {
+            let _ = write!(out, ",\"trials_per_point\":{},", r.trials_per_point);
+            out.push_str("\"trials_per_sec\":");
+            push_json_f64(&mut out, r.trials_per_sec());
+        }
         let _ = write!(out, ",\"checksum_match\":{}}}", r.checksum_match());
     }
     out.push_str("]}\n");
@@ -576,6 +664,25 @@ pub fn check_against_baseline(
                 ));
             }
         }
+        // Gated only for MC workloads: scan_field searches forward from
+        // the name anchor, so asking for a key the entry doesn't have
+        // would match the next workload's.
+        if r.trials_per_point > 0 {
+            if let Some(floor) = scan_field(baseline_json, r.name, "trials_per_sec") {
+                let min = floor * (1.0 - tolerance);
+                if r.trials_per_sec() < min {
+                    failures.push(format!(
+                        "{}: {:.0} trials/s regressed below {:.0} \
+                         (floor {:.0} − {:.0}% tolerance)",
+                        r.name,
+                        r.trials_per_sec(),
+                        min,
+                        floor,
+                        tolerance * 100.0
+                    ));
+                }
+            }
+        }
     }
     failures
 }
@@ -601,6 +708,16 @@ pub fn print(results: &[WorkloadResult]) {
             entries,
             if r.checksum_match() { "yes" } else { "NO" },
         );
+    }
+    for r in results {
+        if r.trials_per_point > 0 {
+            println!(
+                "{:>8} {} MC trials/point -> {:.0} trials/s (v2)",
+                r.name,
+                r.trials_per_point,
+                r.trials_per_sec()
+            );
+        }
     }
     println!();
     for r in results {
@@ -712,6 +829,36 @@ mod tests {
         );
         assert!(o.off.layers.is_empty(), "disabled run must record no spans");
         assert!(!o.on.layers.is_empty(), "enabled run must record spans");
+    }
+
+    #[test]
+    fn mc_smoke_is_deterministic_across_engine_paths() {
+        let _guard = MEMO_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let r = run_workload(Workload::Mc, true);
+        assert_eq!(r.trials_per_point, MC_TRIALS_PER_POINT);
+        // The two arms differ in schedule and memoization; identical
+        // checksums here are the chunking-determinism gate.
+        assert!(
+            r.checksum_match(),
+            "MC results must be schedule-invariant: {:016x} vs {:016x}",
+            r.baseline.checksum,
+            r.v2.checksum
+        );
+        assert!(r.trials_per_sec() > 0.0);
+        let json = to_json(std::slice::from_ref(&r), true);
+        assert_eq!(
+            scan_field(&json, "mc", "trials_per_point").map(|p| p as usize),
+            Some(MC_TRIALS_PER_POINT)
+        );
+        let tps = scan_field(&json, "mc", "trials_per_sec").expect("trials_per_sec in report");
+        assert!((tps - r.trials_per_sec()).abs() < 1.0);
+        // The trials_per_sec floor gates like points_per_sec does.
+        let impossible = "{\"name\":\"mc\",\"trials_per_sec\":1e15}";
+        let failures = check_against_baseline(std::slice::from_ref(&r), impossible, 0.3);
+        assert!(
+            failures.iter().any(|f| f.contains("trials/s")),
+            "{failures:?}"
+        );
     }
 
     #[test]

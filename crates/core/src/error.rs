@@ -100,6 +100,20 @@ impl From<CrossbarError> for XldaError {
     }
 }
 
+impl From<xlda_device::rram::RramError> for XldaError {
+    fn from(e: xlda_device::rram::RramError) -> Self {
+        // The device crate sits below this one and cannot name XldaError;
+        // its single failure mode (negative/non-finite relaxation time)
+        // is an invalid numeric input, which is what NonFinite marks.
+        match e {
+            xlda_device::rram::RramError::InvalidRelaxTime { .. } => XldaError::NonFinite {
+                stage: "rram.relax",
+                quantity: "relaxation decades",
+            },
+        }
+    }
+}
+
 impl std::fmt::Display for XldaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -160,6 +174,15 @@ mod tests {
             e,
             XldaError::Crossbar(CrossbarError::ZeroAdcShare)
         ));
+        let e: XldaError = xlda_device::rram::RramError::InvalidRelaxTime { decades: -2.0 }.into();
+        assert!(matches!(
+            e,
+            XldaError::NonFinite {
+                stage: "rram.relax",
+                ..
+            }
+        ));
+        assert!(!e.is_infeasible());
     }
 
     #[test]

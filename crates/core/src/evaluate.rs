@@ -19,6 +19,7 @@
 
 use crate::error::{validate_fom, XldaError};
 use crate::fom::{Candidate, Fom};
+use crate::mc::McDistribution;
 use xlda_baseline::{HybridPipeline, Kernel, Platform};
 use xlda_circuit::tech::TechNode;
 use xlda_crossbar::macro_model::CrossbarMacro;
@@ -63,6 +64,36 @@ pub trait Scenario: Send + Sync {
     /// validation failure ([`XldaError::InvalidFom`],
     /// [`XldaError::NonFinite`]).
     fn candidates(&self) -> Result<Vec<Candidate>, XldaError>;
+
+    /// Full evaluation: the candidate set plus any Monte-Carlo
+    /// distribution summaries.
+    ///
+    /// Deterministic scenarios keep this default (candidates only).
+    /// Monte-Carlo scenarios override it to run their trial population
+    /// once and derive both the distributions and the quantile-based
+    /// candidates from the same draws — consumers that want everything
+    /// (like `xlda-serve`) call this and never pay for the trials twice.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Scenario::candidates`].
+    fn evaluate(&self) -> Result<Evaluation, XldaError> {
+        Ok(Evaluation {
+            candidates: self.candidates()?,
+            distributions: Vec::new(),
+        })
+    }
+}
+
+/// Everything one [`Scenario`] evaluation produces: the candidate set
+/// every consumer understands, plus distribution summaries for
+/// Monte-Carlo scenario kinds (empty for deterministic ones).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Assembled, validated candidates.
+    pub candidates: Vec<Candidate>,
+    /// Monte-Carlo outcome distributions, when the scenario has any.
+    pub distributions: Vec<McDistribution>,
 }
 
 /// Scenario parameters for the HDC platform comparison (Fig. 3H).

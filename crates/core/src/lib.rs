@@ -24,6 +24,9 @@
 //! - [`profile`] — top-down linkage: workload composition → architecture
 //!   recommendation and device-metric priorities (Sec. VII);
 //! - [`sweep`] — parallel fan-out and memoization for large sweeps;
+//! - [`mc`] — variation-aware Monte-Carlo scenario kinds (CAM yield,
+//!   MANN accuracy under relaxation/read noise, NVM lifetime/V_th)
+//!   returning distribution summaries instead of single FOMs;
 //! - [`cim`] — Eva-CiM-style IMC-favorability analysis of programs.
 //!
 //! # Examples
@@ -42,6 +45,7 @@ pub mod cim;
 pub mod error;
 pub mod evaluate;
 pub mod fom;
+pub mod mc;
 pub mod order;
 pub mod pareto;
 pub mod profile;

@@ -20,6 +20,30 @@ use crate::mlc::{MultiLevelCell, StateVariable};
 use crate::{DeviceKind, MemoryDevice};
 use xlda_num::rng::Rng64;
 
+/// Error from the fallible RRAM state-evolution entry points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RramError {
+    /// Relaxation was asked to run over a negative or non-finite number
+    /// of time decades. `decades.sqrt()` would silently turn a negative
+    /// elapsed time into NaN conductance, so the input is rejected here.
+    InvalidRelaxTime {
+        /// The offending elapsed-time exponent.
+        decades: f64,
+    },
+}
+
+impl std::fmt::Display for RramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidRelaxTime { decades } => {
+                write!(f, "invalid relaxation time: {decades} decades")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RramError {}
+
 /// Analytical RRAM model.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Rram {
@@ -125,11 +149,22 @@ impl Rram {
     ///
     /// # Panics
     ///
-    /// Panics if `decades` is negative.
+    /// Panics if `decades` is negative or non-finite; use
+    /// [`try_relax`](Rram::try_relax) for the fallible form.
     pub fn relax(&self, g: f64, decades: f64, rng: &mut Rng64) -> f64 {
-        assert!(decades >= 0.0, "negative time");
+        self.try_relax(g, decades, rng)
+            .expect("negative or non-finite relaxation time")
+    }
+
+    /// Fallible [`relax`](Rram::relax): rejects negative or non-finite
+    /// `decades` instead of letting `decades.sqrt()` poison the
+    /// conductance with NaN.
+    pub fn try_relax(&self, g: f64, decades: f64, rng: &mut Rng64) -> Result<f64, RramError> {
+        if !decades.is_finite() || decades < 0.0 {
+            return Err(RramError::InvalidRelaxTime { decades });
+        }
         let sigma = self.relax_rel * g * decades.sqrt();
-        rng.normal(g, sigma).clamp(self.g_min, self.g_max)
+        Ok(rng.normal(g, sigma).clamp(self.g_min, self.g_max))
     }
 
     /// Samples a device-to-device stochastic HRS conductance.
@@ -322,6 +357,22 @@ mod tests {
         assert!(std_dev(&long) > std_dev(&short));
         // Zero elapsed time leaves the state untouched.
         assert_eq!(d.relax(g, 0.0, &mut rng), g);
+    }
+
+    #[test]
+    fn negative_or_non_finite_decades_is_a_typed_error() {
+        let d = Rram::taox();
+        let mut rng = Rng64::new(4);
+        // Pre-fix, a negative time reached `decades.sqrt()` and produced
+        // NaN sigma with no error; now it is rejected up front.
+        assert_eq!(
+            d.try_relax(50e-6, -1.0, &mut rng),
+            Err(RramError::InvalidRelaxTime { decades: -1.0 })
+        );
+        assert!(d.try_relax(50e-6, f64::NAN, &mut rng).is_err());
+        assert!(d.try_relax(50e-6, f64::INFINITY, &mut rng).is_err());
+        let ok = d.try_relax(50e-6, 1.0, &mut rng).unwrap();
+        assert!((d.g_min..=d.g_max).contains(&ok));
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //!   IR-drop model (Gauss–Seidel on resistive grids, Thomas algorithm for
 //!   tridiagonal systems);
 //! - [`memo`] — the sharded, instrumented memoization caches the layer
-//!   crates use to share sub-evaluations across design-space sweep points.
+//!   crates use to share sub-evaluations across design-space sweep points;
+//! - [`trial`] — structure-of-arrays Monte-Carlo trial batches with
+//!   per-trial `(seed, index)`-derived streams, distribution summaries,
+//!   and determinism checksums for the variation-aware scenarios.
 //!
 //! # Examples
 //!
@@ -32,6 +35,7 @@ pub mod memo;
 pub mod rng;
 pub mod solve;
 pub mod stats;
+pub mod trial;
 
 pub use matrix::Matrix;
 pub use rng::Rng64;

@@ -52,6 +52,21 @@ impl Rng64 {
         Self::new(self.next_u64())
     }
 
+    /// Derives the stream for one Monte-Carlo trial from `(seed, trial)`.
+    ///
+    /// The pair is folded through a SplitMix64-style finalizer before the
+    /// usual state expansion, so nearby trial indices land on uncorrelated
+    /// streams. Because the stream depends only on the experiment seed and
+    /// the *global* trial index — never on which chunk or worker draws it —
+    /// batched Monte-Carlo results are bit-identical under any
+    /// chunking/scheduling of the trial range.
+    pub fn for_trial(seed: u64, trial: u64) -> Self {
+        let mut z = seed ^ trial.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Self::new(z ^ (z >> 31) ^ trial)
+    }
+
     /// Returns the next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.state;
@@ -71,14 +86,22 @@ impl Rng64 {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
-    /// Uniform `f64` in `[lo, hi)`.
+    /// Uniform `f64` in `[lo, hi)` (`lo` itself when the range is empty).
     ///
     /// # Panics
     ///
     /// Panics if `lo > hi` or either bound is not finite.
     pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
         assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range");
-        lo + (hi - lo) * self.uniform()
+        let x = lo + (hi - lo) * self.uniform();
+        // `lo + (hi - lo) * u` can round up to exactly `hi` even though
+        // u < 1 (e.g. lo = 1, hi = 2, u = 1 - 2^-53 rounds to even), which
+        // would break the half-open contract; step back one ulp instead.
+        if x >= hi && lo < hi {
+            next_down(hi).max(lo)
+        } else {
+            x
+        }
     }
 
     /// Uniform integer in `[0, n)` using Lemire's unbiased method.
@@ -190,6 +213,19 @@ impl Default for Rng64 {
     }
 }
 
+/// The largest `f64` strictly below a finite `x`.
+fn next_down(x: f64) -> f64 {
+    debug_assert!(x.is_finite());
+    if x > 0.0 {
+        f64::from_bits(x.to_bits() - 1)
+    } else if x < 0.0 {
+        f64::from_bits(x.to_bits() + 1)
+    } else {
+        // Below both 0.0 and -0.0 sits the smallest negative subnormal.
+        f64::from_bits(0x8000_0000_0000_0001)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +327,42 @@ mod tests {
         s.dedup();
         assert_eq!(s.len(), 20);
         assert!(s.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn uniform_in_never_returns_hi() {
+        // Adversarial pair: hi is one ulp above lo, so before the fix
+        // roughly half of all draws (any u > 0.5) rounded up to exactly
+        // `hi`, violating the documented half-open contract.
+        let lo = 1.0_f64;
+        let hi = f64::from_bits(lo.to_bits() + 1);
+        let mut rng = Rng64::new(2024);
+        for _ in 0..200 {
+            let x = rng.uniform_in(lo, hi);
+            assert!(x >= lo && x < hi, "got {x:?} outside [{lo:?}, {hi:?})");
+        }
+        // Wide ranges keep the straight affine map.
+        for _ in 0..1000 {
+            let x = rng.uniform_in(-3.0, 7.0);
+            assert!((-3.0..7.0).contains(&x));
+        }
+        // Empty range degenerates to lo.
+        assert_eq!(rng.uniform_in(2.5, 2.5), 2.5);
+    }
+
+    #[test]
+    fn trial_streams_are_deterministic_and_distinct() {
+        let mut a = Rng64::for_trial(42, 17);
+        let mut b = Rng64::for_trial(42, 17);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // Adjacent trials and adjacent seeds must decorrelate.
+        let mut c = Rng64::for_trial(42, 18);
+        let mut d = Rng64::for_trial(43, 17);
+        let x = Rng64::for_trial(42, 17).next_u64();
+        assert_ne!(x, c.next_u64());
+        assert_ne!(x, d.next_u64());
     }
 
     #[test]

@@ -28,20 +28,36 @@ pub fn std_dev(xs: &[f64]) -> f64 {
     variance(xs).sqrt()
 }
 
-/// Minimum of a slice, ignoring NaNs. Returns `f64::INFINITY` when empty.
-pub fn min(xs: &[f64]) -> f64 {
+/// Minimum of the non-NaN values, or `None` when the slice is empty or
+/// all-NaN.
+pub fn try_min(xs: &[f64]) -> Option<f64> {
     xs.iter()
         .copied()
         .filter(|x| !x.is_nan())
-        .fold(f64::INFINITY, f64::min)
+        .min_by(f64::total_cmp)
 }
 
-/// Maximum of a slice, ignoring NaNs. Returns `f64::NEG_INFINITY` when empty.
-pub fn max(xs: &[f64]) -> f64 {
+/// Maximum of the non-NaN values, or `None` when the slice is empty or
+/// all-NaN.
+pub fn try_max(xs: &[f64]) -> Option<f64> {
     xs.iter()
         .copied()
         .filter(|x| !x.is_nan())
-        .fold(f64::NEG_INFINITY, f64::max)
+        .max_by(f64::total_cmp)
+}
+
+/// Minimum of a slice, ignoring NaNs. Returns NaN when the slice is empty
+/// or all-NaN — an explicit poison instead of the `+INFINITY` this used to
+/// return, which read as a legitimate (and extreme) value downstream. Use
+/// [`try_min`] to handle the degenerate case without sentinels.
+pub fn min(xs: &[f64]) -> f64 {
+    try_min(xs).unwrap_or(f64::NAN)
+}
+
+/// Maximum of a slice, ignoring NaNs. Returns NaN when the slice is empty
+/// or all-NaN (see [`min`]; use [`try_max`] for the `Option` form).
+pub fn max(xs: &[f64]) -> f64 {
+    try_max(xs).unwrap_or(f64::NAN)
 }
 
 /// Pearson linear correlation coefficient between two equal-length series.
@@ -94,6 +110,7 @@ pub struct Histogram {
     hi: f64,
     counts: Vec<u64>,
     total: u64,
+    nan_count: u64,
 }
 
 impl Histogram {
@@ -110,11 +127,24 @@ impl Histogram {
             hi,
             counts: vec![0; bins],
             total: 0,
+            nan_count: 0,
         }
     }
 
     /// Adds a sample; values outside the interval clamp to the edge bins.
+    ///
+    /// NaN samples are never binned — `(NaN).floor() as i64` is 0, which
+    /// used to clamp them silently into the lowest bin and skew every
+    /// V_th/accuracy distribution. They are tallied in [`nan_count`]
+    /// instead and excluded from [`total`].
+    ///
+    /// [`nan_count`]: Histogram::nan_count
+    /// [`total`]: Histogram::total
     pub fn add(&mut self, x: f64) {
+        if x.is_nan() {
+            self.nan_count += 1;
+            return;
+        }
         let bins = self.counts.len();
         let t = (x - self.lo) / (self.hi - self.lo);
         let idx = ((t * bins as f64).floor() as i64).clamp(0, bins as i64 - 1) as usize;
@@ -127,9 +157,14 @@ impl Histogram {
         &self.counts
     }
 
-    /// Total number of samples added.
+    /// Total number of samples binned (NaNs excluded).
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Number of NaN samples rejected by [`add`](Histogram::add).
+    pub fn nan_count(&self) -> u64 {
+        self.nan_count
     }
 
     /// Center of bin `i`.
@@ -296,6 +331,40 @@ mod tests {
         h.add(-5.0);
         h.add(5.0);
         assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn histogram_skips_nan_into_nan_count() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(f64::NAN);
+        h.add(0.25);
+        h.add(f64::NAN);
+        // NaNs used to clamp into bin 0; now they are tallied separately.
+        assert_eq!(h.counts(), &[1, 0]);
+        assert_eq!(h.total(), 1);
+        assert_eq!(h.nan_count(), 2);
+        assert_eq!(h.density(0), 1.0);
+    }
+
+    #[test]
+    fn min_max_finite_inputs() {
+        let xs = [3.0, f64::NAN, -1.0, 2.0];
+        assert_eq!(min(&xs), -1.0);
+        assert_eq!(max(&xs), 3.0);
+        assert_eq!(try_min(&xs), Some(-1.0));
+        assert_eq!(try_max(&xs), Some(3.0));
+    }
+
+    #[test]
+    fn min_max_degenerate_inputs_are_explicit() {
+        // These used to return ±INFINITY, which flowed into FOM
+        // comparisons as a legitimate extreme value.
+        assert!(min(&[]).is_nan());
+        assert!(max(&[]).is_nan());
+        assert!(min(&[f64::NAN, f64::NAN]).is_nan());
+        assert!(max(&[f64::NAN]).is_nan());
+        assert_eq!(try_min(&[]), None);
+        assert_eq!(try_max(&[f64::NAN]), None);
     }
 
     #[test]

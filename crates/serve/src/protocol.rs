@@ -17,12 +17,20 @@
 //!
 //! `scenario` fields are optional overrides on the workload's
 //! `Default`; `kind` is one of `hdc | mann | edge | tpu_nvm | triage |
-//! stats | metrics | shutdown`. See DESIGN.md §9 for the full schema.
+//! cam_yield_mc | mann_mc | nvm_mc | stats | metrics | shutdown`. The
+//! `*_mc` kinds are Monte-Carlo scenarios: their `scenario` object also
+//! accepts the population controls `trials`, `seed`, `batch`, and
+//! `threads`, and their responses carry a `distributions` array of
+//! summary digests next to `candidates`. See DESIGN.md §9 and §12 for
+//! the full schema.
 
 use crate::json::{obj, Json};
 use xlda_circuit::tech::TechNode;
 use xlda_core::evaluate::{EdgeScenario, HdcScenario, MannScenario, Scenario, TpuNvmScenario};
 use xlda_core::fom::Candidate;
+use xlda_core::mc::{
+    CamYieldMcScenario, MannAccuracyMcScenario, McDistribution, McParams, NvmLifetimeMcScenario,
+};
 use xlda_core::triage::Objective;
 
 /// Ranking objective requested by a `triage` request.
@@ -115,6 +123,9 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
         "shutdown" => return Ok(Request::Shutdown { id }),
         "hdc" | "triage" => Box::new(hdc_scenario(&spec).map_err(|m| (id.clone(), m))?),
         "mann" => Box::new(mann_scenario(&spec).map_err(|m| (id.clone(), m))?),
+        "cam_yield_mc" => Box::new(cam_yield_mc_scenario(&spec).map_err(|m| (id.clone(), m))?),
+        "mann_mc" => Box::new(mann_mc_scenario(&spec).map_err(|m| (id.clone(), m))?),
+        "nvm_mc" => Box::new(nvm_mc_scenario(&spec).map_err(|m| (id.clone(), m))?),
         "edge" => Box::new(EdgeScenario::new(
             hdc_scenario(&spec).map_err(|m| (id.clone(), m))?,
         )),
@@ -240,6 +251,100 @@ pub fn mann_scenario(spec: &Json) -> Result<MannScenario, String> {
     Ok(s)
 }
 
+/// Reads the shared Monte-Carlo population controls out of a scenario
+/// spec object.
+fn mc_params(spec: &Json, mc: &mut McParams) -> Result<(), String> {
+    usize_field(spec, "trials", &mut mc.trials)?;
+    usize_field(spec, "batch", &mut mc.batch)?;
+    usize_field(spec, "threads", &mut mc.threads)?;
+    match spec.get("seed") {
+        None | Some(Json::Null) => {}
+        Some(v) => match v.as_usize() {
+            Some(n) => mc.seed = n as u64,
+            None => return Err("\"seed\" must be a non-negative integer".into()),
+        },
+    }
+    Ok(())
+}
+
+/// Builds a [`CamYieldMcScenario`] from default + JSON overrides.
+pub fn cam_yield_mc_scenario(spec: &Json) -> Result<CamYieldMcScenario, String> {
+    let mut s = CamYieldMcScenario::default();
+    mc_params(spec, &mut s.mc)?;
+    usize_field(spec, "cells", &mut s.cells)?;
+    usize_field(spec, "mismatches", &mut s.mismatches)?;
+    f64_field(spec, "g_on", &mut s.g_on)?;
+    f64_field(spec, "g_off", &mut s.g_off)?;
+    f64_field(spec, "sigma_g_on_rel", &mut s.variation.sigma_g_on_rel)?;
+    f64_field(spec, "sigma_g_off_rel", &mut s.variation.sigma_g_off_rel)?;
+    f64_field(spec, "target_error", &mut s.target_error)?;
+    Ok(s)
+}
+
+/// Builds a [`MannAccuracyMcScenario`] from default + JSON overrides.
+pub fn mann_mc_scenario(spec: &Json) -> Result<MannAccuracyMcScenario, String> {
+    let mut s = MannAccuracyMcScenario::default();
+    mc_params(spec, &mut s.mc)?;
+    usize_field(spec, "hash_bits", &mut s.hash_bits)?;
+    usize_field(spec, "entries", &mut s.entries)?;
+    f64_field(spec, "acc_software", &mut s.acc_software)?;
+    f64_field(spec, "relax_decades", &mut s.relax_decades)?;
+    f64_field(spec, "read_noise", &mut s.read_noise)?;
+    f64_field(spec, "acc_floor", &mut s.acc_floor)?;
+    Ok(s)
+}
+
+/// Builds an [`NvmLifetimeMcScenario`] from default + JSON overrides.
+/// Traffic is specified as `traffic_mb_s` (MB/s) to match the bench
+/// workload vocabulary.
+pub fn nvm_mc_scenario(spec: &Json) -> Result<NvmLifetimeMcScenario, String> {
+    let mut s = NvmLifetimeMcScenario::default();
+    mc_params(spec, &mut s.mc)?;
+    f64_field(spec, "capacity_bytes", &mut s.capacity_bytes)?;
+    let mut traffic_mb_s = s.write_bytes_per_second / 1e6;
+    f64_field(spec, "traffic_mb_s", &mut traffic_mb_s)?;
+    s.write_bytes_per_second = traffic_mb_s * 1e6;
+    f64_field(spec, "leveling", &mut s.leveling)?;
+    f64_field(spec, "leveling_sigma", &mut s.leveling_sigma)?;
+    f64_field(spec, "endurance", &mut s.endurance)?;
+    f64_field(
+        spec,
+        "endurance_sigma_decades",
+        &mut s.endurance_sigma_decades,
+    )?;
+    f64_field(spec, "required_years", &mut s.required_years)?;
+    let mut vth_bits = s.vth_bits as usize;
+    usize_field(spec, "vth_bits", &mut vth_bits)?;
+    if !(1..=4).contains(&vth_bits) {
+        return Err("\"vth_bits\" must be between 1 and 4".into());
+    }
+    s.vth_bits = vth_bits as u8;
+    f64_field(spec, "vth_sigma", &mut s.vth_sigma)?;
+    Ok(s)
+}
+
+/// Serializes one Monte-Carlo distribution digest. The checksum is a
+/// hex string: `f64` cannot carry 64 significant bits, and clients use
+/// it only for equality (determinism audits).
+pub fn distribution_json(d: &McDistribution) -> Json {
+    obj(vec![
+        ("name", Json::Str(d.name.to_string())),
+        ("unit", Json::Str(d.unit.to_string())),
+        ("criterion", Json::Str(d.criterion.to_string())),
+        ("trials", Json::Num(d.summary.trials as f64)),
+        ("nan_count", Json::Num(d.summary.nan_count as f64)),
+        ("mean", Json::Num(d.summary.mean)),
+        ("std_dev", Json::Num(d.summary.std_dev)),
+        ("min", Json::Num(d.summary.min)),
+        ("max", Json::Num(d.summary.max)),
+        ("p5", Json::Num(d.summary.p5)),
+        ("p50", Json::Num(d.summary.p50)),
+        ("p95", Json::Num(d.summary.p95)),
+        ("yield_fraction", Json::Num(d.yield_fraction)),
+        ("checksum", Json::Str(format!("{:016x}", d.checksum))),
+    ])
+}
+
 /// Serializes one candidate with full-precision FOMs.
 pub fn candidate_json(c: &Candidate) -> Json {
     obj(vec![
@@ -347,6 +452,9 @@ mod tests {
             ("edge", "edge"),
             ("tpu_nvm", "tpu_nvm"),
             ("triage", "hdc"),
+            ("cam_yield_mc", "cam_yield_mc"),
+            ("mann_mc", "mann_mc"),
+            ("nvm_mc", "nvm_mc"),
         ] {
             let line = format!(r#"{{"id":"x","kind":"{kind}"}}"#);
             match parse_request(&line).unwrap() {
@@ -354,6 +462,76 @@ mod tests {
                 _ => panic!("{kind} did not parse as eval"),
             }
         }
+    }
+
+    #[test]
+    fn mc_overrides_apply() {
+        let r = parse_request(
+            r#"{"id":"m","kind":"mann_mc","scenario":{"trials":64,"seed":9,"hash_bits":16,"relax_decades":1.5}}"#,
+        )
+        .unwrap();
+        let eval = match r {
+            Request::Eval { scenario, .. } => scenario.evaluate().unwrap(),
+            _ => panic!(),
+        };
+        let expect = MannAccuracyMcScenario {
+            mc: McParams {
+                trials: 64,
+                seed: 9,
+                ..McParams::default()
+            },
+            hash_bits: 16,
+            relax_decades: 1.5,
+            ..MannAccuracyMcScenario::default()
+        };
+        assert_eq!(eval, expect.evaluate().unwrap());
+        assert_eq!(eval.distributions.len(), 2);
+    }
+
+    #[test]
+    fn mc_rejects_bad_population_controls() {
+        for (line, frag) in [
+            (
+                r#"{"id":"a","kind":"nvm_mc","scenario":{"seed":-1}}"#,
+                "seed",
+            ),
+            (
+                r#"{"id":"a","kind":"cam_yield_mc","scenario":{"trials":"many"}}"#,
+                "trials",
+            ),
+            (
+                r#"{"id":"a","kind":"nvm_mc","scenario":{"vth_bits":9}}"#,
+                "vth_bits",
+            ),
+        ] {
+            let msg = match parse_request(line) {
+                Err((_, msg)) => msg,
+                Ok(_) => panic!("accepted bad request {line}"),
+            };
+            assert!(msg.contains(frag), "{line} -> {msg}");
+        }
+    }
+
+    #[test]
+    fn distribution_json_round_trips() {
+        let s = MannAccuracyMcScenario {
+            mc: McParams {
+                trials: 32,
+                ..McParams::default()
+            },
+            hash_bits: 8,
+            ..MannAccuracyMcScenario::default()
+        };
+        use xlda_core::evaluate::Scenario as _;
+        let eval = s.evaluate().unwrap();
+        let j = distribution_json(&eval.distributions[0]);
+        let v = Json::parse(&j.to_string()).unwrap();
+        assert_eq!(v.get("name").and_then(Json::as_str), Some("accuracy"));
+        assert_eq!(v.get("trials").and_then(Json::as_f64), Some(32.0));
+        assert_eq!(
+            v.get("checksum").and_then(Json::as_str),
+            Some(format!("{:016x}", eval.distributions[0].checksum).as_str())
+        );
     }
 
     #[test]

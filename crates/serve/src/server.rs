@@ -134,6 +134,8 @@ struct Metrics {
     rejected: Arc<Counter>,
     deadline_expired: Arc<Counter>,
     points: Arc<Counter>,
+    /// Monte-Carlo trials summarized across all served `*_mc` requests.
+    mc_trials: Arc<Counter>,
     connections_opened: Arc<Counter>,
     connections_closed: Arc<Counter>,
     /// EWMA of worker nanoseconds per drained job; 0 until the first
@@ -153,6 +155,7 @@ impl Metrics {
             rejected: registry.counter("xlda_serve_rejected_total"),
             deadline_expired: registry.counter("xlda_serve_deadline_expired_total"),
             points: registry.counter("xlda_serve_points_total"),
+            mc_trials: registry.counter("xlda_serve_mc_trials_total"),
             connections_opened: registry.counter("xlda_serve_connections_opened_total"),
             connections_closed: registry.counter("xlda_serve_connections_closed_total"),
             drain_ns_per_job: AtomicU64::new(0),
@@ -564,6 +567,11 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// Population size behind one distribution digest (finite + NaN trials).
+fn trial_count(d: &xlda_core::mc::McDistribution) -> u64 {
+    (d.summary.trials + d.summary.nan_count) as u64
+}
+
 /// Extracts a printable panic payload.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     payload
@@ -590,20 +598,45 @@ fn run_one(shared: &Arc<Shared>, job: Job) {
     let result = if job.deadline_at.is_some_and(|t| eval_start >= t) {
         Err(JobError::Deadline)
     } else {
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.scenario.candidates()))
+        // evaluate(), not candidates(): Monte-Carlo scenarios run their
+        // trial population exactly once and return distribution digests
+        // alongside the candidate view; deterministic scenarios fall
+        // through the default impl at zero cost.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.scenario.evaluate()))
             .map_err(|p| JobError::Panicked(panic_message(p)))
             .and_then(|r| r.map_err(JobError::Eval))
     };
     metrics.compute.record_duration(eval_start.elapsed());
     let line = match result {
-        Ok(cands) => {
+        Ok(eval) => {
+            let cands = eval.candidates;
             metrics.latency.record_duration(job.enqueued_at.elapsed());
             metrics.completed.inc();
             metrics.points.add(cands.len() as u64);
+            // Each digest summarizes the same request population, so
+            // take the max rather than summing across distributions.
+            metrics.mc_trials.add(
+                eval.distributions
+                    .iter()
+                    .map(trial_count)
+                    .max()
+                    .unwrap_or(0),
+            );
             let mut body = vec![(
                 "candidates",
                 Json::Arr(cands.iter().map(protocol::candidate_json).collect()),
             )];
+            if !eval.distributions.is_empty() {
+                body.push((
+                    "distributions",
+                    Json::Arr(
+                        eval.distributions
+                            .iter()
+                            .map(protocol::distribution_json)
+                            .collect(),
+                    ),
+                ));
+            }
             if let Some(spec) = &job.triage {
                 let ranking = rank(&cands, &spec.objective());
                 body.push((
@@ -848,6 +881,63 @@ mod tests {
                 c.fom.latency_s.to_bits()
             );
         }
+    }
+
+    #[test]
+    fn mc_request_serves_distributions_end_to_end() {
+        let server = Server::new(ServerConfig::default());
+        let (w, rx) = test_writer();
+        server.handle_line(
+            r#"{"id":"mc1","kind":"mann_mc","scenario":{"trials":64,"seed":3,"hash_bits":16}}"#,
+            &w,
+        );
+        let v = recv(&rx);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("kind").and_then(Json::as_str), Some("mann_mc"));
+        let dists = v.get("distributions").and_then(Json::as_arr).unwrap();
+        assert_eq!(dists.len(), 2);
+        let acc = &dists[0];
+        assert_eq!(acc.get("name").and_then(Json::as_str), Some("accuracy"));
+        assert_eq!(acc.get("trials").and_then(Json::as_f64), Some(64.0));
+        for q in ["mean", "std_dev", "p5", "p50", "p95", "yield_fraction"] {
+            let x = acc.get(q).and_then(Json::as_f64).unwrap();
+            assert!(x.is_finite(), "{q} must be finite");
+        }
+        // Same trials, same seed: the served digest matches a direct call.
+        use xlda_core::evaluate::Scenario as _;
+        let direct = xlda_core::mc::MannAccuracyMcScenario {
+            mc: xlda_core::mc::McParams {
+                trials: 64,
+                seed: 3,
+                ..xlda_core::mc::McParams::default()
+            },
+            hash_bits: 16,
+            ..xlda_core::mc::MannAccuracyMcScenario::default()
+        }
+        .evaluate()
+        .unwrap();
+        assert_eq!(
+            acc.get("checksum").and_then(Json::as_str),
+            Some(format!("{:016x}", direct.distributions[0].checksum).as_str())
+        );
+        // Candidates (quantile views) ride alongside.
+        let cands = v.get("candidates").and_then(Json::as_arr).unwrap();
+        assert_eq!(cands.len(), direct.candidates.len());
+    }
+
+    #[test]
+    fn mc_invalid_inputs_fail_as_invalid_not_panic() {
+        let server = Server::new(ServerConfig::default());
+        let (w, rx) = test_writer();
+        server.handle_line(
+            r#"{"id":"mc2","kind":"mann_mc","scenario":{"trials":8,"hash_bits":4,"relax_decades":-2}}"#,
+            &w,
+        );
+        let v = recv(&rx);
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("code").and_then(Json::as_str), Some("invalid"));
+        let msg = v.get("error").and_then(Json::as_str).unwrap();
+        assert!(msg.contains("rram.relax"), "{msg}");
     }
 
     #[test]
