@@ -2,7 +2,8 @@
 //!
 //! Runs the fixed HDC/MANN/triage/MC sweep workloads, comparing the v1
 //! engine path (static chunking, no memoization) against the v2 path
-//! (work-stealing + cross-point memoization), writes the
+//! (work-stealing + cross-point memoization) plus a persistent
+//! result-store cold/restart-warm arm per workload, writes the
 //! `BENCH_sweep.json` trajectory report, and optionally gates against a
 //! committed baseline.
 //!
@@ -13,6 +14,8 @@
 //! xlda-bench --obs-overhead [--smoke] [--workload NAME] [--trace PATH]
 //! xlda-bench --loadgen [--smoke] [--duration-secs N] [--connections N]
 //!            [--serve-addr ADDR] [--out PATH]
+//! xlda-bench --store-smoke [--smoke] [--store-path PATH]
+//!            [--verify COLD.json] [--out PATH]
 //! ```
 //!
 //! - `--smoke`: shrunken grids for CI (seconds, not minutes).
@@ -38,10 +41,19 @@
 //!   with a mixed hdc/mann/triage stream (in-process server unless
 //!   `--serve-addr` names a running daemon), verify bit-exact parity,
 //!   and write the serving trajectory report.
+//! - `--store-smoke`: the cross-process crash-recovery gate. Without
+//!   `--verify`, deletes the store file at `--store-path` (default
+//!   `xlda_store.bin`), resolves every workload cold, and writes a
+//!   `xlda-bench-store-v1` report. With `--verify COLD.json` — run as a
+//!   *separate process*, optionally after corrupting the store's tail —
+//!   reopens the persisted file and exits 1 unless every point is a
+//!   store hit (hit rate exactly 1.0) and every workload checksum is
+//!   bit-identical to the cold report's.
 
 use std::process::ExitCode;
 use std::time::Duration;
 use xlda_bench::loadgen::{self, LoadgenConfig};
+use xlda_bench::store_bench;
 use xlda_bench::sweep_bench::{self, Workload};
 
 struct Args {
@@ -58,6 +70,9 @@ struct Args {
     connections: Option<usize>,
     serve_addr: Option<String>,
     transport: loadgen::Transport,
+    store_smoke: bool,
+    store_path: String,
+    verify: Option<String>,
 }
 
 fn usage() -> ! {
@@ -68,7 +83,9 @@ fn usage() -> ! {
          \x20      xlda-bench --obs-overhead [--smoke] [--workload NAME] [--trace PATH]\n\
          \x20      xlda-bench --loadgen [--smoke] [--duration-secs N] \
          [--connections N] [--serve-addr ADDR] [--transport event|threaded] \
-         [--baseline PATH] [--out PATH]"
+         [--baseline PATH] [--out PATH]\n\
+         \x20      xlda-bench --store-smoke [--smoke] [--store-path PATH] \
+         [--verify COLD.json] [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -88,6 +105,9 @@ fn parse_args() -> Args {
         connections: None,
         serve_addr: None,
         transport: loadgen::Transport::Event,
+        store_smoke: false,
+        store_path: "xlda_store.bin".to_string(),
+        verify: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -130,6 +150,15 @@ fn parse_args() -> Args {
             },
             "--transport" => match it.next().as_deref().and_then(loadgen::Transport::parse) {
                 Some(t) => args.transport = t,
+                None => usage(),
+            },
+            "--store-smoke" => args.store_smoke = true,
+            "--store-path" => match it.next() {
+                Some(p) => args.store_path = p,
+                None => usage(),
+            },
+            "--verify" => match it.next() {
+                Some(p) => args.verify = Some(p),
                 None => usage(),
             },
             "--help" | "-h" => usage(),
@@ -212,6 +241,48 @@ fn trace_finish(args: &Args) -> Result<(), ExitCode> {
     Ok(())
 }
 
+/// The `--store-smoke` gate: one process's cold or warm pass over the
+/// persistent store, reported as `xlda-bench-store-v1`.
+fn run_store_smoke(args: &Args) -> ExitCode {
+    let path = std::path::Path::new(&args.store_path);
+    let cold = args.verify.is_none();
+    let report = store_bench::run_store_smoke(args.smoke, path, cold);
+    store_bench::print_store_smoke(&report);
+
+    let out = args.out.as_deref().unwrap_or(if cold {
+        "BENCH_store_cold.json"
+    } else {
+        "BENCH_store_warm.json"
+    });
+    let json = store_bench::smoke_to_json(&report, path);
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("xlda-bench: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("report written to {out}");
+
+    let mut failures = Vec::new();
+    if let Some(cold_path) = &args.verify {
+        match std::fs::read_to_string(cold_path) {
+            Ok(cold_json) => {
+                failures = store_bench::verify_store_smoke(&report, &cold_json);
+                if failures.is_empty() {
+                    println!("store-smoke gate: PASS (vs {cold_path})");
+                }
+            }
+            Err(e) => failures.push(format!("cannot read cold report {cold_path}: {e}")),
+        }
+    }
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 /// Maximum tolerated wall-time cost of enabled instrumentation.
 const OBS_OVERHEAD_LIMIT: f64 = 0.05;
 
@@ -253,6 +324,9 @@ fn main() -> ExitCode {
     if args.loadgen {
         return run_loadgen(&args);
     }
+    if args.store_smoke {
+        return run_store_smoke(&args);
+    }
     if args.obs_overhead {
         return run_obs_overhead(&args);
     }
@@ -266,8 +340,13 @@ fn main() -> ExitCode {
         return code;
     }
 
+    // The persistent-store arm rides on the same report: cold
+    // (evaluate + append) vs restart-warm (disk replay) per workload.
+    let store_arms = store_bench::run_store_arms(&args.workloads, args.smoke);
+    store_bench::print_store_arms(&store_arms);
+
     let out = args.out.as_deref().unwrap_or("BENCH_sweep.json");
-    let json = sweep_bench::to_json(&results, args.smoke);
+    let json = sweep_bench::to_json_with_store(&results, &store_arms, args.smoke);
     if let Err(e) = std::fs::write(out, &json) {
         eprintln!("xlda-bench: cannot write {out}: {e}");
         return ExitCode::FAILURE;
@@ -285,11 +364,16 @@ fn main() -> ExitCode {
         })
         .collect();
 
+    // The store arms' invariants (bit-exact replay, hit rate 1.0) hold
+    // regardless of a baseline; speedup floors need the baseline file.
+    failures.extend(store_bench::check_store_baseline(&store_arms, ""));
+
     if let Some(path) = &args.baseline {
         match std::fs::read_to_string(path) {
             Ok(baseline) => {
                 // The gate re-checks checksums; drop the duplicates above.
                 failures = sweep_bench::check_against_baseline(&results, &baseline, args.tolerance);
+                failures.extend(store_bench::check_store_baseline(&store_arms, &baseline));
                 if failures.is_empty() {
                     println!(
                         "baseline gate: PASS (vs {path}, tolerance {})",

@@ -41,6 +41,7 @@ pub mod fig6_triage;
 pub mod loadgen;
 pub mod nvram_sweep;
 pub mod secv_speedup;
+pub mod store_bench;
 pub mod sweep_bench;
 
 use xlda_datagen::ClassificationSpec;

@@ -132,8 +132,8 @@ impl WorkloadResult {
     }
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x100_0000_01b3;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_PRIME: u64 = 0x100_0000_01b3;
 
 fn fold_f64s(values: &[f64]) -> u64 {
     values
@@ -141,7 +141,7 @@ fn fold_f64s(values: &[f64]) -> u64 {
         .fold(FNV_OFFSET, |h, v| (h ^ v.to_bits()).wrapping_mul(FNV_PRIME))
 }
 
-fn grid_hdc(smoke: bool) -> Vec<HdcScenario> {
+pub(crate) fn grid_hdc(smoke: bool) -> Vec<HdcScenario> {
     let dims: &[usize] = if smoke {
         &[256, 617]
     } else {
@@ -177,7 +177,7 @@ fn grid_hdc(smoke: bool) -> Vec<HdcScenario> {
     out
 }
 
-fn grid_mann(smoke: bool) -> Vec<MannScenario> {
+pub(crate) fn grid_mann(smoke: bool) -> Vec<MannScenario> {
     let weights: &[usize] = if smoke {
         &[16_000, 65_000]
     } else {
@@ -212,9 +212,9 @@ fn grid_mann(smoke: bool) -> Vec<MannScenario> {
 
 /// Trial population per MC grid point. Constant across the grid so the
 /// report's `trials_per_sec` is exact, not an average.
-const MC_TRIALS_PER_POINT: usize = 1024;
+pub(crate) const MC_TRIALS_PER_POINT: usize = 1024;
 
-fn grid_mc(smoke: bool) -> Vec<MannAccuracyMcScenario> {
+pub(crate) fn grid_mc(smoke: bool) -> Vec<MannAccuracyMcScenario> {
     let hash_bits: &[usize] = if smoke { &[64] } else { &[64, 128] };
     let decades: &[f64] = if smoke { &[3.0] } else { &[0.5, 1.5, 3.0, 4.5] };
     let noises: &[f64] = if smoke { &[0.01] } else { &[0.01, 0.05] };
@@ -525,7 +525,7 @@ pub fn run_obs_overhead(w: Workload, _smoke: bool) -> ObsOverhead {
     }
 }
 
-fn push_json_f64(out: &mut String, v: f64) {
+pub(crate) fn push_json_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         let _ = write!(out, "{v:.6}");
     } else {
@@ -574,6 +574,18 @@ fn push_run(out: &mut String, r: &RunStats) {
 /// without derive-based serialization, so the report writes (and the CI
 /// gate scans) this fixed schema directly.
 pub fn to_json(results: &[WorkloadResult], smoke: bool) -> String {
+    to_json_with_store(results, &[], smoke)
+}
+
+/// [`to_json`] with the persistent-store arm appended as a
+/// `store_arms` array (omitted when empty). Store-arm entries key on
+/// `store_workload` rather than `name` so [`scan_after`] lookups cannot
+/// collide with the engine-comparison entries.
+pub fn to_json_with_store(
+    results: &[WorkloadResult],
+    store_arms: &[crate::store_bench::StoreArmResult],
+    smoke: bool,
+) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
@@ -598,7 +610,18 @@ pub fn to_json(results: &[WorkloadResult], smoke: bool) -> String {
         }
         let _ = write!(out, ",\"checksum_match\":{}}}", r.checksum_match());
     }
-    out.push_str("]}\n");
+    out.push(']');
+    if !store_arms.is_empty() {
+        out.push_str(",\"store_arms\":[");
+        for (i, a) in store_arms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            crate::store_bench::push_store_arm(&mut out, a);
+        }
+        out.push(']');
+    }
+    out.push_str("}\n");
     out
 }
 
@@ -610,8 +633,16 @@ pub fn to_json(results: &[WorkloadResult], smoke: bool) -> String {
 /// machinery (which the offline vendor shims do not provide) is not
 /// needed for the CI gate.
 pub fn scan_field(json: &str, name: &str, field: &str) -> Option<f64> {
-    let anchor = format!("\"name\":\"{name}\"");
-    let start = json.find(&anchor)? + anchor.len();
+    scan_after(json, &format!("\"name\":\"{name}\""), field)
+}
+
+/// [`scan_field`] with an explicit anchor string: returns the numeric
+/// value of the first `"<field>":` after the first `anchor`. The store
+/// arms use this with a `"store_workload"` anchor key so their fields
+/// cannot be confused with the engine-comparison entries of the same
+/// workload name.
+pub fn scan_after(json: &str, anchor: &str, field: &str) -> Option<f64> {
+    let start = json.find(anchor)? + anchor.len();
     let rest = &json[start..];
     let key = format!("\"{field}\":");
     let at = rest.find(&key)? + key.len();

@@ -20,6 +20,7 @@
 use crate::error::{validate_fom, XldaError};
 use crate::fom::{Candidate, Fom};
 use crate::mc::McDistribution;
+use crate::store::{Digest, DigestWriter};
 use xlda_baseline::{HybridPipeline, Kernel, Platform};
 use xlda_circuit::tech::TechNode;
 use xlda_crossbar::macro_model::CrossbarMacro;
@@ -83,6 +84,61 @@ pub trait Scenario: Send + Sync {
             distributions: Vec::new(),
         })
     }
+
+    /// Content address of this scenario's complete parameter set for
+    /// the persistent result store ([`crate::store`]).
+    ///
+    /// Must cover *everything* that can change the evaluation — kind
+    /// tag, every numeric parameter (quantized), tech/config
+    /// fingerprints — and *nothing* that cannot (MC `batch`/`threads`
+    /// are schedule-only by the trial-stream contract and are
+    /// excluded). Two scenarios with equal keys must evaluate
+    /// bit-identically.
+    ///
+    /// The default returns `None`, which makes the store transparently
+    /// bypass itself for scenario types that have not opted in.
+    fn store_key(&self) -> Option<Digest> {
+        None
+    }
+}
+
+/// Boxed scenarios (the serving layer's batching currency) delegate the
+/// whole trait, so `ResultStore::sweep` and `successive_halving` accept
+/// `&[Box<dyn Scenario>]` directly.
+impl<T: Scenario + ?Sized> Scenario for Box<T> {
+    fn kind(&self) -> &'static str {
+        (**self).kind()
+    }
+
+    fn candidates(&self) -> Result<Vec<Candidate>, XldaError> {
+        (**self).candidates()
+    }
+
+    fn evaluate(&self) -> Result<Evaluation, XldaError> {
+        (**self).evaluate()
+    }
+
+    fn store_key(&self) -> Option<Digest> {
+        (**self).store_key()
+    }
+}
+
+/// Folds the [`HdcScenario`] parameter block into an open digest —
+/// shared by the HDC key and the wrapper scenarios (edge, TPU+NVM)
+/// whose results are functions of the same block.
+fn fold_hdc(w: &mut DigestWriter, s: &HdcScenario) {
+    w.usize(s.dim_in)
+        .usize(s.classes)
+        .usize(s.hv_dim_sw)
+        .usize(s.hv_dim_3b)
+        .usize(s.hv_dim_2b)
+        .usize(s.hv_dim_1b)
+        .f64(s.acc_sw)
+        .f64(s.acc_3b)
+        .f64(s.acc_2b)
+        .f64(s.acc_1b)
+        .f64(s.acc_mlp)
+        .word(s.tech.memo_key());
 }
 
 /// Everything one [`Scenario`] evaluation produces: the candidate set
@@ -225,6 +281,12 @@ fn hdc_on_cam(
 impl Scenario for HdcScenario {
     fn kind(&self) -> &'static str {
         "hdc"
+    }
+
+    fn store_key(&self) -> Option<Digest> {
+        let mut w = DigestWriter::new(self.kind());
+        fold_hdc(&mut w, self);
+        Some(w.finish())
     }
 
     /// Builds the full Fig. 3H candidate set: layer models reject
@@ -388,6 +450,13 @@ impl Scenario for TpuNvmScenario {
         "tpu_nvm"
     }
 
+    fn store_key(&self) -> Option<Digest> {
+        let mut w = DigestWriter::new(self.kind());
+        fold_hdc(&mut w, &self.base);
+        w.usize(self.batch);
+        Some(w.finish())
+    }
+
     fn candidates(&self) -> Result<Vec<Candidate>, XldaError> {
         Ok(vec![tpu_nvm_fom(&self.base, self.batch)?])
     }
@@ -472,6 +541,12 @@ impl Scenario for EdgeScenario {
         "edge"
     }
 
+    fn store_key(&self) -> Option<Digest> {
+        let mut w = DigestWriter::new(self.kind());
+        fold_hdc(&mut w, &self.base);
+        Some(w.finish())
+    }
+
     fn candidates(&self) -> Result<Vec<Candidate>, XldaError> {
         let s = &self.base;
         let mut out = Vec::new();
@@ -548,6 +623,18 @@ impl Default for MannScenario {
 impl Scenario for MannScenario {
     fn kind(&self) -> &'static str {
         "mann"
+    }
+
+    fn store_key(&self) -> Option<Digest> {
+        let mut w = DigestWriter::new(self.kind());
+        w.usize(self.weights)
+            .usize(self.emb_dim)
+            .usize(self.hash_bits)
+            .usize(self.entries)
+            .f64(self.acc_software)
+            .f64(self.acc_rram)
+            .word(self.tech.memo_key());
+        Some(w.finish())
     }
 
     /// Builds the MANN platform candidates: GPU software stack vs. the

@@ -24,6 +24,8 @@
 //! - [`profile`] — top-down linkage: workload composition → architecture
 //!   recommendation and device-metric priorities (Sec. VII);
 //! - [`sweep`] — parallel fan-out and memoization for large sweeps;
+//! - [`store`] — persistent content-addressed result store plus
+//!   successive-halving incremental DSE on top of it;
 //! - [`mc`] — variation-aware Monte-Carlo scenario kinds (CAM yield,
 //!   MANN accuracy under relaxation/read noise, NVM lifetime/V_th)
 //!   returning distribution summaries instead of single FOMs;
@@ -51,6 +53,7 @@ pub mod pareto;
 pub mod profile;
 pub mod report;
 pub mod sensitivity;
+pub mod store;
 pub mod sweep;
 pub mod triage;
 

@@ -33,6 +33,7 @@
 use crate::error::{validate_fom, XldaError};
 use crate::evaluate::{Evaluation, Scenario};
 use crate::fom::{Candidate, Fom};
+use crate::store::{Digest, DigestWriter};
 use crate::sweep::{par_try_map_with, PointFailure, SweepOptions};
 use xlda_circuit::matchline::MatchlineConfig;
 use xlda_device::mlc::{MultiLevelCell, StateVariable};
@@ -343,6 +344,23 @@ impl Scenario for CamYieldMcScenario {
         "cam_yield_mc"
     }
 
+    /// `trials` and `seed` fully determine the draws; `batch`/`threads`
+    /// are schedule-only (bit-identical results by the trial-stream
+    /// contract) and deliberately left out of the key.
+    fn store_key(&self) -> Option<Digest> {
+        let mut w = DigestWriter::new(self.kind());
+        w.usize(self.mc.trials)
+            .word(self.mc.seed)
+            .usize(self.cells)
+            .usize(self.mismatches)
+            .f64(self.g_on)
+            .f64(self.g_off)
+            .f64(self.variation.sigma_g_on_rel)
+            .f64(self.variation.sigma_g_off_rel)
+            .f64(self.target_error);
+        Some(w.finish())
+    }
+
     fn candidates(&self) -> Result<Vec<Candidate>, XldaError> {
         Ok(self.evaluate()?.candidates)
     }
@@ -519,6 +537,21 @@ impl MannAccuracyMcScenario {
 impl Scenario for MannAccuracyMcScenario {
     fn kind(&self) -> &'static str {
         "mann_mc"
+    }
+
+    /// Schedule-only `batch`/`threads` excluded; see
+    /// [`CamYieldMcScenario::store_key`].
+    fn store_key(&self) -> Option<Digest> {
+        let mut w = DigestWriter::new(self.kind());
+        w.usize(self.mc.trials)
+            .word(self.mc.seed)
+            .usize(self.hash_bits)
+            .usize(self.entries)
+            .f64(self.acc_software)
+            .f64(self.relax_decades)
+            .f64(self.read_noise)
+            .f64(self.acc_floor);
+        Some(w.finish())
     }
 
     fn candidates(&self) -> Result<Vec<Candidate>, XldaError> {
@@ -702,6 +735,26 @@ impl NvmLifetimeMcScenario {
 impl Scenario for NvmLifetimeMcScenario {
     fn kind(&self) -> &'static str {
         "nvm_mc"
+    }
+
+    /// Schedule-only `batch`/`threads` excluded; see
+    /// [`CamYieldMcScenario::store_key`].
+    fn store_key(&self) -> Option<Digest> {
+        let mut w = DigestWriter::new(self.kind());
+        w.usize(self.mc.trials)
+            .word(self.mc.seed)
+            .f64(self.capacity_bytes)
+            .f64(self.write_bytes_per_second)
+            .f64(self.leveling)
+            .f64(self.leveling_sigma)
+            .f64(self.endurance)
+            .f64(self.endurance_sigma_decades)
+            .f64(self.required_years)
+            .word(u64::from(self.vth_bits))
+            .f64(self.vth_lo)
+            .f64(self.vth_hi)
+            .f64(self.vth_sigma);
+        Some(w.finish())
     }
 
     fn candidates(&self) -> Result<Vec<Candidate>, XldaError> {

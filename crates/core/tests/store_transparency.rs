@@ -1,0 +1,228 @@
+//! Store-transparency property tests.
+//!
+//! The persistent result store's contract is stronger than the memo
+//! caches': a stored result must be *bit-identical* to a fresh
+//! evaluation, including after a serialize → disk → deserialize round
+//! trip, across every scenario kind it addresses. These properties
+//! drive random HDC/MANN/MC grids through three regimes — direct
+//! evaluation, a cold store (miss + insert), and a reloaded store (disk
+//! round trip) — and compare raw bit patterns.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use std::path::PathBuf;
+use xlda_core::evaluate::{Evaluation, HdcScenario, MannScenario, Scenario};
+use xlda_core::mc::{CamYieldMcScenario, MannAccuracyMcScenario, McParams};
+use xlda_core::store::ResultStore;
+
+/// Bit patterns of everything an evaluation carries: candidate FOMs and
+/// the full distribution summaries. Errors map to a fixed marker so
+/// infeasible points still compare across regimes.
+fn eval_bits(r: &Result<Evaluation, xlda_core::XldaError>) -> Vec<u64> {
+    match r {
+        Ok(ev) => {
+            let mut bits = Vec::new();
+            for c in &ev.candidates {
+                bits.extend([
+                    c.fom.latency_s.to_bits(),
+                    c.fom.energy_j.to_bits(),
+                    c.fom.area_mm2.to_bits(),
+                    c.fom.accuracy.to_bits(),
+                ]);
+            }
+            for d in &ev.distributions {
+                bits.extend([
+                    d.summary.trials as u64,
+                    d.summary.nan_count as u64,
+                    d.summary.mean.to_bits(),
+                    d.summary.std_dev.to_bits(),
+                    d.summary.min.to_bits(),
+                    d.summary.max.to_bits(),
+                    d.summary.p5.to_bits(),
+                    d.summary.p50.to_bits(),
+                    d.summary.p95.to_bits(),
+                    d.yield_fraction.to_bits(),
+                    d.checksum,
+                ]);
+            }
+            bits
+        }
+        Err(_) => vec![u64::MAX],
+    }
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "xlda_store_prop_{}_{}.bin",
+        std::process::id(),
+        tag
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Direct, store-cold, and store-reloaded evaluations of `grid` must be
+/// bit-identical; the reloaded pass must be all hits.
+fn assert_store_transparent<S: Scenario>(grid: &[S], tag: &str) -> Result<(), TestCaseError> {
+    let direct: Vec<Vec<u64>> = grid.iter().map(|s| eval_bits(&s.evaluate())).collect();
+    let path = tmp(tag);
+    {
+        let store = ResultStore::open(&path).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let cold: Vec<Vec<u64>> = grid
+            .iter()
+            .map(|s| eval_bits(&store.evaluate_cached(s)))
+            .collect();
+        prop_assert_eq!(&direct, &cold, "cold store changed results");
+        store.flush();
+    }
+    let store = ResultStore::open(&path).map_err(|e| TestCaseError::fail(e.to_string()))?;
+    let reloaded: Vec<Vec<u64>> = grid
+        .iter()
+        .map(|s| eval_bits(&store.evaluate_cached(s)))
+        .collect();
+    prop_assert_eq!(&direct, &reloaded, "disk round trip changed results");
+    // Every point that evaluated cold must be a result-level hit now
+    // (errors are never cached, so only count successes).
+    let ok_points = grid.iter().filter(|s| s.evaluate().is_ok()).count() as u64;
+    prop_assert_eq!(
+        store.stats().hits,
+        ok_points,
+        "reloaded pass must be all hits"
+    );
+    let _ = std::fs::remove_file(&path);
+    Ok(())
+}
+
+fn arb_hdc() -> impl Strategy<Value = HdcScenario> {
+    (64usize..1200, 2usize..64, 1usize..5, 0.5f64..1.0).prop_map(
+        |(dim_in, classes, hv_exp, acc)| {
+            let hv = 512 << hv_exp;
+            HdcScenario {
+                dim_in,
+                classes,
+                hv_dim_sw: hv,
+                hv_dim_3b: (hv / 2).max(512),
+                hv_dim_2b: hv,
+                hv_dim_1b: hv,
+                acc_sw: acc,
+                acc_3b: acc,
+                acc_2b: acc - 0.01,
+                acc_1b: acc - 0.05,
+                ..HdcScenario::default()
+            }
+        },
+    )
+}
+
+fn arb_mann() -> impl Strategy<Value = MannScenario> {
+    (
+        1_000usize..500_000,
+        8usize..256,
+        32usize..512,
+        10usize..10_000,
+    )
+        .prop_map(|(weights, emb_dim, hash_bits, entries)| MannScenario {
+            weights,
+            emb_dim,
+            hash_bits,
+            entries,
+            ..MannScenario::default()
+        })
+}
+
+fn arb_cam_mc() -> impl Strategy<Value = CamYieldMcScenario> {
+    (16usize..256, 1usize..8, any::<u64>(), 32usize..128).prop_map(
+        |(cells, mismatches, seed, trials)| CamYieldMcScenario {
+            mc: McParams {
+                trials,
+                seed,
+                ..McParams::default()
+            },
+            cells,
+            mismatches,
+            ..CamYieldMcScenario::default()
+        },
+    )
+}
+
+fn arb_mann_mc() -> impl Strategy<Value = MannAccuracyMcScenario> {
+    (64usize..512, 10usize..1000, any::<u64>(), 32usize..128).prop_map(
+        |(hash_bits, entries, seed, trials)| MannAccuracyMcScenario {
+            mc: McParams {
+                trials,
+                seed,
+                ..McParams::default()
+            },
+            hash_bits,
+            entries,
+            ..MannAccuracyMcScenario::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn hdc_results_survive_the_store_bit_exactly(
+        grid in prop::collection::vec(arb_hdc(), 1..4),
+        case in 0u32..u32::MAX,
+    ) {
+        assert_store_transparent(&grid, &format!("hdc{case:08x}"))?;
+    }
+
+    #[test]
+    fn mann_results_survive_the_store_bit_exactly(
+        grid in prop::collection::vec(arb_mann(), 1..4),
+        case in 0u32..u32::MAX,
+    ) {
+        assert_store_transparent(&grid, &format!("mann{case:08x}"))?;
+    }
+
+    #[test]
+    fn mc_results_survive_the_store_bit_exactly(
+        cam in prop::collection::vec(arb_cam_mc(), 1..3),
+        mann in prop::collection::vec(arb_mann_mc(), 1..3),
+        case in 0u32..u32::MAX,
+    ) {
+        assert_store_transparent(&cam, &format!("cam{case:08x}"))?;
+        assert_store_transparent(&mann, &format!("mmc{case:08x}"))?;
+    }
+
+    /// The digest covers exactly the result-determining parameters: MC
+    /// batch/threads re-splits address the same entry (their results
+    /// are bit-identical by the trial-stream contract), while any
+    /// result-bearing parameter change moves to a fresh key.
+    #[test]
+    fn mc_digests_ignore_schedule_and_track_parameters(
+        s in arb_cam_mc(),
+        batch in 1usize..64,
+        threads in 1usize..4,
+    ) {
+        let key = s.store_key().expect("keyed");
+        let resplit = CamYieldMcScenario {
+            mc: McParams { batch, threads, ..s.mc },
+            ..s.clone()
+        };
+        prop_assert_eq!(resplit.store_key().expect("keyed"), key);
+        let reseeded = CamYieldMcScenario {
+            mc: McParams { seed: s.mc.seed ^ 1, ..s.mc },
+            ..s.clone()
+        };
+        prop_assert_ne!(reseeded.store_key().expect("keyed"), key);
+        let resized = CamYieldMcScenario { cells: s.cells + 1, ..s.clone() };
+        prop_assert_ne!(resized.store_key().expect("keyed"), key);
+    }
+
+    /// Distinct scenarios on one grid axis never collide, and a
+    /// re-derived digest is stable.
+    #[test]
+    fn hdc_digests_are_stable_and_distinct(a in arb_hdc(), b in arb_hdc()) {
+        let ka = a.store_key().expect("keyed");
+        prop_assert_eq!(a.store_key().expect("keyed"), ka, "digest must be stable");
+        if a != b {
+            prop_assert_ne!(b.store_key().expect("keyed"), ka);
+        }
+    }
+}

@@ -8,18 +8,22 @@
 //! Options: `--queue-cap N`, `--batch-window-ms N` (saturation-test
 //! knob, default 0), `--batch-max N`, `--threads N`, `--deadline-ms N`
 //! (default per-request deadline), `--max-frame BYTES`, `--threaded`
-//! (legacy thread-per-connection TCP transport).
+//! (legacy thread-per-connection TCP transport), `--store PATH`
+//! (persistent result store; results survive restarts and back the
+//! `refine` request kind).
 
 use std::net::TcpListener;
 use std::process::exit;
+use std::sync::Arc;
 use std::time::Duration;
+use xlda_core::store::ResultStore;
 use xlda_serve::{Server, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: xlda-serve [--stdio | --listen ADDR] [--queue-cap N] \
          [--batch-window-ms N] [--batch-max N] [--threads N] [--deadline-ms N] \
-         [--max-frame BYTES] [--threaded]"
+         [--max-frame BYTES] [--threaded] [--store PATH]"
     );
     exit(2);
 }
@@ -38,6 +42,7 @@ fn main() {
     let mut config = ServerConfig::default();
     let mut stdio = false;
     let mut threaded = false;
+    let mut store_path: Option<String> = None;
     let mut listen = "127.0.0.1:7878".to_string();
     let mut args = std::env::args().skip(1).collect::<Vec<_>>().into_iter();
     while let Some(arg) = args.next() {
@@ -64,6 +69,10 @@ fn main() {
                 config.max_frame = (parse_num(&mut args, "--max-frame") as usize).max(1);
             }
             "--threaded" => threaded = true,
+            "--store" => match args.next() {
+                Some(p) => store_path = Some(p),
+                None => usage(),
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("xlda-serve: unknown argument {other:?}");
@@ -76,7 +85,32 @@ fn main() {
         exit(2);
     }
 
-    let server = Server::new(config);
+    let store = store_path.map(|p| match ResultStore::open(&p) {
+        Ok(s) => {
+            let rep = s.load_report();
+            eprintln!(
+                "xlda-serve: store {p}: {} records recovered{}{}",
+                rep.recovered_records,
+                if rep.truncated_bytes > 0 {
+                    format!(", {} torn bytes truncated", rep.truncated_bytes)
+                } else {
+                    String::new()
+                },
+                if rep.reset {
+                    ", reset (incompatible file)"
+                } else {
+                    ""
+                },
+            );
+            Arc::new(s)
+        }
+        Err(e) => {
+            eprintln!("xlda-serve: cannot open store {p}: {e}");
+            exit(1);
+        }
+    });
+
+    let server = Server::with_store(config, store);
     if stdio {
         server.run_stdio();
         return;

@@ -17,21 +17,44 @@
 //!
 //! `scenario` fields are optional overrides on the workload's
 //! `Default`; `kind` is one of `hdc | mann | edge | tpu_nvm | triage |
-//! cam_yield_mc | mann_mc | nvm_mc | stats | metrics | shutdown`. The
-//! `*_mc` kinds are Monte-Carlo scenarios: their `scenario` object also
-//! accepts the population controls `trials`, `seed`, `batch`, and
-//! `threads`, and their responses carry a `distributions` array of
-//! summary digests next to `candidates`. See DESIGN.md §9 and §12 for
-//! the full schema.
+//! cam_yield_mc | mann_mc | nvm_mc | refine | stats | metrics |
+//! shutdown`. The `*_mc` kinds are Monte-Carlo scenarios: their
+//! `scenario` object also accepts the population controls `trials`,
+//! `seed`, `batch`, and `threads`, and their responses carry a
+//! `distributions` array of summary digests next to `candidates`.
+//!
+//! `refine` is incremental DSE against the result store: it expands a
+//! `grid` cross-product over a `base` workload, skips the digests the
+//! client reports as `known`, resolves the rest through the store
+//! (lookup or fresh evaluation), and optionally triages by successive
+//! halving instead of exhaustively:
+//!
+//! ```json
+//! {"id":"r6","kind":"refine","base":"hdc",
+//!  "scenario":{"acc_sw":0.9},
+//!  "grid":{"classes":[10,20,30],"tech":["n40","n22"]},
+//!  "known":["<32-hex digest>"],
+//!  "mode":"halving","fraction":0.25,
+//!  "objective":"latency_first","floor":0.9}
+//! ```
+//!
+//! See DESIGN.md §9, §12, and §13 for the full schema.
 
 use crate::json::{obj, Json};
+use std::collections::HashSet;
 use xlda_circuit::tech::TechNode;
 use xlda_core::evaluate::{EdgeScenario, HdcScenario, MannScenario, Scenario, TpuNvmScenario};
 use xlda_core::fom::Candidate;
 use xlda_core::mc::{
     CamYieldMcScenario, MannAccuracyMcScenario, McDistribution, McParams, NvmLifetimeMcScenario,
 };
+use xlda_core::store::Digest;
 use xlda_core::triage::Objective;
+
+/// Cross-product cap for one `refine` grid; larger explorations should
+/// be split across requests (each one returns the digests needed to
+/// resume exactly where it stopped).
+pub const REFINE_MAX_POINTS: usize = 1024;
 
 /// Ranking objective requested by a `triage` request.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,6 +82,45 @@ impl TriageSpec {
             TriageObjective::EnergyFirst => Objective::energy_first(self.floor),
         }
     }
+}
+
+/// How a `refine` request spends its evaluation budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RefineMode {
+    /// Evaluate every unresolved grid point.
+    Full,
+    /// Successive-halving triage: evaluate a strided `fraction` of the
+    /// grid first, then refine around the survivors.
+    Halving {
+        /// Initial evaluated fraction (stride `ceil(1/fraction)`).
+        fraction: f64,
+    },
+}
+
+/// One expanded grid point of a `refine` request.
+pub struct RefinePoint {
+    /// The point's content address ([`Scenario::store_key`]).
+    pub digest: Digest,
+    /// The scenario to evaluate on a miss.
+    pub scenario: Box<dyn Scenario>,
+}
+
+/// A parsed `refine` request: incremental DSE over an expanded grid,
+/// skipping digests the client already holds and points the store has
+/// already resolved.
+pub struct RefineSpec {
+    /// Base workload kind the grid spans.
+    pub base: String,
+    /// The expanded cross-product, in axis-major order.
+    pub points: Vec<RefinePoint>,
+    /// Digests the client already has results for; these points are
+    /// acknowledged as `"known"` without any lookup or evaluation.
+    pub known: HashSet<Digest>,
+    /// Full sweep or successive-halving triage.
+    pub mode: RefineMode,
+    /// Ranking objective for the response's `ranking` block (required
+    /// meaningfully by halving mode; optional for full sweeps).
+    pub triage: Option<TriageSpec>,
 }
 
 /// A parsed, admissible request.
@@ -90,6 +152,15 @@ pub enum Request {
         /// Correlation id.
         id: String,
     },
+    /// Incremental DSE against the persistent result store.
+    Refine {
+        /// Correlation id.
+        id: String,
+        /// The expanded grid and its skip/triage controls.
+        spec: RefineSpec,
+        /// Per-request deadline in milliseconds from admission.
+        deadline_ms: Option<u64>,
+    },
 }
 
 /// Parses one request line. `Err` carries `(id-if-known, message)` so
@@ -117,6 +188,14 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
         },
     };
     let spec = v.get("scenario").cloned().unwrap_or(Json::Obj(Vec::new()));
+    if kind == "refine" {
+        let spec = parse_refine(&v, &spec).map_err(|m| (id.clone(), m))?;
+        return Ok(Request::Refine {
+            id,
+            spec,
+            deadline_ms,
+        });
+    }
     let scenario: Box<dyn Scenario> = match kind {
         "stats" => return Ok(Request::Stats { id }),
         "metrics" => return Ok(Request::Metrics { id }),
@@ -323,6 +402,153 @@ pub fn nvm_mc_scenario(spec: &Json) -> Result<NvmLifetimeMcScenario, String> {
     Ok(s)
 }
 
+/// Builds a scenario of any evaluable `base` kind from one spec object
+/// (defaults + overrides). Unlike the top-level request shape, wrapper
+/// parameters (`batch` for `tpu_nvm`) live *inside* the spec so refine
+/// grids can sweep them as axes.
+pub fn build_scenario(base: &str, spec: &Json) -> Result<Box<dyn Scenario>, String> {
+    Ok(match base {
+        "hdc" => Box::new(hdc_scenario(spec)?),
+        "mann" => Box::new(mann_scenario(spec)?),
+        "edge" => Box::new(EdgeScenario::new(hdc_scenario(spec)?)),
+        "tpu_nvm" => {
+            let mut batch = 1usize;
+            usize_field(spec, "batch", &mut batch)?;
+            if batch == 0 {
+                return Err("\"batch\" must be a positive integer".into());
+            }
+            Box::new(TpuNvmScenario::new(hdc_scenario(spec)?, batch))
+        }
+        "cam_yield_mc" => Box::new(cam_yield_mc_scenario(spec)?),
+        "mann_mc" => Box::new(mann_mc_scenario(spec)?),
+        "nvm_mc" => Box::new(nvm_mc_scenario(spec)?),
+        other => return Err(format!("unknown refine base kind {other:?}")),
+    })
+}
+
+/// Sets (or replaces) one key in a JSON object value.
+fn obj_set(spec: &mut Json, key: &str, value: Json) {
+    if let Json::Obj(pairs) = spec {
+        pairs.retain(|(k, _)| k != key);
+        pairs.push((key.to_string(), value));
+    }
+}
+
+/// Parses the `refine`-specific fields and expands the grid
+/// cross-product into digested points.
+///
+/// Shape:
+///
+/// ```json
+/// {"id":"r6","kind":"refine","base":"hdc",
+///  "scenario":{"acc_sw":0.9},
+///  "grid":{"classes":[10,20,30],"tech":["n40","n22"]},
+///  "known":["<32-hex digest>", "..."],
+///  "mode":"halving","fraction":0.25,
+///  "objective":"latency_first","floor":0.9}
+/// ```
+fn parse_refine(v: &Json, base_spec: &Json) -> Result<RefineSpec, String> {
+    let base = match v.get("base").and_then(Json::as_str) {
+        Some(b) => b.to_string(),
+        None => return Err("refine requires a \"base\" workload kind".into()),
+    };
+    // Grid axes expand in the order the request lists them; a missing
+    // or empty grid means one point (the base scenario itself).
+    let mut axes: Vec<(String, Vec<Json>)> = Vec::new();
+    match v.get("grid") {
+        None | Some(Json::Null) => {}
+        Some(Json::Obj(pairs)) => {
+            for (key, vals) in pairs {
+                let Some(vals) = vals.as_arr() else {
+                    return Err(format!("grid axis {key:?} must be an array"));
+                };
+                if vals.is_empty() {
+                    return Err(format!("grid axis {key:?} is empty"));
+                }
+                axes.push((key.clone(), vals.to_vec()));
+            }
+        }
+        Some(_) => return Err("\"grid\" must be an object of axis arrays".into()),
+    }
+    let total: usize = axes
+        .iter()
+        .try_fold(1usize, |acc, (_, vals)| acc.checked_mul(vals.len()))
+        .ok_or_else(|| "grid overflows".to_string())?;
+    if total > REFINE_MAX_POINTS {
+        return Err(format!(
+            "grid expands to {total} points (cap {REFINE_MAX_POINTS}); split the request"
+        ));
+    }
+    let mut points = Vec::with_capacity(total);
+    for i in 0..total {
+        let mut spec = base_spec.clone();
+        let mut rest = i;
+        for (key, vals) in &axes {
+            obj_set(&mut spec, key, vals[rest % vals.len()].clone());
+            rest /= vals.len();
+        }
+        let scenario = build_scenario(&base, &spec)?;
+        let digest = scenario
+            .store_key()
+            .ok_or_else(|| format!("base kind {base:?} has no store key"))?;
+        points.push(RefinePoint { digest, scenario });
+    }
+    let mut known = HashSet::new();
+    match v.get("known") {
+        None | Some(Json::Null) => {}
+        Some(Json::Arr(items)) => {
+            for item in items {
+                let Some(hex) = item.as_str() else {
+                    return Err("\"known\" entries must be digest strings".into());
+                };
+                let Some(d) = Digest::from_hex(hex) else {
+                    return Err(format!("\"known\" digest {hex:?} is not 32 hex chars"));
+                };
+                known.insert(d);
+            }
+        }
+        Some(_) => return Err("\"known\" must be an array of digest strings".into()),
+    }
+    let mode = match v.get("mode").and_then(Json::as_str) {
+        None | Some("full") => RefineMode::Full,
+        Some("halving") => {
+            let fraction = match v.get("fraction") {
+                None | Some(Json::Null) => 0.25,
+                Some(f) => match f.as_f64() {
+                    Some(x) if x.is_finite() && x > 0.0 && x <= 1.0 => x,
+                    _ => return Err("\"fraction\" must be in (0, 1]".into()),
+                },
+            };
+            RefineMode::Halving { fraction }
+        }
+        Some(other) => return Err(format!("unknown refine mode {other:?}")),
+    };
+    let triage = match v.get("objective").and_then(Json::as_str) {
+        None => None,
+        Some("latency_first") => Some(TriageObjective::LatencyFirst),
+        Some("energy_first") => Some(TriageObjective::EnergyFirst),
+        Some(o) => return Err(format!("unknown objective {o:?}")),
+    }
+    .map(|objective| -> Result<TriageSpec, String> {
+        let floor = match v.get("floor") {
+            None | Some(Json::Null) => None,
+            Some(f) => match f.as_f64() {
+                Some(x) if x.is_finite() => Some(x),
+                _ => return Err("\"floor\" must be a finite number".into()),
+            },
+        };
+        Ok(TriageSpec { objective, floor })
+    })
+    .transpose()?;
+    Ok(RefineSpec {
+        base,
+        points,
+        known,
+        mode,
+        triage,
+    })
+}
+
 /// Serializes one Monte-Carlo distribution digest. The checksum is a
 /// hex string: `f64` cannot carry 64 significant bits, and clients use
 /// it only for equality (determinism audits).
@@ -462,6 +688,111 @@ mod tests {
                 _ => panic!("{kind} did not parse as eval"),
             }
         }
+    }
+
+    #[test]
+    fn refine_expands_the_grid_cross_product() {
+        let r = parse_request(
+            r#"{"id":"r","kind":"refine","base":"hdc","scenario":{"acc_sw":0.9},
+                "grid":{"classes":[10,20,30],"tech":["n40","n22"]}}"#,
+        )
+        .unwrap();
+        let spec = match r {
+            Request::Refine { id, spec, .. } => {
+                assert_eq!(id, "r");
+                spec
+            }
+            _ => panic!("not a refine request"),
+        };
+        assert_eq!(spec.base, "hdc");
+        assert_eq!(spec.points.len(), 6);
+        assert_eq!(spec.mode, RefineMode::Full);
+        assert!(spec.known.is_empty());
+        // Every expanded point is distinct and its digest matches a
+        // hand-built scenario's store key.
+        let digests: HashSet<Digest> = spec.points.iter().map(|p| p.digest).collect();
+        assert_eq!(digests.len(), 6);
+        let mut want = HdcScenario {
+            classes: 20,
+            acc_sw: 0.9,
+            ..HdcScenario::default()
+        };
+        want.tech = TechNode::n22();
+        use xlda_core::evaluate::Scenario as _;
+        assert!(digests.contains(&want.store_key().unwrap()));
+    }
+
+    #[test]
+    fn refine_parses_known_mode_and_triage() {
+        let hex = HdcScenario::default().store_key().unwrap().to_hex();
+        let line = format!(
+            r#"{{"id":"r","kind":"refine","base":"mann","grid":{{"hash_bits":[16,32]}},
+                "known":["{hex}"],"mode":"halving","fraction":0.5,
+                "objective":"energy_first","floor":0.8}}"#
+        );
+        let spec = match parse_request(&line).unwrap() {
+            Request::Refine { spec, .. } => spec,
+            _ => panic!(),
+        };
+        assert_eq!(spec.points.len(), 2);
+        assert_eq!(spec.mode, RefineMode::Halving { fraction: 0.5 });
+        assert!(spec.known.contains(&Digest::from_hex(&hex).unwrap()));
+        assert_eq!(
+            spec.triage,
+            Some(TriageSpec {
+                objective: TriageObjective::EnergyFirst,
+                floor: Some(0.8),
+            })
+        );
+    }
+
+    #[test]
+    fn refine_rejects_bad_requests() {
+        for (line, frag) in [
+            (r#"{"id":"r","kind":"refine"}"#, "base"),
+            (
+                r#"{"id":"r","kind":"refine","base":"warp_drive"}"#,
+                "unknown refine base",
+            ),
+            (
+                r#"{"id":"r","kind":"refine","base":"hdc","grid":{"classes":[]}}"#,
+                "empty",
+            ),
+            (
+                r#"{"id":"r","kind":"refine","base":"hdc","grid":{"classes":7}}"#,
+                "array",
+            ),
+            (
+                r#"{"id":"r","kind":"refine","base":"hdc","known":["zz"]}"#,
+                "hex",
+            ),
+            (
+                r#"{"id":"r","kind":"refine","base":"hdc","mode":"halving","fraction":0.0}"#,
+                "fraction",
+            ),
+        ] {
+            let msg = match parse_request(line) {
+                Err((_, msg)) => msg,
+                Ok(_) => panic!("accepted bad refine {line}"),
+            };
+            assert!(msg.contains(frag), "{line} -> {msg}");
+        }
+    }
+
+    #[test]
+    fn refine_caps_the_grid_size() {
+        // 11 * 11 * 11 = 1331 > 1024.
+        let axis: Vec<String> = (0..11).map(|i| (10 + i).to_string()).collect();
+        let axis = axis.join(",");
+        let line = format!(
+            r#"{{"id":"r","kind":"refine","base":"hdc",
+                "grid":{{"classes":[{axis}],"dim_in":[{axis}],"hv_dim_sw":[{axis}]}}}}"#
+        );
+        let msg = match parse_request(&line) {
+            Err((_, msg)) => msg,
+            Ok(_) => panic!("accepted an oversized grid"),
+        };
+        assert!(msg.contains("1331"), "{msg}");
     }
 
     #[test]

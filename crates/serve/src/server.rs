@@ -42,10 +42,11 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::json::{obj, Json};
-use crate::protocol::{self, Request, TriageSpec};
-use xlda_core::evaluate::Scenario;
-use xlda_core::sweep::memo;
-use xlda_core::triage::rank;
+use crate::protocol::{self, RefineMode, RefineSpec, Request, TriageSpec};
+use xlda_core::evaluate::{Evaluation, Scenario};
+use xlda_core::store::{successive_halving, HalvingConfig, ResultStore};
+use xlda_core::sweep::{memo, SweepOptions};
+use xlda_core::triage::{rank, Objective};
 use xlda_core::XldaError;
 use xlda_obs::{Counter, Histogram, Registry};
 
@@ -101,11 +102,21 @@ pub trait ResponseSink: Send + Sync {
     fn job_finished(&self) {}
 }
 
-/// One admitted evaluation job.
+/// What one admitted job does when a worker picks it up.
+enum Work {
+    /// A single-scenario evaluation (the classic request kinds).
+    Eval {
+        scenario: Box<dyn Scenario>,
+        triage: Option<TriageSpec>,
+    },
+    /// An incremental-DSE grid against the result store.
+    Refine(RefineSpec),
+}
+
+/// One admitted job.
 struct Job {
     id: String,
-    scenario: Box<dyn Scenario>,
-    triage: Option<TriageSpec>,
+    work: Work,
     deadline_at: Option<Instant>,
     enqueued_at: Instant,
     sink: Arc<dyn ResponseSink>,
@@ -113,7 +124,6 @@ struct Job {
 
 /// Why a job failed.
 enum JobError {
-    Deadline,
     Eval(XldaError),
     Panicked(String),
 }
@@ -205,6 +215,11 @@ pub(crate) struct Shared {
     not_empty: Condvar,
     draining: AtomicBool,
     metrics: Metrics,
+    /// The persistent result store, when one is configured. `Eval` jobs
+    /// consult it transparently (digest hit skips the engine); `Refine`
+    /// jobs resolve against it, falling back to a transient in-memory
+    /// store when absent.
+    store: Option<Arc<ResultStore>>,
     /// Installed by the event loop so `shutdown()` and workers can wake
     /// it; `None` under stdio/threaded transports.
     #[cfg(unix)]
@@ -255,6 +270,17 @@ pub struct Server {
 impl Server {
     /// Starts the worker pool; the server is ready to admit requests.
     pub fn new(config: ServerConfig) -> Self {
+        Self::with_store(config, None)
+    }
+
+    /// Like [`Server::new`], with a persistent result store consulted
+    /// before every evaluation and backing `refine` requests. The store
+    /// is also attached process-globally so its counters ride along in
+    /// the memo-cache snapshot.
+    pub fn with_store(config: ServerConfig, store: Option<Arc<ResultStore>>) -> Self {
+        if let Some(s) = &store {
+            xlda_core::store::attach(Arc::clone(s));
+        }
         let worker_count = if config.threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
@@ -267,6 +293,7 @@ impl Server {
             not_empty: Condvar::new(),
             draining: AtomicBool::new(false),
             metrics: Metrics::new(),
+            store,
             #[cfg(unix)]
             waker: Mutex::new(None),
         });
@@ -473,8 +500,7 @@ pub(crate) fn handle_line_from(
                 .map(|d| now + d);
             let job = Job {
                 id,
-                scenario,
-                triage,
+                work: Work::Eval { scenario, triage },
                 deadline_at,
                 enqueued_at: now,
                 sink: Arc::clone(sink),
@@ -486,29 +512,57 @@ pub(crate) fn handle_line_from(
                 shared.metrics.observe_drain(started.elapsed(), 1);
                 return;
             }
-            if let Err(job) = admit(shared, job) {
-                shared.metrics.rejected.inc();
-                job.sink.send(&protocol::err_response(
-                    &job.id,
-                    "queue_full",
-                    "admission queue is full",
-                    Some(retry_after_ms(shared)),
-                ));
-                job.sink.job_finished();
-            }
+            admit_or_reject(shared, job);
+        }
+        Ok(Request::Refine {
+            id,
+            spec,
+            deadline_ms,
+        }) => {
+            let now = Instant::now();
+            let deadline_at = deadline_ms
+                .map(Duration::from_millis)
+                .or(shared.config.default_deadline)
+                .map(|d| now + d);
+            let job = Job {
+                id,
+                work: Work::Refine(spec),
+                deadline_at,
+                enqueued_at: now,
+                sink: Arc::clone(sink),
+            };
+            job.sink.job_started();
+            // A refine fans out over a whole grid; it never takes the
+            // event loop's inline fast path.
+            admit_or_reject(shared, job);
         }
     }
 }
 
-/// Bounded admission: refuses (returning the job) when draining or at
-/// capacity — the queue never grows past `queue_cap`.
-fn admit(shared: &Shared, job: Job) -> Result<(), Job> {
+/// Admits a job or answers it with `queue_full` + a backpressure hint.
+fn admit_or_reject(shared: &Arc<Shared>, job: Job) {
+    if let Err(job) = admit(shared, job) {
+        shared.metrics.rejected.inc();
+        job.sink.send(&protocol::err_response(
+            &job.id,
+            "queue_full",
+            "admission queue is full",
+            Some(retry_after_ms(shared)),
+        ));
+        job.sink.job_finished();
+    }
+}
+
+/// Bounded admission: refuses (returning the job, boxed to keep the
+/// `Err` small) when draining or at capacity — the queue never grows
+/// past `queue_cap`.
+fn admit(shared: &Shared, job: Job) -> Result<(), Box<Job>> {
     if shared.draining.load(Ordering::SeqCst) {
-        return Err(job);
+        return Err(Box::new(job));
     }
     let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
     if q.len() >= shared.config.queue_cap {
-        return Err(job);
+        return Err(Box::new(job));
     }
     q.push_back(job);
     drop(q);
@@ -588,29 +642,69 @@ fn run_batch(shared: &Arc<Shared>, batch: Vec<Job>) {
     }
 }
 
-/// Evaluates one job under per-job containment and sends its response.
+/// Runs one job under per-job containment and sends its response.
 fn run_one(shared: &Arc<Shared>, job: Job) {
     let metrics = &shared.metrics;
     let eval_start = Instant::now();
     metrics
         .queue_wait
         .record_duration(eval_start.saturating_duration_since(job.enqueued_at));
-    let result = if job.deadline_at.is_some_and(|t| eval_start >= t) {
-        Err(JobError::Deadline)
+    let Job {
+        id,
+        work,
+        deadline_at,
+        enqueued_at,
+        sink,
+    } = job;
+    let line = if deadline_at.is_some_and(|t| eval_start >= t) {
+        metrics.deadline_expired.inc();
+        protocol::err_response(&id, "deadline", "deadline exceeded", None)
     } else {
-        // evaluate(), not candidates(): Monte-Carlo scenarios run their
-        // trial population exactly once and return distribution digests
-        // alongside the candidate view; deterministic scenarios fall
-        // through the default impl at zero cost.
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job.scenario.evaluate()))
-            .map_err(|p| JobError::Panicked(panic_message(p)))
-            .and_then(|r| r.map_err(JobError::Eval))
+        match work {
+            Work::Eval { scenario, triage } => eval_response(
+                shared,
+                &id,
+                &*scenario,
+                triage.as_ref(),
+                enqueued_at,
+                eval_start,
+            ),
+            Work::Refine(spec) => {
+                refine_response(shared, &id, spec, deadline_at, enqueued_at, eval_start)
+            }
+        }
     };
+    sink.send(&line);
+    sink.job_finished();
+}
+
+/// Evaluates one scenario and builds its response line.
+fn eval_response(
+    shared: &Arc<Shared>,
+    id: &str,
+    scenario: &dyn Scenario,
+    triage: Option<&TriageSpec>,
+    enqueued_at: Instant,
+    eval_start: Instant,
+) -> String {
+    let metrics = &shared.metrics;
+    // evaluate(), not candidates(): Monte-Carlo scenarios run their
+    // trial population exactly once and return distribution digests
+    // alongside the candidate view; deterministic scenarios fall
+    // through the default impl at zero cost. With a store configured,
+    // the digest lookup happens first and a hit skips the engine
+    // entirely — bit-identical either way, so responses cannot tell.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &shared.store {
+        Some(store) => store.evaluate_cached(scenario),
+        None => scenario.evaluate(),
+    }))
+    .map_err(|p| JobError::Panicked(panic_message(p)))
+    .and_then(|r| r.map_err(JobError::Eval));
     metrics.compute.record_duration(eval_start.elapsed());
-    let line = match result {
+    match result {
         Ok(eval) => {
             let cands = eval.candidates;
-            metrics.latency.record_duration(job.enqueued_at.elapsed());
+            metrics.latency.record_duration(enqueued_at.elapsed());
             metrics.completed.inc();
             metrics.points.add(cands.len() as u64);
             // Each digest summarizes the same request population, so
@@ -637,7 +731,7 @@ fn run_one(shared: &Arc<Shared>, job: Job) {
                     ),
                 ));
             }
-            if let Some(spec) = &job.triage {
+            if let Some(spec) = triage {
                 let ranking = rank(&cands, &spec.objective());
                 body.push((
                     "ranking",
@@ -655,11 +749,7 @@ fn run_one(shared: &Arc<Shared>, job: Job) {
                     ),
                 ));
             }
-            protocol::ok_response(&job.id, job.scenario.kind(), body)
-        }
-        Err(JobError::Deadline) => {
-            metrics.deadline_expired.inc();
-            protocol::err_response(&job.id, "deadline", "deadline exceeded", None)
+            protocol::ok_response(id, scenario.kind(), body)
         }
         Err(JobError::Eval(e)) => {
             let code = if e.is_infeasible() {
@@ -667,17 +757,202 @@ fn run_one(shared: &Arc<Shared>, job: Job) {
             } else {
                 "invalid"
             };
-            protocol::err_response(&job.id, code, &e.to_string(), None)
+            protocol::err_response(id, code, &e.to_string(), None)
         }
-        Err(JobError::Panicked(msg)) => protocol::err_response(
-            &job.id,
-            "panic",
-            &format!("evaluation panicked: {msg}"),
-            None,
-        ),
+        Err(JobError::Panicked(msg)) => {
+            protocol::err_response(id, "panic", &format!("evaluation panicked: {msg}"), None)
+        }
+    }
+}
+
+/// Executes one `refine` job: resolves every grid point the client does
+/// not already hold, preferring store lookups over fresh evaluations.
+/// Misses fall through to the normal engine, so refine is exact — a
+/// cold store just makes it slower.
+fn refine_response(
+    shared: &Arc<Shared>,
+    id: &str,
+    spec: RefineSpec,
+    deadline_at: Option<Instant>,
+    enqueued_at: Instant,
+    eval_start: Instant,
+) -> String {
+    let metrics = &shared.metrics;
+    let store = match &shared.store {
+        Some(s) => Arc::clone(s),
+        // No configured store: refine still works, resolving through a
+        // transient in-memory store (same semantics, no persistence).
+        None => Arc::new(ResultStore::in_memory()),
     };
-    job.sink.send(&line);
-    job.sink.job_finished();
+    let RefineSpec {
+        base,
+        points,
+        known,
+        mode,
+        triage,
+    } = spec;
+    let n = points.len();
+    let objective = triage
+        .as_ref()
+        .map(|t| t.objective())
+        .unwrap_or_else(|| Objective::latency_first(None));
+    let (digests, scenarios): (Vec<_>, Vec<_>) =
+        points.into_iter().map(|p| (p.digest, p.scenario)).unzip();
+    // Snapshot which digests the store already held, so statuses can
+    // distinguish a lookup ("cached") from fresh work ("evaluated").
+    let pre_cached: Vec<bool> = digests.iter().map(|d| store.contains(d)).collect();
+    let mut statuses: Vec<&'static str> = vec!["pruned"; n];
+    let mut results: Vec<Option<Result<Evaluation, String>>> = (0..n).map(|_| None).collect();
+    let mut ranking: Vec<(usize, String, f64)> = Vec::new();
+    match mode {
+        RefineMode::Full => {
+            for i in 0..n {
+                if known.contains(&digests[i]) {
+                    statuses[i] = "known";
+                    continue;
+                }
+                if deadline_at.is_some_and(|t| Instant::now() >= t) {
+                    // Everything resolved so far is already in the
+                    // store; a retry resumes exactly here.
+                    statuses[i] = "deadline";
+                    continue;
+                }
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    store.evaluate_cached(&*scenarios[i])
+                }));
+                let (status, result) = match r {
+                    Ok(Ok(ev)) => (if pre_cached[i] { "cached" } else { "evaluated" }, Ok(ev)),
+                    Ok(Err(e)) => ("failed", Err(e.to_string())),
+                    Err(p) => (
+                        "failed",
+                        Err(format!("evaluation panicked: {}", panic_message(p))),
+                    ),
+                };
+                statuses[i] = status;
+                results[i] = Some(result);
+            }
+            if triage.is_some() {
+                ranking = rank_resolved(&results, &objective);
+            }
+        }
+        RefineMode::Halving { fraction } => {
+            let opts = SweepOptions::builder().threads(1).build();
+            let config = HalvingConfig {
+                fraction,
+                objective,
+            };
+            let outcome = successive_halving(&store, &scenarios, &opts, &config);
+            for (i, r) in outcome.results.into_iter().enumerate() {
+                let Some(r) = r else { continue };
+                let (status, result) = match r {
+                    Ok(ev) => (
+                        if known.contains(&digests[i]) {
+                            "known"
+                        } else if pre_cached[i] {
+                            "cached"
+                        } else {
+                            "evaluated"
+                        },
+                        Ok(ev),
+                    ),
+                    Err(e) => ("failed", Err(e.to_string())),
+                };
+                statuses[i] = status;
+                results[i] = Some(result);
+            }
+            ranking = outcome
+                .ranking
+                .into_iter()
+                .map(|r| (r.index, r.name, r.score))
+                .collect();
+        }
+    }
+    metrics.compute.record_duration(eval_start.elapsed());
+    metrics.latency.record_duration(enqueued_at.elapsed());
+    metrics.completed.inc();
+    let count = |tag: &str| statuses.iter().filter(|s| **s == tag).count();
+    let (evaluated, cached, known_n) = (count("evaluated"), count("cached"), count("known"));
+    let mut returned_points = 0u64;
+    let points_json: Vec<Json> = (0..n)
+        .map(|i| {
+            let mut fields = vec![
+                ("digest", Json::Str(digests[i].to_hex())),
+                ("status", Json::Str(statuses[i].to_string())),
+            ];
+            match &results[i] {
+                // Known points answer with digest + status only — the
+                // client said it already holds them.
+                Some(Ok(ev)) if statuses[i] != "known" => {
+                    returned_points += ev.candidates.len() as u64;
+                    fields.push((
+                        "candidates",
+                        Json::Arr(ev.candidates.iter().map(protocol::candidate_json).collect()),
+                    ));
+                    if !ev.distributions.is_empty() {
+                        fields.push((
+                            "distributions",
+                            Json::Arr(
+                                ev.distributions
+                                    .iter()
+                                    .map(protocol::distribution_json)
+                                    .collect(),
+                            ),
+                        ));
+                    }
+                }
+                Some(Err(msg)) => fields.push(("error", Json::Str(msg.clone()))),
+                _ => {}
+            }
+            obj(fields)
+        })
+        .collect();
+    metrics.points.add(returned_points);
+    let mut body = vec![
+        ("base", Json::Str(base)),
+        ("grid", Json::Num(n as f64)),
+        ("known", Json::Num(known_n as f64)),
+        ("cached", Json::Num(cached as f64)),
+        ("evaluated", Json::Num(evaluated as f64)),
+        ("points", Json::Arr(points_json)),
+    ];
+    if !ranking.is_empty() {
+        body.push((
+            "ranking",
+            Json::Arr(
+                ranking
+                    .into_iter()
+                    .map(|(index, name, score)| {
+                        obj(vec![
+                            ("index", Json::Num(index as f64)),
+                            ("digest", Json::Str(digests[index].to_hex())),
+                            ("name", Json::Str(name)),
+                            ("score", Json::Num(score)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    protocol::ok_response(id, "refine", body)
+}
+
+/// Scores every resolved point by its best candidate under `objective`,
+/// best first (ties broken by grid index).
+fn rank_resolved(
+    results: &[Option<Result<Evaluation, String>>],
+    objective: &Objective,
+) -> Vec<(usize, String, f64)> {
+    let mut scored: Vec<(usize, String, f64)> = results
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| {
+            let ev = r.as_ref()?.as_ref().ok()?;
+            let best = rank(&ev.candidates, objective).into_iter().next()?;
+            Some((i, best.name, best.score))
+        })
+        .collect();
+    scored.sort_by(|a, b| xlda_core::order::desc_nan_last(a.2, b.2).then(a.0.cmp(&b.0)));
+    scored
 }
 
 /// Builds the `stats` response: queue/latency/throughput plus the
@@ -742,9 +1017,32 @@ fn stats_response(shared: &Arc<Shared>, id: &str) -> String {
                 "compute_p95_ms",
                 Json::Num(Metrics::quantile_ms(&m.compute, 0.95)),
             ),
+            ("store", store_json(shared)),
             ("caches", Json::Arr(caches)),
         ],
     )
+}
+
+/// The `store` block of the stats response: counters when a persistent
+/// store is configured, `{"enabled": false}` otherwise.
+fn store_json(shared: &Arc<Shared>) -> Json {
+    match &shared.store {
+        Some(s) => {
+            let st = s.stats();
+            obj(vec![
+                ("enabled", Json::Bool(true)),
+                ("entries", Json::Num(st.entries as f64)),
+                ("hits", Json::Num(st.hits as f64)),
+                ("misses", Json::Num(st.misses as f64)),
+                ("hit_rate", Json::Num(st.hit_rate())),
+                ("inserted", Json::Num(st.inserted as f64)),
+                ("evictions", Json::Num(st.evictions as f64)),
+                ("persisted_bytes", Json::Num(st.persisted_bytes as f64)),
+                ("io_errors", Json::Num(st.io_errors as f64)),
+            ])
+        }
+        None => obj(vec![("enabled", Json::Bool(false))]),
+    }
 }
 
 /// Builds the `metrics` response: the Prometheus text exposition of this
@@ -770,6 +1068,21 @@ fn metrics_response(shared: &Arc<Shared>, id: &str) -> String {
                 };
                 let _ = writeln!(text, "{metric}{{cache=\"{}\"}} {v}", c.name);
             }
+        }
+    }
+    if let Some(s) = &shared.store {
+        let st = s.stats();
+        for (metric, kind, v) in [
+            ("xlda_store_hits_total", "counter", st.hits),
+            ("xlda_store_misses_total", "counter", st.misses),
+            ("xlda_store_inserted_total", "counter", st.inserted),
+            ("xlda_store_evictions_total", "counter", st.evictions),
+            ("xlda_store_io_errors_total", "counter", st.io_errors),
+            ("xlda_store_entries", "gauge", st.entries),
+            ("xlda_store_persisted_bytes", "gauge", st.persisted_bytes),
+        ] {
+            let _ = writeln!(text, "# TYPE {metric} {kind}");
+            let _ = writeln!(text, "{metric} {v}");
         }
     }
     protocol::ok_response(
@@ -1017,6 +1330,7 @@ mod tests {
             not_empty: Condvar::new(),
             draining: AtomicBool::new(false),
             metrics: Metrics::new(),
+            store: None,
             #[cfg(unix)]
             waker: Mutex::new(None),
         });

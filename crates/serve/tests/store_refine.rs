@@ -1,0 +1,248 @@
+//! End-to-end tests for the persistent result store and the `refine`
+//! request kind, against the real binary in `--stdio` mode.
+//!
+//! The restart test is the store's reason to exist: kill the daemon,
+//! start a new process on the same `--store` file, and repeated
+//! requests must come back bit-identical as pure lookups (hits, no
+//! misses). Refine tests pin the known/cached/evaluated skip semantics
+//! and the halving triage path.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc;
+use std::time::Duration;
+
+use xlda_serve::json::Json;
+
+/// A running `xlda-serve --stdio` child with a response-reader thread.
+struct ServerProc {
+    child: Child,
+    stdin: ChildStdin,
+    responses: mpsc::Receiver<Json>,
+}
+
+impl ServerProc {
+    fn spawn(extra_args: &[&str]) -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_xlda-serve"))
+            .arg("--stdio")
+            .args(extra_args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn xlda-serve");
+        let stdin = child.stdin.take().expect("child stdin");
+        let stdout = child.stdout.take().expect("child stdout");
+        let (tx, rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                let Ok(line) = line else { break };
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let v = Json::parse(&line).expect("server emitted well-formed JSON");
+                if tx.send(v).is_err() {
+                    break;
+                }
+            }
+        });
+        Self {
+            child,
+            stdin,
+            responses: rx,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.stdin, "{line}").expect("write request");
+        self.stdin.flush().expect("flush request");
+    }
+
+    fn recv(&self) -> Json {
+        self.responses
+            .recv_timeout(Duration::from_secs(60))
+            .expect("response before timeout")
+    }
+
+    fn request(&mut self, line: &str) -> Json {
+        self.send(line);
+        self.recv()
+    }
+
+    fn shutdown(mut self) {
+        let _ = writeln!(self.stdin, r#"{{"id":"__bye","kind":"shutdown"}}"#);
+        let _ = self.stdin.flush();
+        let status = self.child.wait().expect("child exit");
+        assert!(status.success(), "server exited with {status}");
+    }
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "xlda_serve_store_{}_{}.bin",
+        std::process::id(),
+        tag
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+fn store_block(stats: &Json) -> &Json {
+    stats.get("store").expect("stats has a store block")
+}
+
+#[test]
+fn store_survives_restart_and_serves_lookups() {
+    let path = tmp("restart");
+    let path_s = path.to_str().unwrap().to_string();
+    let evals = [
+        r#"{"id":"a","kind":"hdc","scenario":{"classes":11}}"#,
+        r#"{"id":"b","kind":"hdc","scenario":{"classes":12,"tech":"n22"}}"#,
+        r#"{"id":"c","kind":"mann_mc","scenario":{"trials":64,"seed":5,"hash_bits":16}}"#,
+    ];
+
+    let mut server = ServerProc::spawn(&["--store", &path_s]);
+    let cold: Vec<Json> = evals.iter().map(|l| server.request(l)).collect();
+    for v in &cold {
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+    }
+    let stats = server.request(r#"{"id":"s","kind":"stats"}"#);
+    let store = store_block(&stats);
+    assert_eq!(store.get("enabled").and_then(Json::as_bool), Some(true));
+    assert_eq!(store.get("hits").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(store.get("misses").and_then(Json::as_f64), Some(3.0));
+    assert_eq!(store.get("entries").and_then(Json::as_f64), Some(3.0));
+    server.shutdown();
+
+    // A fresh process on the same file answers from disk: every repeat
+    // is a hit and every field is bit-identical to the cold response.
+    let mut server = ServerProc::spawn(&["--store", &path_s]);
+    let warm: Vec<Json> = evals.iter().map(|l| server.request(l)).collect();
+    for (c, w) in cold.iter().zip(&warm) {
+        assert_eq!(
+            c.get("candidates").unwrap().to_string(),
+            w.get("candidates").unwrap().to_string(),
+            "restart changed a candidate payload"
+        );
+        if let Some(d) = c.get("distributions") {
+            assert_eq!(
+                d.to_string(),
+                w.get("distributions").unwrap().to_string(),
+                "restart changed a distribution payload"
+            );
+        }
+    }
+    let stats = server.request(r#"{"id":"s","kind":"stats"}"#);
+    let store = store_block(&stats);
+    assert_eq!(store.get("hits").and_then(Json::as_f64), Some(3.0));
+    assert_eq!(store.get("misses").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(store.get("hit_rate").and_then(Json::as_f64), Some(1.0));
+    // The metrics endpoint exposes the same counters as Prometheus text.
+    let metrics = server.request(r#"{"id":"m","kind":"metrics"}"#);
+    let text = metrics.get("prometheus").and_then(Json::as_str).unwrap();
+    assert!(text.contains("xlda_store_hits_total 3"), "{text}");
+    assert!(text.contains("# TYPE xlda_store_entries gauge"));
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn stats_reports_store_disabled_without_flag() {
+    let mut server = ServerProc::spawn(&[]);
+    let stats = server.request(r#"{"id":"s","kind":"stats"}"#);
+    let store = store_block(&stats);
+    assert_eq!(store.get("enabled").and_then(Json::as_bool), Some(false));
+    assert!(store.get("hits").is_none());
+    server.shutdown();
+}
+
+#[test]
+fn refine_skips_known_digests_and_marks_cached_points() {
+    let path = tmp("refine");
+    let path_s = path.to_str().unwrap().to_string();
+    let mut server = ServerProc::spawn(&["--store", &path_s]);
+
+    let grid = r#""base":"hdc","grid":{"classes":[10,20,30]}"#;
+    let first = server.request(&format!(r#"{{"id":"r1","kind":"refine",{grid}}}"#));
+    assert_eq!(
+        first.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{first}"
+    );
+    assert_eq!(first.get("kind").and_then(Json::as_str), Some("refine"));
+    assert_eq!(first.get("grid").and_then(Json::as_f64), Some(3.0));
+    assert_eq!(first.get("evaluated").and_then(Json::as_f64), Some(3.0));
+    let points = first.get("points").and_then(Json::as_arr).unwrap();
+    let digests: Vec<String> = points
+        .iter()
+        .map(|p| {
+            assert_eq!(p.get("status").and_then(Json::as_str), Some("evaluated"));
+            assert!(p.get("candidates").is_some(), "evaluated point has a body");
+            p.get("digest").and_then(Json::as_str).unwrap().to_string()
+        })
+        .collect();
+
+    // Same grid, two digests declared known: those come back as bare
+    // acknowledgements, the third resolves from the store as a lookup.
+    let second = server.request(&format!(
+        r#"{{"id":"r2","kind":"refine",{grid},"known":["{}","{}"]}}"#,
+        digests[0], digests[2]
+    ));
+    assert_eq!(second.get("known").and_then(Json::as_f64), Some(2.0));
+    assert_eq!(second.get("cached").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(second.get("evaluated").and_then(Json::as_f64), Some(0.0));
+    let points = second.get("points").and_then(Json::as_arr).unwrap();
+    for (i, p) in points.iter().enumerate() {
+        assert_eq!(p.get("digest").and_then(Json::as_str).unwrap(), digests[i]);
+        if i == 1 {
+            assert_eq!(p.get("status").and_then(Json::as_str), Some("cached"));
+            assert!(p.get("candidates").is_some());
+        } else {
+            assert_eq!(p.get("status").and_then(Json::as_str), Some("known"));
+            assert!(p.get("candidates").is_none(), "known points send no body");
+        }
+    }
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn refine_halving_triages_and_ranks() {
+    let path = tmp("halving");
+    let path_s = path.to_str().unwrap().to_string();
+    let mut server = ServerProc::spawn(&["--store", &path_s]);
+    let req = concat!(
+        r#"{"id":"h","kind":"refine","base":"mann","#,
+        r#""grid":{"hash_bits":[16,32,64,128,256,512,1024,2048]},"#,
+        r#""mode":"halving","fraction":0.25,"objective":"latency_first"}"#
+    );
+    let v = server.request(req);
+    assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{v}");
+    let grid = v.get("grid").and_then(Json::as_f64).unwrap();
+    let evaluated = v.get("evaluated").and_then(Json::as_f64).unwrap();
+    assert_eq!(grid, 8.0);
+    assert!(
+        evaluated < grid,
+        "halving must prune: evaluated {evaluated} of {grid}"
+    );
+    let points = v.get("points").and_then(Json::as_arr).unwrap();
+    let pruned = points
+        .iter()
+        .filter(|p| p.get("status").and_then(Json::as_str) == Some("pruned"))
+        .count();
+    assert!(pruned > 0, "some points must be pruned");
+    let ranking = v.get("ranking").and_then(Json::as_arr).unwrap();
+    assert_eq!(ranking.len() as f64, evaluated);
+    for r in ranking {
+        assert!(r.get("digest").and_then(Json::as_str).is_some());
+        assert!(r.get("score").and_then(Json::as_f64).is_some());
+    }
+    // A second halving pass over the warmed store is pure lookups.
+    let again = server.request(&req.replace(r#""id":"h""#, r#""id":"h2""#));
+    assert_eq!(again.get("evaluated").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(again.get("cached").and_then(Json::as_f64), Some(evaluated));
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
