@@ -28,7 +28,10 @@
 //! - `--baseline`: gate against this committed report; exit 1 when v2
 //!   throughput falls below its `points_per_sec` floors minus
 //!   `--tolerance` (default 0.30), when a recorded `min_speedup` is
-//!   missed, or when baseline/v2 outputs are not bit-identical.
+//!   missed, when baseline/v2 outputs are not bit-identical, or — for
+//!   workloads with a cold columnar arm — when `cold_points_per_sec` /
+//!   `min_cold_speedup` floors are missed or the cold scalar/columnar
+//!   checksums diverge.
 //! - `--no-obs`: leave span instrumentation off (no per-layer
 //!   breakdown; what production embedders see by default).
 //! - `--trace PATH`: capture per-span events during the run and write
@@ -353,16 +356,25 @@ fn main() -> ExitCode {
     }
     println!("\nreport written to {out}");
 
-    let mut failures: Vec<String> = results
-        .iter()
-        .filter(|r| !r.checksum_match())
-        .map(|r| {
-            format!(
-                "{}: baseline/v2 checksum mismatch ({:016x} vs {:016x})",
+    // Bit-exactness invariants hold regardless of a baseline file: the
+    // warm arms must agree, and so must the cold scalar/columnar pair.
+    let mut failures: Vec<String> = Vec::new();
+    for r in &results {
+        if !r.checksum_match() {
+            failures.push(format!(
+                "{} [v1 baseline vs v2 warm]: checksum mismatch ({:016x} vs {:016x})",
                 r.name, r.baseline.checksum, r.v2.checksum
-            )
-        })
-        .collect();
+            ));
+        }
+        if let Some(cold) = &r.cold {
+            if !cold.checksum_match() {
+                failures.push(format!(
+                    "{} [cold scalar vs cold columnar]: checksum mismatch ({:016x} vs {:016x})",
+                    r.name, cold.scalar.checksum, cold.columnar.checksum
+                ));
+            }
+        }
+    }
 
     // The store arms' invariants (bit-exact replay, hit rate 1.0) hold
     // regardless of a baseline; speedup floors need the baseline file.

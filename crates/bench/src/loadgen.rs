@@ -613,7 +613,7 @@ pub fn check_against_baseline(report: &LoadgenReport, baseline_text: &str) -> Ve
     if let Some(floor) = serve.get("warm_throughput_rps_min").and_then(Json::as_f64) {
         if warm.throughput_rps < floor {
             out.push(format!(
-                "warm throughput {:.0} req/s below baseline floor {floor:.0}",
+                "serve [warm phase]: throughput {:.0} req/s below baseline floor {floor:.0}",
                 warm.throughput_rps
             ));
         }
@@ -621,7 +621,7 @@ pub fn check_against_baseline(report: &LoadgenReport, baseline_text: &str) -> Ve
     if let Some(ceiling) = serve.get("warm_p50_ms_max").and_then(Json::as_f64) {
         if warm.p50_ms > ceiling {
             out.push(format!(
-                "warm client p50 {:.3} ms above baseline ceiling {ceiling:.3} ms",
+                "serve [warm phase]: client p50 {:.3} ms above baseline ceiling {ceiling:.3} ms",
                 warm.p50_ms
             ));
         }
@@ -633,7 +633,7 @@ pub fn check_against_baseline(report: &LoadgenReport, baseline_text: &str) -> Ve
         && report.server_queue_wait_ms.0 == report.server_queue_wait_ms.1
     {
         out.push(format!(
-            "queue-wait p50 == p95 == {} ms: quantile collapse regressed",
+            "serve [server queue]: queue-wait p50 == p95 == {} ms: quantile collapse regressed",
             report.server_queue_wait_ms.0
         ));
     }

@@ -22,13 +22,24 @@
 //! bit-identical results (`checksum_match`); the JSON report
 //! (`BENCH_sweep.json`) is the trajectory format the CI `bench-smoke`
 //! job gates on.
+//!
+//! The **hdc** and **mann** workloads additionally carry a cold-path
+//! arm pair (`cold_scalar` / `cold_columnar`): both run with
+//! memoization disabled, comparing the per-point scalar engine against
+//! the columnar SoA batch kernels
+//! ([`xlda_core::evaluate::sweep_scenarios`] with
+//! [`Columnar::Exact`]). The columnar kernels target exactly this
+//! memo-miss cold path — hoisted circuit solves instead of cached ones
+//! — and must stay bit-identical to the scalar arm
+//! (`cold_checksum_match`).
 
 use std::fmt::Write as _;
 use xlda_circuit::tech::TechNode;
-use xlda_core::evaluate::{HdcScenario, MannScenario, Scenario};
+use xlda_core::evaluate::{sweep_scenarios_with_stats, HdcScenario, MannScenario, Scenario};
 use xlda_core::mc::{MannAccuracyMcScenario, McParams};
-use xlda_core::sweep::{memo, sweep_with_stats, SweepOptions};
+use xlda_core::sweep::{memo, sweep_with_stats, Columnar, SweepOptions, SweepStats};
 use xlda_core::triage::{rank, Objective};
+use xlda_num::batch::{CandidateBatch, PointStatus};
 
 /// The benchmark workloads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +123,9 @@ pub struct WorkloadResult {
     /// Monte-Carlo trials evaluated inside each point (0 for the
     /// deterministic workloads).
     pub trials_per_point: usize,
+    /// Cold-path (memo off) scalar-vs-columnar comparison; only the
+    /// workloads with batch kernels (hdc, mann) carry one.
+    pub cold: Option<ColdPath>,
 }
 
 impl WorkloadResult {
@@ -132,6 +146,31 @@ impl WorkloadResult {
     }
 }
 
+/// Cold-path comparison: the scalar engine vs the columnar batch
+/// kernels, both with memoization disabled. This isolates the kernel
+/// gain (hoisted invariant solves, SoA inner loops) from the memo
+/// cache the warm arms lean on.
+#[derive(Debug, Clone)]
+pub struct ColdPath {
+    /// Per-point scalar evaluation (`Columnar::Off`), memo off.
+    pub scalar: RunStats,
+    /// SoA batch kernels (`Columnar::Exact`), memo off.
+    pub columnar: RunStats,
+}
+
+impl ColdPath {
+    /// Throughput ratio of the columnar kernels over the cold scalar
+    /// path.
+    pub fn speedup(&self) -> f64 {
+        self.columnar.points_per_sec / self.scalar.points_per_sec
+    }
+
+    /// Whether the two cold arms produced bit-identical outputs.
+    pub fn checksum_match(&self) -> bool {
+        self.scalar.checksum == self.columnar.checksum
+    }
+}
+
 pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 pub(crate) const FNV_PRIME: u64 = 0x100_0000_01b3;
 
@@ -139,6 +178,33 @@ fn fold_f64s(values: &[f64]) -> u64 {
     values
         .iter()
         .fold(FNV_OFFSET, |h, v| (h ^ v.to_bits()).wrapping_mul(FNV_PRIME))
+}
+
+/// Folds a [`CandidateBatch`] with the same per-point structure as the
+/// scalar eval closures: each Ok point folds its lanes' first `fields`
+/// FOM columns (4 = latency/energy/area/accuracy for hdc, 3 for mann),
+/// each failed point folds the `FNV_PRIME` error marker, and the
+/// per-point hashes fold into one sweep checksum. A cold-columnar
+/// checksum is therefore directly comparable to the scalar arms'.
+fn fold_batch(batch: &CandidateBatch, fields: usize) -> u64 {
+    let cols = [
+        batch.latency_s(),
+        batch.energy_j(),
+        batch.area_mm2(),
+        batch.accuracy(),
+    ];
+    (0..batch.points()).fold(FNV_OFFSET, |h, p| {
+        let point = if batch.point_status(p) == PointStatus::Ok {
+            batch.lane_range(p).fold(FNV_OFFSET, |h, lane| {
+                cols[..fields].iter().fold(h, |h, col| {
+                    (h ^ col[lane].to_bits()).wrapping_mul(FNV_PRIME)
+                })
+            })
+        } else {
+            FNV_PRIME
+        };
+        (h ^ point).wrapping_mul(FNV_PRIME)
+    })
 }
 
 pub(crate) fn grid_hdc(smoke: bool) -> Vec<HdcScenario> {
@@ -355,6 +421,13 @@ where
     let (out, stats) = sweep_with_stats(inputs, f, opts);
     xlda_obs::set_enabled(false);
     memo::set_enabled(true);
+    let checksum = out
+        .iter()
+        .fold(FNV_OFFSET, |h, &c| (h ^ c).wrapping_mul(FNV_PRIME));
+    run_stats(&stats, checksum)
+}
+
+fn run_stats(stats: &SweepStats, checksum: u64) -> RunStats {
     RunStats {
         elapsed_s: stats.elapsed.as_secs_f64(),
         points_per_sec: stats.points_per_sec(),
@@ -379,10 +452,44 @@ where
                 )
             })
             .collect(),
-        checksum: out
-            .iter()
-            .fold(FNV_OFFSET, |h, &c| (h ^ c).wrapping_mul(FNV_PRIME)),
+        checksum,
     }
+}
+
+/// One cold trial: memoization and spans off, scenarios swept through
+/// [`sweep_scenarios_with_stats`], checksum folded from the batch.
+fn measure_cold_once<S: Scenario>(inputs: &[S], opts: &SweepOptions, fields: usize) -> RunStats {
+    memo::clear_all();
+    memo::set_enabled(false);
+    xlda_obs::reset_aggregates();
+    xlda_obs::set_enabled(false);
+    let (batch, stats) = sweep_scenarios_with_stats(inputs, opts);
+    memo::set_enabled(true);
+    run_stats(&stats, fold_batch(&batch, fields))
+}
+
+fn measure_cold<S: Scenario>(inputs: &[S], opts: &SweepOptions, fields: usize) -> RunStats {
+    let mut best: Option<RunStats> = None;
+    for _ in 0..TRIALS {
+        let run = measure_cold_once(inputs, opts, fields);
+        if best.as_ref().is_none_or(|b| run.elapsed_s < b.elapsed_s) {
+            best = Some(run);
+        }
+    }
+    best.expect("TRIALS >= 1")
+}
+
+/// Cold-path pair for one workload: the scalar work-stealing engine
+/// (its strongest memo-less configuration, so the ratio credits the
+/// kernels and not the scheduler) vs the columnar batch kernels.
+fn cold_compare<S: Scenario>(inputs: &[S], fields: usize) -> ColdPath {
+    let scalar = measure_cold(inputs, &SweepOptions::default(), fields);
+    let columnar = measure_cold(
+        inputs,
+        &SweepOptions::builder().columnar(Columnar::Exact).build(),
+        fields,
+    );
+    ColdPath { scalar, columnar }
 }
 
 fn compare<I, F>(name: &'static str, inputs: &[I], f: F, obs_on: bool) -> WorkloadResult
@@ -399,6 +506,7 @@ where
         baseline,
         v2,
         trials_per_point: 0,
+        cold: None,
     }
 }
 
@@ -407,8 +515,18 @@ where
 /// empty when off).
 pub fn run_workload_obs(w: Workload, smoke: bool, obs_on: bool) -> WorkloadResult {
     match w {
-        Workload::Hdc => compare("hdc", &grid_hdc(smoke), eval_hdc, obs_on),
-        Workload::Mann => compare("mann", &grid_mann(smoke), eval_mann, obs_on),
+        Workload::Hdc => {
+            let grid = grid_hdc(smoke);
+            let mut r = compare("hdc", &grid, eval_hdc, obs_on);
+            r.cold = Some(cold_compare(&grid, 4));
+            r
+        }
+        Workload::Mann => {
+            let grid = grid_mann(smoke);
+            let mut r = compare("mann", &grid, eval_mann, obs_on);
+            r.cold = Some(cold_compare(&grid, 3));
+            r
+        }
         Workload::Triage => compare("triage", &grid_hdc(smoke), eval_triage, obs_on),
         Workload::Mc => {
             let mut r = compare("mc", &grid_mc(smoke), eval_mc, obs_on);
@@ -608,7 +726,17 @@ pub fn to_json_with_store(
             out.push_str("\"trials_per_sec\":");
             push_json_f64(&mut out, r.trials_per_sec());
         }
-        let _ = write!(out, ",\"checksum_match\":{}}}", r.checksum_match());
+        let _ = write!(out, ",\"checksum_match\":{}", r.checksum_match());
+        if let Some(cold) = &r.cold {
+            out.push_str(",\"cold_scalar\":");
+            push_run(&mut out, &cold.scalar);
+            out.push_str(",\"cold_columnar\":");
+            push_run(&mut out, &cold.columnar);
+            out.push_str(",\"cold_speedup\":");
+            push_json_f64(&mut out, cold.speedup());
+            let _ = write!(out, ",\"cold_checksum_match\":{}", cold.checksum_match());
+        }
+        out.push('}');
     }
     out.push(']');
     if !store_arms.is_empty() {
@@ -657,7 +785,11 @@ pub fn scan_after(json: &str, anchor: &str, field: &str) -> Option<f64> {
 /// throughput drops below `(1 - tolerance)` of the recorded
 /// `points_per_sec` floor, when the measured speedup falls below a
 /// recorded `min_speedup`, or when the two engine paths disagree
-/// bit-for-bit. Returns the list of failure messages (empty = pass).
+/// bit-for-bit. Workloads with a cold arm are additionally gated
+/// against `cold_points_per_sec` / `min_cold_speedup` floors and must
+/// keep the cold scalar/columnar checksums bit-identical. Every
+/// message names the workload *and* the arm that failed. Returns the
+/// list of failure messages (empty = pass).
 pub fn check_against_baseline(
     results: &[WorkloadResult],
     baseline_json: &str,
@@ -667,7 +799,7 @@ pub fn check_against_baseline(
     for r in results {
         if !r.checksum_match() {
             failures.push(format!(
-                "{}: baseline/v2 checksum mismatch ({:016x} vs {:016x})",
+                "{} [v1 baseline vs v2 warm]: checksum mismatch ({:016x} vs {:016x})",
                 r.name, r.baseline.checksum, r.v2.checksum
             ));
         }
@@ -675,7 +807,7 @@ pub fn check_against_baseline(
             let min = floor * (1.0 - tolerance);
             if r.v2.points_per_sec < min {
                 failures.push(format!(
-                    "{}: throughput {:.1} pts/s regressed below {:.1} \
+                    "{} [v2 warm]: throughput {:.1} pts/s regressed below {:.1} \
                      (floor {:.1} − {:.0}% tolerance)",
                     r.name,
                     r.v2.points_per_sec,
@@ -688,7 +820,7 @@ pub fn check_against_baseline(
         if let Some(min_speedup) = scan_field(baseline_json, r.name, "min_speedup") {
             if r.speedup() < min_speedup {
                 failures.push(format!(
-                    "{}: speedup {:.2}x below required {:.2}x",
+                    "{} [v2 warm]: speedup {:.2}x below required {:.2}x",
                     r.name,
                     r.speedup(),
                     min_speedup
@@ -703,13 +835,45 @@ pub fn check_against_baseline(
                 let min = floor * (1.0 - tolerance);
                 if r.trials_per_sec() < min {
                     failures.push(format!(
-                        "{}: {:.0} trials/s regressed below {:.0} \
+                        "{} [v2 warm]: {:.0} trials/s regressed below {:.0} \
                          (floor {:.0} − {:.0}% tolerance)",
                         r.name,
                         r.trials_per_sec(),
                         min,
                         floor,
                         tolerance * 100.0
+                    ));
+                }
+            }
+        }
+        if let Some(cold) = &r.cold {
+            if !cold.checksum_match() {
+                failures.push(format!(
+                    "{} [cold scalar vs cold columnar]: checksum mismatch ({:016x} vs {:016x})",
+                    r.name, cold.scalar.checksum, cold.columnar.checksum
+                ));
+            }
+            if let Some(floor) = scan_field(baseline_json, r.name, "cold_points_per_sec") {
+                let min = floor * (1.0 - tolerance);
+                if cold.columnar.points_per_sec < min {
+                    failures.push(format!(
+                        "{} [columnar cold]: throughput {:.1} pts/s regressed below {:.1} \
+                         (floor {:.1} − {:.0}% tolerance)",
+                        r.name,
+                        cold.columnar.points_per_sec,
+                        min,
+                        floor,
+                        tolerance * 100.0
+                    ));
+                }
+            }
+            if let Some(min_speedup) = scan_field(baseline_json, r.name, "min_cold_speedup") {
+                if cold.speedup() < min_speedup {
+                    failures.push(format!(
+                        "{} [columnar cold]: cold speedup {:.2}x below required {:.2}x",
+                        r.name,
+                        cold.speedup(),
+                        min_speedup
                     ));
                 }
             }
@@ -747,6 +911,23 @@ pub fn print(results: &[WorkloadResult]) {
                 r.name,
                 r.trials_per_point,
                 r.trials_per_sec()
+            );
+        }
+    }
+    for r in results {
+        if let Some(cold) = &r.cold {
+            println!(
+                "{:>8} cold path (memo off): scalar {:.1} pts/s -> columnar {:.1} pts/s \
+                 ({:.2}x, {})",
+                r.name,
+                cold.scalar.points_per_sec,
+                cold.columnar.points_per_sec,
+                cold.speedup(),
+                if cold.checksum_match() {
+                    "bit-identical"
+                } else {
+                    "CHECKSUMS DIFFER"
+                },
             );
         }
     }
@@ -905,6 +1086,34 @@ mod tests {
             Some(r.points)
         );
         assert!(scan_field(&json, "absent", "points_per_sec").is_none());
+    }
+
+    #[test]
+    fn cold_columnar_arm_is_bit_identical_and_gated() {
+        let _guard = MEMO_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let r = run_workload(Workload::Hdc, true);
+        let cold = r.cold.as_ref().expect("hdc carries a cold arm");
+        assert!(
+            cold.checksum_match(),
+            "columnar kernels must be bit-identical to the cold scalar path: \
+             {:016x} vs {:016x}",
+            cold.scalar.checksum,
+            cold.columnar.checksum
+        );
+        // fold_batch mirrors the scalar eval closures' structure, so the
+        // cold checksums also match the warm arms' over the same grid.
+        assert_eq!(cold.scalar.checksum, r.baseline.checksum);
+        assert_eq!(cold.scalar.cache_hits, 0, "cold arms must not memoize");
+        assert_eq!(cold.columnar.cache_hits, 0, "cold arms must not memoize");
+        let json = to_json(std::slice::from_ref(&r), true);
+        assert!(scan_field(&json, "hdc", "cold_speedup").is_some());
+        assert!(json.contains("\"cold_checksum_match\":true"), "{json}");
+        // Cold floors gate like the warm ones, with arm-labeled messages.
+        let impossible = "{\"name\":\"hdc\",\"cold_points_per_sec\":1e15,\"min_cold_speedup\":1e9}";
+        let failures = check_against_baseline(std::slice::from_ref(&r), impossible, 0.3);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures[0].contains("hdc [columnar cold]") && failures[0].contains("regressed"));
+        assert!(failures[1].contains("cold speedup"));
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Exact-key hoist caches for columnar sweep kernels.
+//!
+//! The global memo layer ([`xlda_num::memo`]) quantizes `f64` keys to 44
+//! bits before hashing — transparent in practice, but the columnar sweep
+//! path promises *bit-identical by construction*, which a quantized key
+//! cannot. The batch kernels therefore hoist repeated circuit solves
+//! through [`ExactCache`] instead: a linear scan keyed by full
+//! `PartialEq` equality, scoped to one batch (one chunk) rather than
+//! process-wide, so a hit can only ever return a value computed from an
+//! identical input. See `DESIGN.md` §14 for the hoisting rules.
+//!
+//! This module provides the circuit-level instance the array models
+//! share: [`RepeatedWireCache`], covering the global-route sizing solve
+//! that dominates the per-point remainder of the NVM cold path once the
+//! geometry sub-solves are hoisted.
+
+use crate::tech::TechNode;
+use crate::wire::RepeatedWire;
+pub use xlda_num::batch::ExactCache;
+
+/// Batch-scoped exact-key cache over [`RepeatedWire::new`].
+///
+/// Keyed by the exact bit patterns of `(length, segment length)` plus the
+/// full technology node — no quantization — so the cached solve is the
+/// one the scalar path would recompute, bit for bit. One batch touches a
+/// handful of distinct route lengths (one per array organization that
+/// wins a geometry search), so the linear scan stays short.
+#[derive(Debug, Clone, Default)]
+pub struct RepeatedWireCache {
+    inner: ExactCache<(u64, u64, TechNode), RepeatedWire>,
+}
+
+impl RepeatedWireCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The repeated-wire solution for `(length_m, seg_len_m, tech)`,
+    /// computed via [`RepeatedWire::new`] on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths are not positive (as [`RepeatedWire::new`]).
+    pub fn get(&mut self, length_m: f64, seg_len_m: f64, tech: &TechNode) -> RepeatedWire {
+        self.inner.get_or_clone(
+            (length_m.to_bits(), seg_len_m.to_bits(), tech.clone()),
+            |_| RepeatedWire::new(length_m, seg_len_m, tech),
+        )
+    }
+
+    /// Number of distinct route solves cached.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether no solve has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_route_is_bit_identical_to_direct_solve() {
+        let tech = TechNode::n40();
+        let mut cache = RepeatedWireCache::new();
+        for len in [1e-6, 37.5e-6, 1.2e-3] {
+            let cached = cache.get(len, 250e-6, &tech);
+            let direct = RepeatedWire::new(len, 250e-6, &tech);
+            assert_eq!(cached.delay().to_bits(), direct.delay().to_bits());
+            assert_eq!(cached.energy().to_bits(), direct.energy().to_bits());
+        }
+        assert_eq!(cache.len(), 3);
+        // A repeat hit does not grow the cache.
+        cache.get(37.5e-6, 250e-6, &tech);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn distinct_techs_do_not_collide() {
+        let mut cache = RepeatedWireCache::new();
+        let a = cache.get(1e-4, 250e-6, &TechNode::n40()).delay();
+        let b = cache.get(1e-4, 250e-6, &TechNode::n22()).delay();
+        assert_ne!(a.to_bits(), b.to_bits());
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -13,20 +13,36 @@
 //!
 //! Because dispatch is through one trait, every consumer — the sweep
 //! engine, the triage loop, `xlda-serve`, and `xlda-bench` — picks up a
-//! new workload as soon as it implements `Scenario`. The pre-trait free
-//! functions (`hdc_candidates`, `try_mann_candidates`, …) remain as
-//! deprecated delegating shims.
+//! new workload as soon as it implements `Scenario`. (The pre-trait
+//! per-workload free functions, deprecated in 0.2.0, were removed in
+//! 0.3.0.)
+//!
+//! # Columnar sweeps
+//!
+//! [`sweep_scenarios`] evaluates a slice of same-type scenarios into one
+//! [`CandidateBatch`] (structure-of-arrays columns). With
+//! [`Columnar::Exact`] the work-stealing scheduler hands whole chunks to
+//! [`Scenario::candidates_batch`], whose built-in overrides hoist
+//! invariant circuit solves out of the point loop through exact-equality
+//! caches — the memo-miss cold path's dominant cost — while staying
+//! bit-identical to the scalar path (see `DESIGN.md` §14).
 
 use crate::error::{validate_fom, XldaError};
 use crate::fom::{Candidate, Fom};
 use crate::mc::McDistribution;
 use crate::store::{Digest, DigestWriter};
+use crate::sweep::{
+    self, par_batch_map, par_try_map_with, Columnar, PointFailure, SweepOptions, SweepStats,
+};
+use std::time::Instant;
 use xlda_baseline::{HybridPipeline, Kernel, Platform};
+use xlda_circuit::hoist::ExactCache;
 use xlda_circuit::tech::TechNode;
 use xlda_crossbar::macro_model::CrossbarMacro;
-use xlda_crossbar::CrossbarConfig;
-use xlda_evacam::{CamArray, CamCellDesign, CamConfig, DataKind, MatchKind};
-use xlda_nvram::{OptTarget, RamArray, RamCell, RamConfig};
+use xlda_crossbar::{CrossbarConfig, CrossbarError};
+use xlda_evacam::{CamArray, CamCellDesign, CamConfig, CamReport, CamSolver, DataKind, MatchKind};
+use xlda_num::batch::{product_scaled, product_scaled2, scale_u32, CandidateBatch, PointStatus};
+use xlda_nvram::{OptTarget, RamArray, RamBatchSolver, RamCell, RamConfig, RamReport};
 
 /// One evaluable workload mapping: a bundle of scenario parameters that
 /// can assemble its full candidate set.
@@ -83,6 +99,40 @@ pub trait Scenario: Send + Sync {
             candidates: self.candidates()?,
             distributions: Vec::new(),
         })
+    }
+
+    /// Evaluates a whole batch of scenarios into columnar storage — the
+    /// memo-miss cold-path kernel behind [`Columnar::Exact`].
+    ///
+    /// The provided implementation evaluates each point through
+    /// [`Scenario::candidates`], so external `Scenario` impls keep
+    /// compiling (and gain columnar dispatch) with no extra work.
+    /// Overrides may hoist work that is invariant across the batch —
+    /// shared circuit solves, interned names, column scratch — but must
+    /// stay **bit-identical** to the scalar path: for every point, the
+    /// same lanes in the same order with the same `f64` bit patterns on
+    /// success, or a failed point carrying the same error `Display`
+    /// string. Hoisting that merely reuses a value the scalar path
+    /// recomputes from identical inputs preserves this; reassociating
+    /// arithmetic does not and is forbidden here (see `DESIGN.md` §14).
+    ///
+    /// Implementations must push lanes and close/fail exactly one point
+    /// per element of `batch`, in order (see [`CandidateBatch`]). A
+    /// kernel that panics or miscounts is contained by the sweep engine,
+    /// which re-evaluates that chunk per point.
+    ///
+    /// `where Self: Sized` keeps the trait dyn-compatible; boxed
+    /// scenarios take the scalar per-point path.
+    fn candidates_batch(batch: &[Self], out: &mut CandidateBatch)
+    where
+        Self: Sized,
+    {
+        for s in batch {
+            match s.candidates() {
+                Ok(cands) => push_candidates(out, &cands),
+                Err(e) => out.fail_point(PointStatus::Error, e.to_string()),
+            }
+        }
     }
 
     /// Content address of this scenario's complete parameter set for
@@ -215,6 +265,72 @@ fn hdc_on_platform(s: &HdcScenario, platform: &Platform, batch: usize, hv: usize
     (t, e)
 }
 
+/// The fixed 256x256 encode-crossbar configuration of the HDC pipeline.
+fn hdc_xbar_cfg() -> CrossbarConfig {
+    CrossbarConfig {
+        rows: 256,
+        cols: 256,
+        ..CrossbarConfig::default()
+    }
+}
+
+/// The CAM configuration of one HDC design point: one CAM holding
+/// `classes` words of `hv` cells.
+fn hdc_cam_cfg(s: &HdcScenario, design: CamCellDesign, data: DataKind, hv: usize) -> CamConfig {
+    let bits = data.bits_per_cell() as usize;
+    CamConfig {
+        words: s.classes,
+        bits_per_word: hv * bits,
+        design,
+        data,
+        match_kind: MatchKind::Best { max_distance: 8 },
+        row_banks: 1,
+        tech: s.tech.clone(),
+    }
+}
+
+/// Encode-tile composition from one crossbar macro solve. Column tiles
+/// run in parallel macros; row tiles accumulate serially. Shared by the
+/// scalar path and the batch kernel's per-point arm, so both produce the
+/// same bits.
+fn hdc_encode_tiles(
+    s: &HdcScenario,
+    hv: usize,
+    mvm_latency_s: f64,
+    mvm_energy_j: f64,
+    area_m2: f64,
+) -> (f64, f64, f64) {
+    let tiles_rows = s.dim_in.div_ceil(256);
+    let tiles_cols = hv.div_ceil(256);
+    (
+        tiles_rows as f64 * mvm_latency_s,
+        (tiles_rows * tiles_cols) as f64 * mvm_energy_j,
+        (tiles_rows * tiles_cols) as f64 * area_m2 * 1e6, // mm²
+    )
+}
+
+/// Composition tail of every HDC CAM design point, shared by the scalar
+/// and batch paths.
+fn hdc_cam_compose(
+    t_encode: f64,
+    e_encode: f64,
+    a_encode: f64,
+    rep: &CamReport,
+) -> Result<(f64, f64, f64), XldaError> {
+    let out = (
+        t_encode + rep.search_latency_s,
+        e_encode + rep.search_energy_j,
+        a_encode + rep.area_um2 * 1e-6,
+    );
+    if !(out.0.is_finite() && out.1.is_finite() && out.2.is_finite()) {
+        return Err(XldaError::NonFinite {
+            stage: "hdc_on_cam",
+            quantity: "latency/energy/area composition",
+        });
+    }
+    Ok(out)
+}
+
 /// Latency/energy/area of HDC inference on a crossbar encoder plus a CAM
 /// associative memory.
 ///
@@ -229,53 +345,19 @@ fn hdc_on_cam(
     hv: usize,
 ) -> Result<(f64, f64, f64), XldaError> {
     // Encoding: random-projection MVM on analog crossbar tiles.
-    let xbar_cfg = CrossbarConfig {
-        rows: 256,
-        cols: 256,
-        ..CrossbarConfig::default()
-    };
     let (t_encode, e_encode, a_encode) = {
         let _span = xlda_obs::span!("crossbar");
-        let xmacro = CrossbarMacro::try_new(&xbar_cfg, &s.tech, 8)?;
-        let tiles_rows = s.dim_in.div_ceil(256);
-        let tiles_cols = hv.div_ceil(256);
+        let xmacro = CrossbarMacro::try_new(&hdc_xbar_cfg(), &s.tech, 8)?;
         let mvm = xmacro.mvm_cost();
-        // Column tiles run in parallel macros; row tiles accumulate
-        // serially.
-        (
-            tiles_rows as f64 * mvm.latency_s,
-            (tiles_rows * tiles_cols) as f64 * mvm.energy_j,
-            (tiles_rows * tiles_cols) as f64 * xmacro.area_m2() * 1e6, // mm²
-        )
+        hdc_encode_tiles(s, hv, mvm.latency_s, mvm.energy_j, xmacro.area_m2())
     };
 
-    // Search: one CAM holding `classes` words of `hv` cells.
-    let bits = data.bits_per_cell() as usize;
     let rep = {
         let _span = xlda_obs::span!("evacam");
-        let cam = CamArray::new(CamConfig {
-            words: s.classes,
-            bits_per_word: hv * bits,
-            design,
-            data,
-            match_kind: MatchKind::Best { max_distance: 8 },
-            row_banks: 1,
-            tech: s.tech.clone(),
-        })?;
+        let cam = CamArray::new(hdc_cam_cfg(s, design, data, hv))?;
         cam.report()
     };
-    let out = (
-        t_encode + rep.search_latency_s,
-        e_encode + rep.search_energy_j,
-        a_encode + rep.area_um2 * 1e-6,
-    );
-    if !(out.0.is_finite() && out.1.is_finite() && out.2.is_finite()) {
-        return Err(XldaError::NonFinite {
-            stage: "hdc_on_cam",
-            quantity: "latency/energy/area composition",
-        });
-    }
-    Ok(out)
+    hdc_cam_compose(t_encode, e_encode, a_encode, &rep)
 }
 
 impl Scenario for HdcScenario {
@@ -347,39 +429,17 @@ impl Scenario for HdcScenario {
             )?,
         ));
 
-        for (name, design, data, hv, acc) in [
-            (
-                "3b FeFET CAM",
-                CamCellDesign::Fefet2T,
-                DataKind::MultiBit(3),
-                s.hv_dim_3b,
-                s.acc_3b,
-            ),
-            (
-                "2b FeFET CAM",
-                CamCellDesign::Fefet2T,
-                DataKind::MultiBit(2),
-                s.hv_dim_2b,
-                s.acc_2b,
-            ),
-            (
-                "1b SRAM CAM",
-                CamCellDesign::Sram16T,
-                DataKind::Binary,
-                s.hv_dim_1b,
-                s.acc_1b,
-            ),
-        ] {
-            let (t, e, a) = hdc_on_cam(s, design, data, hv)?;
+        for d in &HDC_CAM_DESIGNS {
+            let (t, e, a) = hdc_on_cam(s, d.design, d.data, (d.hv)(s))?;
             out.push(Candidate::new(
-                name,
+                d.name,
                 validate_fom(
-                    name,
+                    d.name,
                     Fom {
                         latency_s: t,
                         energy_j: e,
                         area_mm2: a,
-                        accuracy: acc,
+                        accuracy: (d.acc)(s),
                     },
                 )?,
             ));
@@ -408,6 +468,256 @@ impl Scenario for HdcScenario {
 
         Ok(out)
     }
+
+    /// Columnar Fig. 3H kernel. Hoisted once per batch: the 256x256
+    /// crossbar macro solve (per tech node), the CAM sense-margin search
+    /// (per matchline config), and the NVM geometry sub-solves (per
+    /// subarray shape) — the dominant self-time of the memo-miss cold
+    /// path. When the batch shares one tech node, the encode-tile
+    /// columns are additionally produced by the lane-unrolled column
+    /// kernels. Every per-point composition reuses the scalar helpers,
+    /// so results are bit-identical to [`Scenario::candidates`].
+    fn candidates_batch(batch: &[Self], out: &mut CandidateBatch)
+    where
+        Self: Sized,
+    {
+        let mut h = HdcHoists::default();
+        let enc = HdcEncodeCols::precompute(batch, &mut h.xbars, out);
+        for (i, s) in batch.iter().enumerate() {
+            match hdc_batch_point(s, i, enc.as_ref(), &mut h, out) {
+                Ok(()) => out.close_point(),
+                Err(e) => out.fail_point(PointStatus::Error, e.to_string()),
+            }
+        }
+        if let Some(enc) = enc {
+            enc.release(out);
+        }
+    }
+}
+
+/// One CAM design point of the Fig. 3H set, with per-scenario HV-length
+/// and accuracy selectors so the table can be shared by the scalar loop
+/// and the batch kernel (identical names, identical order).
+struct HdcCamDesign {
+    name: &'static str,
+    design: CamCellDesign,
+    data: DataKind,
+    hv: fn(&HdcScenario) -> usize,
+    acc: fn(&HdcScenario) -> f64,
+}
+
+/// The three CAM design points of the Fig. 3H set, in evaluation order.
+const HDC_CAM_DESIGNS: [HdcCamDesign; 3] = [
+    HdcCamDesign {
+        name: "3b FeFET CAM",
+        design: CamCellDesign::Fefet2T,
+        data: DataKind::MultiBit(3),
+        hv: |s| s.hv_dim_3b,
+        acc: |s| s.acc_3b,
+    },
+    HdcCamDesign {
+        name: "2b FeFET CAM",
+        design: CamCellDesign::Fefet2T,
+        data: DataKind::MultiBit(2),
+        hv: |s| s.hv_dim_2b,
+        acc: |s| s.acc_2b,
+    },
+    HdcCamDesign {
+        name: "1b SRAM CAM",
+        design: CamCellDesign::Sram16T,
+        data: DataKind::Binary,
+        hv: |s| s.hv_dim_1b,
+        acc: |s| s.acc_1b,
+    },
+];
+
+/// Batch-scoped cache over the crossbar macro solve for one fixed
+/// `CrossbarConfig`/ADC-resolution pair, keyed by tech node. Caches the
+/// rejection too, so a failing tech errors every point the way the
+/// scalar path does.
+type XbarCache = ExactCache<TechNode, Result<(f64, f64, f64), CrossbarError>>;
+
+/// The crossbar macro's `(mvm latency, mvm energy, area m²)` triple for
+/// `tech`, read off [`CrossbarMacro`] exactly as the scalar path reads
+/// it, computed once per distinct tech node per batch.
+fn solve_xbar(
+    cache: &mut XbarCache,
+    cfg: &CrossbarConfig,
+    tech: &TechNode,
+) -> Result<(f64, f64, f64), CrossbarError> {
+    *cache.get_or_insert_with(tech.clone(), |t| {
+        CrossbarMacro::try_new(cfg, t, 8).map(|m| {
+            let mvm = m.mvm_cost();
+            (mvm.latency_s, mvm.energy_j, m.area_m2())
+        })
+    })
+}
+
+/// The hoisted solver state of one HDC batch-kernel invocation.
+#[derive(Default)]
+struct HdcHoists {
+    xbars: XbarCache,
+    cams: CamSolver,
+    rams: RamBatchSolver,
+}
+
+/// Columnar encode-tile columns for one HDC batch: per CAM design, the
+/// `(t_encode, e_encode, a_encode)` column triple produced by the
+/// lane-unrolled kernels in [`xlda_num::batch`] from `u32` tile counts.
+/// Only built when the whole batch shares one tech node (one crossbar
+/// solve covers every point); otherwise the kernel computes per point —
+/// both arms produce bit-identical values.
+struct HdcEncodeCols {
+    t: [Vec<f64>; 3],
+    e: [Vec<f64>; 3],
+    a: [Vec<f64>; 3],
+}
+
+impl HdcEncodeCols {
+    fn precompute(
+        batch: &[HdcScenario],
+        xbars: &mut XbarCache,
+        out: &mut CandidateBatch,
+    ) -> Option<Self> {
+        if batch.len() < 2 || !batch.windows(2).all(|w| w[0].tech == w[1].tech) {
+            return None;
+        }
+        let _span = xlda_obs::span!("crossbar");
+        // On Err the rejection is now cached; the per-point arm replays
+        // it at the right point in the candidate order.
+        let (lat, en, area_m2) = solve_xbar(xbars, &hdc_xbar_cfg(), &batch[0].tech).ok()?;
+        let mut rows = out.take_u32();
+        rows.extend(batch.iter().map(|s| s.dim_in.div_ceil(256) as u32));
+        let mut cols = out.take_u32();
+        let mut built = Self {
+            t: [out.take_f64(), out.take_f64(), out.take_f64()],
+            e: [out.take_f64(), out.take_f64(), out.take_f64()],
+            a: [out.take_f64(), out.take_f64(), out.take_f64()],
+        };
+        for (d, design) in HDC_CAM_DESIGNS.iter().enumerate() {
+            cols.clear();
+            cols.extend(batch.iter().map(|s| (design.hv)(s).div_ceil(256) as u32));
+            scale_u32(&mut built.t[d], &rows, lat);
+            product_scaled(&mut built.e[d], &rows, &cols, en);
+            product_scaled2(&mut built.a[d], &rows, &cols, area_m2, 1e6);
+        }
+        out.put_u32(rows);
+        out.put_u32(cols);
+        Some(built)
+    }
+
+    /// Returns the columns to the batch's scratch pool.
+    fn release(self, out: &mut CandidateBatch) {
+        for col in self.t.into_iter().chain(self.e).chain(self.a) {
+            out.put_f64(col);
+        }
+    }
+}
+
+/// One point of the HDC batch kernel: the exact candidate sequence of
+/// [`HdcScenario::candidates`] with hoisted solves injected.
+fn hdc_batch_point(
+    s: &HdcScenario,
+    i: usize,
+    enc: Option<&HdcEncodeCols>,
+    h: &mut HdcHoists,
+    out: &mut CandidateBatch,
+) -> Result<(), XldaError> {
+    let gpu = Platform::gpu();
+
+    let (t, e) = hdc_on_platform(s, &gpu, 1, s.hv_dim_sw);
+    push_validated(out, "GPU HDC (batch 1)", t, e, 0.0, s.acc_sw)?;
+
+    let (t, e) = hdc_on_platform(s, &gpu, 1000, s.hv_dim_sw);
+    push_validated(out, "GPU HDC (batch 1000)", t, e, 0.0, s.acc_sw)?;
+
+    let hybrid = HybridPipeline::tpu_gpu();
+    let encode = Kernel::mvm(s.hv_dim_sw, s.dim_in);
+    let search = Kernel::search(s.classes, s.hv_dim_sw, 4);
+    let batch = 1000;
+    push_validated(
+        out,
+        "TPU-GPU hybrid (batch 1000)",
+        hybrid.time(&encode, &search, batch) / batch as f64,
+        hybrid.energy(&encode, &search, batch) / batch as f64,
+        0.0,
+        s.acc_sw,
+    )?;
+
+    for (d, design) in HDC_CAM_DESIGNS.iter().enumerate() {
+        let hv = (design.hv)(s);
+        let (t_encode, e_encode, a_encode) = match enc {
+            Some(c) => (c.t[d][i], c.e[d][i], c.a[d][i]),
+            None => {
+                let _span = xlda_obs::span!("crossbar");
+                let (lat, en, area_m2) = solve_xbar(&mut h.xbars, &hdc_xbar_cfg(), &s.tech)?;
+                hdc_encode_tiles(s, hv, lat, en, area_m2)
+            }
+        };
+        let rep = {
+            let _span = xlda_obs::span!("evacam");
+            h.cams
+                .report(hdc_cam_cfg(s, design.design, design.data, hv))?
+        };
+        let (t, e, a) = hdc_cam_compose(t_encode, e_encode, a_encode, &rep)?;
+        push_validated(out, design.name, t, e, a, (design.acc)(s))?;
+    }
+
+    let c = tpu_nvm_fom_hoisted(s, 1, &mut h.rams)?;
+    let id = out.intern(&c.name);
+    out.push_lane(
+        id,
+        c.fom.latency_s,
+        c.fom.energy_j,
+        c.fom.area_mm2,
+        c.fom.accuracy,
+    );
+
+    let l1 = Kernel::mvm(512, s.dim_in);
+    let l2 = Kernel::mvm(s.classes, 512);
+    let t = gpu.time_per_item(&l1, 1000) + gpu.time_per_item(&l2, 1000);
+    let e = (gpu.energy(&l1, 1000) + gpu.energy(&l2, 1000)) / 1000.0;
+    push_validated(out, "GPU MLP (batch 1000)", t, e, 0.0, s.acc_mlp)?;
+    Ok(())
+}
+
+/// Validates and appends one candidate lane to the batch's open point —
+/// the columnar counterpart of `Candidate::new(name, validate_fom(..)?)`.
+fn push_validated(
+    out: &mut CandidateBatch,
+    name: &str,
+    latency_s: f64,
+    energy_j: f64,
+    area_mm2: f64,
+    accuracy: f64,
+) -> Result<(), XldaError> {
+    let fom = validate_fom(
+        name,
+        Fom {
+            latency_s,
+            energy_j,
+            area_mm2,
+            accuracy,
+        },
+    )?;
+    let id = out.intern(name);
+    out.push_lane(id, fom.latency_s, fom.energy_j, fom.area_mm2, fom.accuracy);
+    Ok(())
+}
+
+/// Appends a scalar candidate set as one successful columnar point.
+fn push_candidates(out: &mut CandidateBatch, cands: &[Candidate]) {
+    for c in cands {
+        let id = out.intern(&c.name);
+        out.push_lane(
+            id,
+            c.fom.latency_s,
+            c.fom.energy_j,
+            c.fom.area_mm2,
+            c.fom.accuracy,
+        );
+    }
+    out.close_point();
 }
 
 /// The paper's open question (Sec. III): "What if an existing
@@ -471,23 +781,58 @@ impl Scenario for TpuNvmScenario {
 /// (degenerate capacity), [`XldaError::InvalidFom`] if the assembled
 /// FOMs are non-finite.
 fn tpu_nvm_fom(s: &HdcScenario, batch: usize) -> Result<Candidate, XldaError> {
-    let tpu = Platform::tpu();
-    // Weight footprint: bipolar projection (1 bit/element) + 4-bit class
-    // HVs, held in on-chip FeFET NVM.
-    let weight_bytes = (s.dim_in * s.hv_dim_sw) as u64 / 8 + (s.classes * s.hv_dim_sw) as u64 / 2;
+    let weight_bytes = tpu_nvm_weight_bytes(s);
     let rep = {
         let _span = xlda_obs::span!("nvram");
-        let ram = RamArray::auto_organize(
-            &RamConfig {
-                capacity_bits: weight_bytes * 8,
-                word_bits: 256,
-                cell: RamCell::Fefet1T,
-                tech: s.tech.clone(),
-            },
-            OptTarget::ReadLatency,
-        )?;
+        let ram =
+            RamArray::auto_organize(&tpu_nvm_config(s, weight_bytes), OptTarget::ReadLatency)?;
         ram.report()
     };
+    tpu_nvm_compose(s, batch, weight_bytes, &rep)
+}
+
+/// [`tpu_nvm_fom`] with the NVM geometry search hoisted through a
+/// [`RamBatchSolver`]: the solver's organization search replays the
+/// scalar search with its capacity-independent sub-solves cached, and
+/// the composition tail is [`tpu_nvm_compose`] either way — bit-identical
+/// by construction.
+fn tpu_nvm_fom_hoisted(
+    s: &HdcScenario,
+    batch: usize,
+    rams: &mut RamBatchSolver,
+) -> Result<Candidate, XldaError> {
+    let weight_bytes = tpu_nvm_weight_bytes(s);
+    let rep = {
+        let _span = xlda_obs::span!("nvram");
+        rams.auto_organize_report(&tpu_nvm_config(s, weight_bytes), OptTarget::ReadLatency)?
+    };
+    tpu_nvm_compose(s, batch, weight_bytes, &rep)
+}
+
+/// Weight footprint: bipolar projection (1 bit/element) + 4-bit class
+/// HVs, held in on-chip FeFET NVM.
+fn tpu_nvm_weight_bytes(s: &HdcScenario) -> u64 {
+    (s.dim_in * s.hv_dim_sw) as u64 / 8 + (s.classes * s.hv_dim_sw) as u64 / 2
+}
+
+fn tpu_nvm_config(s: &HdcScenario, weight_bytes: u64) -> RamConfig {
+    RamConfig {
+        capacity_bits: weight_bytes * 8,
+        word_bits: 256,
+        cell: RamCell::Fefet1T,
+        tech: s.tech.clone(),
+    }
+}
+
+/// Composition tail shared by the scalar and hoisted NVM-backed-TPU
+/// paths.
+fn tpu_nvm_compose(
+    s: &HdcScenario,
+    batch: usize,
+    weight_bytes: u64,
+    rep: &RamReport,
+) -> Result<Candidate, XldaError> {
+    let tpu = Platform::tpu();
     // 16 mats stream in parallel: aggregated on-chip weight bandwidth.
     let nvm_bw = 16.0 * (256.0 / 8.0) / rep.read_latency_s;
     let flops = 2.0 * (s.dim_in * s.hv_dim_sw + s.classes * s.hv_dim_sw) as f64;
@@ -641,174 +986,265 @@ impl Scenario for MannScenario {
     /// all-RRAM in-memory pipeline.
     fn candidates(&self) -> Result<Vec<Candidate>, XldaError> {
         let s = self;
-        let gpu = Platform::gpu();
-        // GPU path: CNN + exact cosine search over raw embeddings.
-        let cnn = Kernel {
-            flops_per_item: (s.weights as u64) * 100,
-            bytes_per_item: 28 * 28 * 4,
-            shared_bytes: (s.weights * 4) as u64,
-        };
-        let search = Kernel::search(s.entries, s.emb_dim, 4);
-        let t_gpu = gpu.time_per_item(&cnn, 1) + gpu.time_per_item(&search, 1);
-        let e_gpu = gpu.energy(&cnn, 1) + gpu.energy(&search, 1);
-
         // RRAM path: CNN on crossbars, hashing on a stochastic crossbar, AM
         // search in an RRAM TCAM.
-        let xbar_cfg = CrossbarConfig {
-            rows: 64,
-            cols: 64,
-            ..CrossbarConfig::default()
-        };
-        let (xmacro, mvm) = {
+        let (mvm_latency_s, mvm_energy_j, area_m2) = {
             let _span = xlda_obs::span!("crossbar");
-            let xmacro = CrossbarMacro::try_new(&xbar_cfg, &s.tech, 8)?;
+            let xmacro = CrossbarMacro::try_new(&mann_xbar_cfg(), &s.tech, 8)?;
             let mvm = xmacro.mvm_cost();
-            (xmacro, mvm)
+            (mvm.latency_s, mvm.energy_j, xmacro.area_m2())
         };
-        // Paper: >65k weights across 36 64x64 crossbars; layers pipeline but
-        // inference visits each layer once.
-        let cnn_tiles = s.weights.div_ceil(64 * 64).max(1);
-        let layer_depth = 4.0;
-        let t_cnn = layer_depth * mvm.latency_s;
-        let e_cnn = cnn_tiles as f64 * mvm.energy_j;
-        let hash_tiles = (s.emb_dim.div_ceil(64) * (2 * s.hash_bits).div_ceil(64)).max(1);
-        let t_hash = mvm.latency_s;
-        let e_hash = hash_tiles as f64 * mvm.energy_j;
         let rep = {
             let _span = xlda_obs::span!("evacam");
-            let cam = CamArray::new(CamConfig {
-                words: s.entries,
-                bits_per_word: s.hash_bits,
-                design: CamCellDesign::Rram2T2R,
-                data: DataKind::Ternary,
-                match_kind: MatchKind::Best { max_distance: 4 },
-                row_banks: 1,
-                tech: s.tech.clone(),
-            })?;
+            let cam = CamArray::new(mann_cam_cfg(s))?;
             cam.report()
         };
-        let area = (cnn_tiles + hash_tiles) as f64 * xmacro.area_m2() * 1e6 + rep.area_um2 * 1e-6;
+        mann_compose(s, mvm_latency_s, mvm_energy_j, area_m2, &rep)
+    }
 
-        Ok(vec![
-            Candidate::new(
-                "GPU MANN (batch 1)",
-                validate_fom(
-                    "GPU MANN (batch 1)",
-                    Fom {
-                        latency_s: t_gpu,
-                        energy_j: e_gpu,
-                        area_mm2: 0.0,
-                        accuracy: s.acc_software,
-                    },
-                )?,
-            ),
-            Candidate::new(
-                "RRAM in-memory MANN",
-                validate_fom(
-                    "RRAM in-memory MANN",
-                    Fom {
-                        latency_s: t_cnn + t_hash + rep.search_latency_s,
-                        energy_j: e_cnn + e_hash + rep.search_energy_j,
-                        area_mm2: area,
-                        accuracy: s.acc_rram,
-                    },
-                )?,
-            ),
-        ])
+    /// Columnar MANN kernel: hoists the 64x64 crossbar macro solve (per
+    /// tech node) and the TCAM sense-margin search (per matchline
+    /// config) across the batch, then composes each point through
+    /// [`mann_compose`] — bit-identical to [`Scenario::candidates`].
+    fn candidates_batch(batch: &[Self], out: &mut CandidateBatch)
+    where
+        Self: Sized,
+    {
+        let mut xbars = XbarCache::new();
+        let mut cams = CamSolver::new();
+        for s in batch {
+            let point = (|| -> Result<Vec<Candidate>, XldaError> {
+                let (mvm_latency_s, mvm_energy_j, area_m2) = {
+                    let _span = xlda_obs::span!("crossbar");
+                    solve_xbar(&mut xbars, &mann_xbar_cfg(), &s.tech)?
+                };
+                let rep = {
+                    let _span = xlda_obs::span!("evacam");
+                    cams.report(mann_cam_cfg(s))?
+                };
+                mann_compose(s, mvm_latency_s, mvm_energy_j, area_m2, &rep)
+            })();
+            match point {
+                Ok(cands) => push_candidates(out, &cands),
+                Err(e) => out.fail_point(PointStatus::Error, e.to_string()),
+            }
+        }
     }
 }
 
+/// The fixed 64x64 crossbar configuration of the MANN RRAM pipeline.
+fn mann_xbar_cfg() -> CrossbarConfig {
+    CrossbarConfig {
+        rows: 64,
+        cols: 64,
+        ..CrossbarConfig::default()
+    }
+}
+
+/// The RRAM TCAM configuration of the MANN associative-memory search.
+fn mann_cam_cfg(s: &MannScenario) -> CamConfig {
+    CamConfig {
+        words: s.entries,
+        bits_per_word: s.hash_bits,
+        design: CamCellDesign::Rram2T2R,
+        data: DataKind::Ternary,
+        match_kind: MatchKind::Best { max_distance: 4 },
+        row_banks: 1,
+        tech: s.tech.clone(),
+    }
+}
+
+/// Composition tail of the MANN candidate pair from one crossbar macro
+/// solve and one TCAM report, shared by the scalar and batch paths.
+fn mann_compose(
+    s: &MannScenario,
+    mvm_latency_s: f64,
+    mvm_energy_j: f64,
+    area_m2: f64,
+    rep: &CamReport,
+) -> Result<Vec<Candidate>, XldaError> {
+    let gpu = Platform::gpu();
+    // GPU path: CNN + exact cosine search over raw embeddings.
+    let cnn = Kernel {
+        flops_per_item: (s.weights as u64) * 100,
+        bytes_per_item: 28 * 28 * 4,
+        shared_bytes: (s.weights * 4) as u64,
+    };
+    let search = Kernel::search(s.entries, s.emb_dim, 4);
+    let t_gpu = gpu.time_per_item(&cnn, 1) + gpu.time_per_item(&search, 1);
+    let e_gpu = gpu.energy(&cnn, 1) + gpu.energy(&search, 1);
+
+    // Paper: >65k weights across 36 64x64 crossbars; layers pipeline but
+    // inference visits each layer once.
+    let cnn_tiles = s.weights.div_ceil(64 * 64).max(1);
+    let layer_depth = 4.0;
+    let t_cnn = layer_depth * mvm_latency_s;
+    let e_cnn = cnn_tiles as f64 * mvm_energy_j;
+    let hash_tiles = (s.emb_dim.div_ceil(64) * (2 * s.hash_bits).div_ceil(64)).max(1);
+    let t_hash = mvm_latency_s;
+    let e_hash = hash_tiles as f64 * mvm_energy_j;
+    let area = (cnn_tiles + hash_tiles) as f64 * area_m2 * 1e6 + rep.area_um2 * 1e-6;
+
+    Ok(vec![
+        Candidate::new(
+            "GPU MANN (batch 1)",
+            validate_fom(
+                "GPU MANN (batch 1)",
+                Fom {
+                    latency_s: t_gpu,
+                    energy_j: e_gpu,
+                    area_mm2: 0.0,
+                    accuracy: s.acc_software,
+                },
+            )?,
+        ),
+        Candidate::new(
+            "RRAM in-memory MANN",
+            validate_fom(
+                "RRAM in-memory MANN",
+                Fom {
+                    latency_s: t_cnn + t_hash + rep.search_latency_s,
+                    energy_j: e_cnn + e_hash + rep.search_energy_j,
+                    area_mm2: area,
+                    accuracy: s.acc_rram,
+                },
+            )?,
+        ),
+    ])
+}
+
 // ---------------------------------------------------------------------------
-// Deprecated pre-trait entry points.
-//
-// These free functions predate the `Scenario` trait; they remain as thin
-// delegating shims so downstream code migrates on its own schedule. New
-// code (and everything in-repo) goes through `Scenario::candidates`.
+// Columnar sweep entry points.
 // ---------------------------------------------------------------------------
 
-/// Builds the full Fig. 3H candidate set.
-///
-/// # Panics
-///
-/// Panics if any shipped design point fails to model — impossible for
-/// scenarios near the default; arbitrary scenario grids should use the
-/// fallible [`Scenario::candidates`] and collect per-point errors.
-#[deprecated(since = "0.2.0", note = "use Scenario::candidates on HdcScenario")]
-pub fn hdc_candidates(s: &HdcScenario) -> Vec<Candidate> {
-    s.candidates()
-        .expect("shipped HDC design points must model")
+/// Message recorded on points skipped by an expired sweep deadline;
+/// matches `PointFailure::DeadlineExceeded`'s `Display` so both sweep
+/// arms report the skip identically.
+const DEADLINE_MSG: &str = "sweep deadline expired before evaluation";
+
+thread_local! {
+    /// Per-worker columnar scratch batch, reused across stolen chunks so
+    /// column capacity and kernel scratch pools survive chunk boundaries.
+    static CHUNK_BATCH: std::cell::RefCell<CandidateBatch> =
+        std::cell::RefCell::new(CandidateBatch::new());
 }
 
-/// Fallible Fig. 3H candidate set.
+/// Evaluates a grid of same-type scenarios into one [`CandidateBatch`],
+/// preserving input order, with per-point error/panic containment.
 ///
-/// # Errors
+/// [`Columnar::Off`] (the default) evaluates per point through
+/// [`Scenario::candidates`] on the scalar work-stealing engine.
+/// [`Columnar::Exact`] hands whole chunks to
+/// [`Scenario::candidates_batch`]; a chunk whose kernel panics or
+/// miscounts its points is transparently re-evaluated per point. The two
+/// modes produce batches with identical checksums
+/// ([`CandidateBatch::checksum`]) on deadline-free sweeps — `Exact` is an
+/// opt-in for cold-path throughput, never a numerics change.
 ///
-/// As [`Scenario::candidates`] on [`HdcScenario`].
-#[deprecated(since = "0.2.0", note = "use Scenario::candidates on HdcScenario")]
-pub fn try_hdc_candidates(s: &HdcScenario) -> Result<Vec<Candidate>, XldaError> {
-    s.candidates()
+/// [`SweepOptions::deadline`] is honored at point granularity in scalar
+/// mode and at *chunk* granularity in columnar mode (an admitted chunk
+/// runs to completion), so under an expired deadline the two modes may
+/// skip different points.
+pub fn sweep_scenarios<S: Scenario>(scenarios: &[S], opts: &SweepOptions) -> CandidateBatch {
+    match opts.columnar() {
+        Columnar::Off => {
+            let results = par_try_map_with(scenarios, |s| s.candidates(), opts);
+            let mut out = CandidateBatch::new();
+            for r in results {
+                match r {
+                    Ok(cands) => push_candidates(&mut out, &cands),
+                    Err(PointFailure::Error(e)) => {
+                        out.fail_point(PointStatus::Error, e.to_string());
+                    }
+                    Err(PointFailure::Panicked(msg)) => {
+                        out.fail_point(PointStatus::Panicked, msg);
+                    }
+                    Err(PointFailure::DeadlineExceeded) => {
+                        out.fail_point(PointStatus::DeadlineExceeded, DEADLINE_MSG);
+                    }
+                }
+            }
+            out
+        }
+        Columnar::Exact => {
+            let expires_at = opts.deadline().map(|d| Instant::now() + d);
+            let chunks = par_batch_map(scenarios, opts, |_base, slice| {
+                run_columnar_chunk(slice, expires_at)
+            });
+            let mut out = CandidateBatch::new();
+            for c in &chunks {
+                out.append(c);
+            }
+            out
+        }
+    }
 }
 
-/// Builds the edge-deployment candidate set.
-///
-/// # Panics
-///
-/// Panics if any shipped design point fails to model.
-#[deprecated(since = "0.2.0", note = "use Scenario::candidates on EdgeScenario")]
-pub fn edge_candidates(s: &HdcScenario) -> Vec<Candidate> {
-    EdgeScenario::new(s.clone())
-        .candidates()
-        .expect("shipped edge design points must model")
+/// One columnar chunk: deadline check, batch kernel under a chunk-level
+/// panic guard, and a per-point scalar fallback if the kernel misbehaves.
+fn run_columnar_chunk<S: Scenario>(slice: &[S], expires_at: Option<Instant>) -> CandidateBatch {
+    // Chunk-granular deadline: mirrors the scalar engine's "never
+    // interrupt an evaluator" rule at chunk scope.
+    if expires_at.is_some_and(|t| Instant::now() >= t) {
+        let mut out = CandidateBatch::new();
+        for _ in slice {
+            out.fail_point(PointStatus::DeadlineExceeded, DEADLINE_MSG);
+        }
+        return out;
+    }
+    let kernel = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        CHUNK_BATCH.with(|cell| {
+            let mut b = cell.borrow_mut();
+            b.clear();
+            S::candidates_batch(slice, &mut b);
+            b.clone()
+        })
+    }));
+    match kernel {
+        Ok(b) if b.points() == slice.len() => b,
+        // A panicking or miscounting kernel forfeits the whole chunk to
+        // per-point scalar evaluation with per-point containment, so one
+        // poisoned lane cannot take down its chunk-mates.
+        _ => {
+            let mut out = CandidateBatch::new();
+            for s in slice {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.candidates())) {
+                    Ok(Ok(cands)) => push_candidates(&mut out, &cands),
+                    Ok(Err(e)) => out.fail_point(PointStatus::Error, e.to_string()),
+                    Err(payload) => {
+                        out.fail_point(PointStatus::Panicked, sweep::panic_message(payload));
+                    }
+                }
+            }
+            out
+        }
+    }
 }
 
-/// Fallible edge-deployment candidate set.
-///
-/// # Errors
-///
-/// As [`Scenario::candidates`] on [`EdgeScenario`].
-#[deprecated(since = "0.2.0", note = "use Scenario::candidates on EdgeScenario")]
-pub fn try_edge_candidates(s: &HdcScenario) -> Result<Vec<Candidate>, XldaError> {
-    EdgeScenario::new(s.clone()).candidates()
-}
-
-/// Builds the NVM-backed-TPU candidate.
-///
-/// # Panics
-///
-/// Panics if the NVM weight store cannot be organized.
-#[deprecated(since = "0.2.0", note = "use Scenario::candidates on TpuNvmScenario")]
-pub fn tpu_nvm_candidate(s: &HdcScenario, batch: usize) -> Candidate {
-    tpu_nvm_fom(s, batch).expect("NVM weight store organizes")
-}
-
-/// Fallible NVM-backed-TPU candidate.
-///
-/// # Errors
-///
-/// As [`Scenario::candidates`] on [`TpuNvmScenario`].
-#[deprecated(since = "0.2.0", note = "use Scenario::candidates on TpuNvmScenario")]
-pub fn try_tpu_nvm_candidate(s: &HdcScenario, batch: usize) -> Result<Candidate, XldaError> {
-    tpu_nvm_fom(s, batch)
-}
-
-/// Builds the MANN platform candidates.
-///
-/// # Panics
-///
-/// Panics if a design point fails to model.
-#[deprecated(since = "0.2.0", note = "use Scenario::candidates on MannScenario")]
-pub fn mann_candidates(s: &MannScenario) -> Vec<Candidate> {
-    s.candidates().expect("MANN TCAM design point must model")
-}
-
-/// Fallible MANN platform candidates.
-///
-/// # Errors
-///
-/// As [`Scenario::candidates`] on [`MannScenario`].
-#[deprecated(since = "0.2.0", note = "use Scenario::candidates on MannScenario")]
-pub fn try_mann_candidates(s: &MannScenario) -> Result<Vec<Candidate>, XldaError> {
-    s.candidates()
+/// Runs [`sweep_scenarios`] and measures it: wall time, memo-cache
+/// deltas, and the per-span layer breakdown, diffed over just this
+/// sweep like [`sweep::sweep_with_stats`]. Columnar dispatch has no
+/// per-point timing boundary, so `stats.slowest` is always empty here —
+/// use the scalar stats path when slow-point capture matters.
+pub fn sweep_scenarios_with_stats<S: Scenario>(
+    scenarios: &[S],
+    opts: &SweepOptions,
+) -> (CandidateBatch, SweepStats) {
+    let caches_before = sweep::memo::snapshot();
+    let spans_before = xlda_obs::span::aggregate_snapshot();
+    let start = Instant::now();
+    let out = sweep_scenarios(scenarios, opts);
+    let stats = SweepStats {
+        points: scenarios.len(),
+        elapsed: start.elapsed(),
+        caches: sweep::diff_caches(&caches_before, sweep::memo::snapshot()),
+        layers: xlda_obs::span::diff_aggregates(
+            &spans_before,
+            &xlda_obs::span::aggregate_snapshot(),
+        ),
+        slowest: Vec::new(),
+    };
+    (out, stats)
 }
 
 #[cfg(test)]
@@ -929,32 +1365,230 @@ mod tests {
         assert!(cam.fom.energy_j < nvm_tpu.fom.energy_j);
     }
 
-    /// The deprecated free-function shims must stay bit-identical to the
-    /// trait they delegate to — downstream code migrating one call site
-    /// at a time may not observe any behavior change.
+    /// Packs scalar `candidates()` results into a batch — the reference
+    /// the kernels must match bit for bit.
+    fn scalar_reference<S: Scenario>(scenarios: &[S]) -> CandidateBatch {
+        let mut out = CandidateBatch::new();
+        for s in scenarios {
+            match s.candidates() {
+                Ok(c) => push_candidates(&mut out, &c),
+                Err(e) => out.fail_point(PointStatus::Error, e.to_string()),
+            }
+        }
+        out
+    }
+
+    fn batch_of<S: Scenario>(scenarios: &[S]) -> CandidateBatch {
+        let mut out = CandidateBatch::new();
+        S::candidates_batch(scenarios, &mut out);
+        out
+    }
+
+    fn assert_bit_identical(a: &CandidateBatch, b: &CandidateBatch) {
+        assert_eq!(a.points(), b.points());
+        assert_eq!(a.lanes(), b.lanes());
+        assert_eq!(a.checksum(), b.checksum());
+        for p in 0..a.points() {
+            assert_eq!(a.point_status(p), b.point_status(p), "point {p}");
+            assert_eq!(a.point_message(p), b.point_message(p), "point {p}");
+            assert_eq!(a.lane_range(p), b.lane_range(p), "point {p}");
+        }
+        for i in 0..a.lanes() {
+            assert_eq!(a.lane_name(i), b.lane_name(i), "lane {i}");
+            for (col_a, col_b) in [
+                (a.latency_s(), b.latency_s()),
+                (a.energy_j(), b.energy_j()),
+                (a.area_mm2(), b.area_mm2()),
+                (a.accuracy(), b.accuracy()),
+            ] {
+                assert_eq!(col_a[i].to_bits(), col_b[i].to_bits(), "lane {i}");
+            }
+        }
+    }
+
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_agree_with_scenario_trait() {
-        let s = HdcScenario::default();
-        assert_eq!(try_hdc_candidates(&s).unwrap(), s.candidates().unwrap());
-        assert_eq!(hdc_candidates(&s), s.candidates().unwrap());
-        assert_eq!(
-            try_edge_candidates(&s).unwrap(),
-            EdgeScenario::new(s.clone()).candidates().unwrap()
+    fn hdc_batch_kernel_is_bit_identical_to_scalar() {
+        // Uniform tech (columnar encode columns) over a dim/hv grid.
+        let grid: Vec<HdcScenario> = (0..7)
+            .map(|i| HdcScenario {
+                dim_in: 617 + 100 * i,
+                hv_dim_3b: 2048 + 512 * i,
+                ..HdcScenario::default()
+            })
+            .collect();
+        assert_bit_identical(&scalar_reference(&grid), &batch_of(&grid));
+    }
+
+    #[test]
+    fn hdc_batch_kernel_handles_mixed_techs_and_errors() {
+        // Mixed tech nodes force the per-point encode arm; the NaN point
+        // must fail alone with the scalar error string.
+        let mut grid = vec![
+            HdcScenario::default(),
+            HdcScenario {
+                tech: TechNode::n22(),
+                ..HdcScenario::default()
+            },
+            HdcScenario {
+                acc_sw: f64::NAN,
+                ..HdcScenario::default()
+            },
+            HdcScenario {
+                dim_in: 1200,
+                ..HdcScenario::default()
+            },
+        ];
+        let reference = scalar_reference(&grid);
+        let batch = batch_of(&grid);
+        assert_eq!(batch.point_status(2), PointStatus::Error);
+        assert_bit_identical(&reference, &batch);
+        // Uniform-tech grid containing an error point: the hoisted
+        // encode columns are computed for it, but the point still fails
+        // identically.
+        grid.remove(1);
+        assert_bit_identical(&scalar_reference(&grid), &batch_of(&grid));
+    }
+
+    #[test]
+    fn mann_batch_kernel_is_bit_identical_to_scalar() {
+        let grid: Vec<MannScenario> = (0..6)
+            .map(|i| MannScenario {
+                entries: 125 + 40 * i,
+                hash_bits: 256 + 32 * i,
+                ..MannScenario::default()
+            })
+            .chain(std::iter::once(MannScenario {
+                acc_rram: 1.5,
+                ..MannScenario::default()
+            }))
+            .collect();
+        let reference = scalar_reference(&grid);
+        let batch = batch_of(&grid);
+        assert_eq!(batch.point_status(6), PointStatus::Error);
+        assert_bit_identical(&reference, &batch);
+    }
+
+    #[test]
+    fn provided_candidates_batch_covers_external_impls() {
+        // Edge/TpuNvm use the provided per-point default and must agree
+        // with the scalar reference too.
+        let grid: Vec<EdgeScenario> = (0..3)
+            .map(|i| {
+                EdgeScenario::new(HdcScenario {
+                    dim_in: 617 + i,
+                    ..HdcScenario::default()
+                })
+            })
+            .collect();
+        assert_bit_identical(&scalar_reference(&grid), &batch_of(&grid));
+    }
+
+    #[test]
+    fn sweep_scenarios_modes_agree_and_contain_failures() {
+        let grid: Vec<HdcScenario> = (0..10)
+            .map(|i| HdcScenario {
+                dim_in: 600 + 37 * i,
+                ..HdcScenario::default()
+            })
+            .collect();
+        let scalar = sweep_scenarios(&grid, &SweepOptions::builder().threads(2).build());
+        let columnar = sweep_scenarios(
+            &grid,
+            &SweepOptions::builder()
+                .threads(2)
+                .chunk(3)
+                .columnar(Columnar::Exact)
+                .build(),
         );
-        assert_eq!(
-            edge_candidates(&s),
-            EdgeScenario::new(s.clone()).candidates().unwrap()
+        assert_bit_identical(&scalar, &columnar);
+        assert_eq!(columnar.points(), grid.len());
+    }
+
+    /// A scenario whose evaluator panics on selected points, to exercise
+    /// chunk-level containment and the per-point fallback.
+    struct PanickyScenario {
+        id: usize,
+        panic_on: bool,
+    }
+
+    impl Scenario for PanickyScenario {
+        fn kind(&self) -> &'static str {
+            "panicky"
+        }
+
+        fn candidates(&self) -> Result<Vec<Candidate>, XldaError> {
+            assert!(!self.panic_on, "poisoned point {}", self.id);
+            Ok(vec![Candidate::new(
+                "ok",
+                Fom {
+                    latency_s: 1.0 + self.id as f64,
+                    energy_j: 1.0,
+                    area_mm2: 0.0,
+                    accuracy: 0.5,
+                },
+            )])
+        }
+    }
+
+    #[test]
+    fn columnar_sweep_contains_poisoned_lanes() {
+        let grid: Vec<PanickyScenario> = (0..9)
+            .map(|id| PanickyScenario {
+                id,
+                panic_on: id == 4,
+            })
+            .collect();
+        let out = sweep_scenarios(
+            &grid,
+            &SweepOptions::builder()
+                .threads(2)
+                .chunk(3)
+                .columnar(Columnar::Exact)
+                .build(),
         );
-        let m = MannScenario::default();
-        assert_eq!(try_mann_candidates(&m).unwrap(), m.candidates().unwrap());
-        assert_eq!(mann_candidates(&m), m.candidates().unwrap());
-        let t = TpuNvmScenario::new(s.clone(), 4);
-        assert_eq!(
-            vec![try_tpu_nvm_candidate(&s, 4).unwrap()],
-            t.candidates().unwrap()
+        assert_eq!(out.points(), 9);
+        for p in 0..9 {
+            if p == 4 {
+                assert_eq!(out.point_status(p), PointStatus::Panicked);
+                assert!(out.point_message(p).unwrap().contains("poisoned point 4"));
+            } else {
+                assert_eq!(out.point_status(p), PointStatus::Ok, "point {p}");
+                assert_eq!(out.latency_s()[out.lane_range(p).start], 1.0 + p as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_deadline_skips_whole_chunks() {
+        let grid: Vec<HdcScenario> = (0..4).map(|_| HdcScenario::default()).collect();
+        let out = sweep_scenarios(
+            &grid,
+            &SweepOptions::builder()
+                .threads(1)
+                .columnar(Columnar::Exact)
+                .deadline(std::time::Duration::ZERO)
+                .build(),
         );
-        assert_eq!(vec![tpu_nvm_candidate(&s, 4)], t.candidates().unwrap());
+        assert_eq!(out.points(), 4);
+        for p in 0..4 {
+            assert_eq!(out.point_status(p), PointStatus::DeadlineExceeded);
+            assert_eq!(out.point_message(p), Some(DEADLINE_MSG));
+        }
+    }
+
+    #[test]
+    fn sweep_scenarios_with_stats_measures_the_sweep() {
+        let grid: Vec<MannScenario> = (0..4).map(|_| MannScenario::default()).collect();
+        let (out, stats) = sweep_scenarios_with_stats(
+            &grid,
+            &SweepOptions::builder()
+                .threads(1)
+                .columnar(Columnar::Exact)
+                .build(),
+        );
+        assert_eq!(out.points(), 4);
+        assert_eq!(stats.points, 4);
+        assert!(stats.slowest.is_empty());
     }
 
     #[test]

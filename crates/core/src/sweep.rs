@@ -58,31 +58,53 @@ pub const MIN_AUTO_CHUNK: usize = 1;
 /// work a single steal can strand behind one slow point on huge inputs.
 pub const MAX_AUTO_CHUNK: usize = 256;
 
+/// Target steals per worker for *columnar* dispatch ([`par_batch_map`]).
+/// Batch kernels amortize hoisted circuit solves over each chunk, so
+/// columnar chunks are sized ~4x larger than scalar ones (fewer,
+/// fatter steals) at the cost of coarser load balance.
+pub const COLUMNAR_TARGET_STEALS_PER_WORKER: usize = 2;
+
+/// Smallest chunk columnar auto-sizing will pick: hoisting needs a few
+/// points per batch to pay for itself.
+pub const MIN_COLUMNAR_CHUNK: usize = 8;
+
+/// Largest chunk columnar auto-sizing will pick.
+pub const MAX_COLUMNAR_CHUNK: usize = 4096;
+
+/// Whether sweeps evaluate through the columnar batch kernels.
+///
+/// `#[non_exhaustive]`: a future `Fast` variant may permit reassociating
+/// SoA transforms that are *not* bit-identical to the scalar path; any
+/// such mode will be a documented opt-in like this one, never a default
+/// (see `DESIGN.md` §14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[non_exhaustive]
+pub enum Columnar {
+    /// Scalar per-point evaluation (the default).
+    #[default]
+    Off,
+    /// Columnar batch kernels restricted to bit-exact hoisting: cached
+    /// sub-solves are produced by the same pure functions on identical
+    /// inputs and composed in the scalar expression order, so results
+    /// are bit-identical to [`Columnar::Off`].
+    Exact,
+}
+
 /// Sweep engine tuning knobs.
 ///
-/// `#[non_exhaustive]`: construct via [`SweepOptions::default`] plus
-/// struct update, or [`SweepOptions::builder`] — new tuning knobs are
-/// then additive rather than breaking changes.
+/// Since 0.3.0 this is builder-only: construct via
+/// [`SweepOptions::builder`] (or [`SweepOptions::default`] /
+/// [`SweepOptions::v1_static`] for the stock shapes) and read through
+/// the getters — new tuning knobs are then additive rather than
+/// breaking changes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct SweepOptions {
-    /// Dispatch schedule (default: [`Schedule::WorkStealing`]).
-    pub schedule: Schedule,
-    /// Worker threads; `0` means the machine's available parallelism.
-    pub threads: usize,
-    /// Points per stolen work unit; `0` picks a chunk that gives each
-    /// worker ~[`TARGET_STEALS_PER_WORKER`] steals (clamped to
-    /// [`MIN_AUTO_CHUNK`]`..=`[`MAX_AUTO_CHUNK`]). Ignored by
-    /// [`Schedule::StaticChunks`].
-    pub chunk: usize,
-    /// Wall-clock budget for the whole sweep, measured from the moment
-    /// the sweep entry point is called. Honored by the *fallible* paths
-    /// ([`par_try_map_with`]): points whose evaluation has not started
-    /// when the budget expires yield
-    /// [`PointFailure::DeadlineExceeded`] instead of being evaluated.
-    /// The infallible paths ignore it (a skipped point has no
-    /// representable outcome there). `None` (the default) never expires.
-    pub deadline: Option<Duration>,
+    pub(crate) schedule: Schedule,
+    pub(crate) threads: usize,
+    pub(crate) chunk: usize,
+    pub(crate) deadline: Option<Duration>,
+    pub(crate) columnar: Columnar,
 }
 
 impl Default for SweepOptions {
@@ -92,6 +114,7 @@ impl Default for SweepOptions {
             threads: 0,
             chunk: 0,
             deadline: None,
+            columnar: Columnar::Off,
         }
     }
 }
@@ -120,13 +143,49 @@ impl SweepOptions {
     ///     .chunk(16)
     ///     .deadline(Duration::from_millis(250))
     ///     .build();
-    /// assert_eq!(opts.threads, 4);
-    /// assert_eq!(opts.deadline, Some(Duration::from_millis(250)));
+    /// assert_eq!(opts.threads(), 4);
+    /// assert_eq!(opts.deadline(), Some(Duration::from_millis(250)));
     /// ```
     pub fn builder() -> SweepOptionsBuilder {
         SweepOptionsBuilder {
             opts: Self::default(),
         }
+    }
+
+    /// Dispatch schedule (default: [`Schedule::WorkStealing`]).
+    pub fn schedule(&self) -> Schedule {
+        self.schedule
+    }
+
+    /// Worker threads; `0` means the machine's available parallelism.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Points per stolen work unit; `0` picks a chunk that gives each
+    /// worker ~[`TARGET_STEALS_PER_WORKER`] steals (clamped to
+    /// [`MIN_AUTO_CHUNK`]`..=`[`MAX_AUTO_CHUNK`]; columnar dispatch
+    /// sizes by [`COLUMNAR_TARGET_STEALS_PER_WORKER`] instead). Ignored
+    /// by [`Schedule::StaticChunks`].
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// Wall-clock budget for the whole sweep, measured from the moment
+    /// the sweep entry point is called. Honored by the *fallible* paths
+    /// ([`par_try_map_with`]): points whose evaluation has not started
+    /// when the budget expires yield
+    /// [`PointFailure::DeadlineExceeded`] instead of being evaluated.
+    /// Columnar dispatch checks at chunk (not point) granularity. The
+    /// infallible paths ignore it (a skipped point has no representable
+    /// outcome there). `None` (the default) never expires.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// Columnar-kernel mode (default: [`Columnar::Off`]).
+    pub fn columnar(&self) -> Columnar {
+        self.columnar
     }
 
     fn resolve_threads(&self, points: usize) -> usize {
@@ -149,6 +208,24 @@ impl SweepOptions {
                 } else {
                     (points / (threads * TARGET_STEALS_PER_WORKER))
                         .clamp(MIN_AUTO_CHUNK, MAX_AUTO_CHUNK)
+                }
+            }
+        }
+    }
+
+    /// Chunk sizing for [`par_batch_map`]: larger chunks than the scalar
+    /// heuristic, because a batch kernel's hoisted solves amortize over
+    /// the whole chunk. An explicit `chunk` wins; static scheduling
+    /// keeps one thread-sized chunk per worker.
+    fn resolve_columnar_chunk(&self, points: usize, threads: usize) -> usize {
+        match self.schedule {
+            Schedule::StaticChunks => points.div_ceil(threads).max(1),
+            Schedule::WorkStealing => {
+                if self.chunk > 0 {
+                    self.chunk
+                } else {
+                    (points / (threads * COLUMNAR_TARGET_STEALS_PER_WORKER))
+                        .clamp(MIN_COLUMNAR_CHUNK, MAX_COLUMNAR_CHUNK)
                 }
             }
         }
@@ -183,6 +260,12 @@ impl SweepOptionsBuilder {
     /// Sets the sweep wall-clock deadline.
     pub fn deadline(mut self, deadline: Duration) -> Self {
         self.opts.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the columnar-kernel mode.
+    pub fn columnar(mut self, columnar: Columnar) -> Self {
+        self.opts.columnar = columnar;
         self
     }
 
@@ -319,7 +402,7 @@ impl<E: std::fmt::Display> std::fmt::Display for PointFailure<E> {
 
 impl<E: std::fmt::Debug + std::fmt::Display> std::error::Error for PointFailure<E> {}
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -398,69 +481,65 @@ where
     )
 }
 
+/// Chunk-granular work-stealing dispatch for columnar batch kernels.
+///
+/// Where [`par_map_with`] hands each *point* to the evaluator,
+/// `par_batch_map` hands each stolen *chunk* — `run_chunk(base, slice)`
+/// receives the chunk's starting index into `inputs` plus the contiguous
+/// sub-slice, and returns one output per chunk (typically an SoA batch,
+/// see `xlda_num::batch::CandidateBatch`). Chunks are returned in input
+/// order, so concatenating the per-chunk outputs reconstructs the full
+/// sweep in order.
+///
+/// Chunk sizing uses the columnar heuristic
+/// ([`COLUMNAR_TARGET_STEALS_PER_WORKER`]): larger chunks than scalar
+/// dispatch, because the kernel's hoisted solves amortize over the whole
+/// chunk. Error/panic containment and deadline checks are the *caller's*
+/// responsibility inside `run_chunk` — this primitive only schedules.
+pub fn par_batch_map<I, B, FB>(inputs: &[I], opts: &SweepOptions, run_chunk: FB) -> Vec<B>
+where
+    I: Sync,
+    B: Send,
+    FB: Fn(usize, &[I]) -> B + Sync,
+{
+    if inputs.is_empty() {
+        return Vec::new();
+    }
+    let threads = opts.resolve_threads(inputs.len());
+    let chunk = opts.resolve_columnar_chunk(inputs.len(), threads);
+    let cursor = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let run_chunk = &run_chunk;
+            let cursor = &cursor;
+            handles.push(scope.spawn(move |_| {
+                let mut mine: Vec<(usize, B)> = Vec::new();
+                loop {
+                    let c = cursor.fetch_add(1, Ordering::Relaxed);
+                    let lo = c * chunk;
+                    if lo >= inputs.len() {
+                        break;
+                    }
+                    let hi = (lo + chunk).min(inputs.len());
+                    mine.push((c, run_chunk(lo, &inputs[lo..hi])));
+                }
+                mine
+            }));
+        }
+        let mut parts: Vec<(usize, B)> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect();
+        parts.sort_unstable_by_key(|&(c, _)| c);
+        parts.into_iter().map(|(_, b)| b).collect()
+    })
+    .expect("sweep scope panicked")
+}
+
 // ---------------------------------------------------------------------------
 // Observability: per-sweep stats on top of xlda_obs spans.
 // ---------------------------------------------------------------------------
-
-/// Globally enables or disables span measurement.
-#[deprecated(
-    since = "0.2.0",
-    note = "layer counters are now xlda_obs spans; use xlda_obs::span::set_enabled"
-)]
-pub fn set_layer_timing(on: bool) {
-    xlda_obs::span::set_enabled(on);
-}
-
-/// Runs `f` inside an obs span named `name`.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the xlda_obs::span! macro (zero lookup cost per call site)"
-)]
-pub fn layer_timed<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
-    let _guard = xlda_obs::span::SpanGuard::enter_named(name);
-    f()
-}
-
-/// One layer's cumulative time counter (pre-obs shape).
-#[deprecated(since = "0.2.0", note = "use xlda_obs::span::SpanAgg")]
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct LayerTime {
-    /// Span name.
-    pub name: &'static str,
-    /// Total wall nanoseconds attributed to the layer (span total time,
-    /// children included).
-    pub nanos: u64,
-    /// Number of timed calls.
-    pub calls: u64,
-}
-
-#[allow(deprecated)]
-impl LayerTime {
-    /// Total attributed time as a [`Duration`].
-    pub fn elapsed(&self) -> Duration {
-        Duration::from_nanos(self.nanos)
-    }
-}
-
-/// Snapshot of every span aggregate in the pre-obs [`LayerTime`] shape.
-#[deprecated(since = "0.2.0", note = "use xlda_obs::span::aggregate_snapshot")]
-#[allow(deprecated)]
-pub fn layer_snapshot() -> Vec<LayerTime> {
-    xlda_obs::span::aggregate_snapshot()
-        .into_iter()
-        .map(|a| LayerTime {
-            name: a.name,
-            nanos: a.total_nanos,
-            calls: a.calls,
-        })
-        .collect()
-}
-
-/// Zeroes every span aggregate.
-#[deprecated(since = "0.2.0", note = "use xlda_obs::span::reset_aggregates")]
-pub fn reset_layer_timing() {
-    xlda_obs::span::reset_aggregates();
-}
 
 /// How many of the slowest points a stats sweep keeps span trees for.
 pub const SLOW_POINTS_CAPTURED: usize = 8;
@@ -544,7 +623,10 @@ impl SweepStats {
     }
 }
 
-fn diff_caches(before: &[CacheSnapshot], after: Vec<CacheSnapshot>) -> Vec<CacheSnapshot> {
+pub(crate) fn diff_caches(
+    before: &[CacheSnapshot],
+    after: Vec<CacheSnapshot>,
+) -> Vec<CacheSnapshot> {
     after
         .into_iter()
         .map(|a| {
@@ -1056,31 +1138,54 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_layer_shims_still_measure() {
-        let _g = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-        // Off by default: nothing accumulates.
-        layer_timed("core.test_shim_off", || 1 + 1);
-        assert!(!layer_snapshot()
-            .iter()
-            .any(|l| l.name == "core.test_shim_off" && l.calls > 0));
-
-        set_layer_timing(true);
-        let before: u64 = layer_snapshot()
-            .iter()
-            .filter(|l| l.name == "core.test_shim_on")
-            .map(|l| l.calls)
-            .sum();
-        for _ in 0..3 {
-            layer_timed("core.test_shim_on", || std::hint::black_box(17u64 * 3));
+    fn par_batch_map_preserves_chunk_order_and_coverage() {
+        let inputs: Vec<u64> = (0..1000).collect();
+        for opts in [
+            SweepOptions::builder()
+                .threads(4)
+                .columnar(Columnar::Exact)
+                .build(),
+            SweepOptions::builder()
+                .threads(3)
+                .chunk(7)
+                .columnar(Columnar::Exact)
+                .build(),
+            SweepOptions::builder()
+                .schedule(Schedule::StaticChunks)
+                .threads(4)
+                .build(),
+        ] {
+            let chunks = par_batch_map(&inputs, &opts, |base, slice| {
+                (base, slice.iter().map(|&x| x * 2).collect::<Vec<_>>())
+            });
+            // Chunks arrive in input order and tile the input exactly.
+            let mut expect_base = 0usize;
+            for (base, vals) in &chunks {
+                assert_eq!(*base, expect_base);
+                for (i, v) in vals.iter().enumerate() {
+                    assert_eq!(*v, inputs[base + i] * 2);
+                }
+                expect_base += vals.len();
+            }
+            assert_eq!(expect_base, inputs.len());
         }
-        set_layer_timing(false);
-        let after: u64 = layer_snapshot()
-            .iter()
-            .filter(|l| l.name == "core.test_shim_on")
-            .map(|l| l.calls)
-            .sum();
-        assert_eq!(after - before, 3);
+        // Empty input yields no chunks.
+        assert!(
+            par_batch_map(&[] as &[u64], &SweepOptions::default(), |b, s| (b, s.len())).is_empty()
+        );
+    }
+
+    #[test]
+    fn columnar_chunks_are_larger_than_scalar() {
+        let opts = SweepOptions::default();
+        let scalar = opts.resolve_chunk(10_000, 4);
+        let columnar = opts.resolve_columnar_chunk(10_000, 4);
+        assert!(columnar > scalar, "{columnar} <= {scalar}");
+        // Explicit chunk wins in both modes.
+        let fixed = SweepOptions::builder().chunk(13).build();
+        assert_eq!(fixed.resolve_columnar_chunk(10_000, 4), 13);
+        // Tiny sweeps clamp to the columnar minimum.
+        assert_eq!(opts.resolve_columnar_chunk(3, 4), MIN_COLUMNAR_CHUNK);
     }
 
     #[test]

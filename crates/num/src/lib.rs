@@ -17,7 +17,10 @@
 //!   crates use to share sub-evaluations across design-space sweep points;
 //! - [`trial`] — structure-of-arrays Monte-Carlo trial batches with
 //!   per-trial `(seed, index)`-derived streams, distribution summaries,
-//!   and determinism checksums for the variation-aware scenarios.
+//!   and determinism checksums for the variation-aware scenarios;
+//! - [`batch`] — structure-of-arrays candidate batches, exact-key hoist
+//!   caches, and lane-unrolled column passes backing the columnar sweep
+//!   kernels in `xlda_core::evaluate`.
 //!
 //! # Examples
 //!
@@ -30,6 +33,7 @@
 //! assert!(mean(&samples).abs() < 0.2);
 //! ```
 
+pub mod batch;
 pub mod matrix;
 pub mod memo;
 pub mod rng;
