@@ -12,8 +12,9 @@
 //!            [--baseline PATH] [--tolerance FRACTION]
 //!            [--no-obs] [--trace PATH]
 //! xlda-bench --obs-overhead [--smoke] [--workload NAME] [--trace PATH]
+//! xlda-bench --flight-overhead [--smoke]
 //! xlda-bench --loadgen [--smoke] [--duration-secs N] [--connections N]
-//!            [--serve-addr ADDR] [--out PATH]
+//!            [--serve-addr ADDR] [--access-log PATH] [--out PATH]
 //! xlda-bench --store-smoke [--smoke] [--store-path PATH]
 //!            [--verify COLD.json] [--out PATH]
 //! ```
@@ -40,10 +41,19 @@
 //!   workload's v2 path with spans off then on; exit 1 when the
 //!   checksums differ or the enabled-mode wall-time overhead exceeds
 //!   5% (the CI `obs-overhead` gate).
+//! - `--flight-overhead`: the flight-recorder cost gate. Drives the
+//!   loadgen mix through recorder-off and recorder-on (+ access log)
+//!   in-process servers in interleaved pairs; exit 1 when the sorted
+//!   response checksums are not bit-identical or the median pair
+//!   overhead exceeds 5% (the CI gate next to `obs-overhead`).
 //! - `--loadgen`: instead of the sweep benchmark, hammer `xlda-serve`
 //!   with a mixed hdc/mann/triage stream (in-process server unless
 //!   `--serve-addr` names a running daemon), verify bit-exact parity,
-//!   and write the serving trajectory report.
+//!   and write the serving trajectory report. `--access-log PATH`
+//!   routes every benchmarked request through the wide-event NDJSON
+//!   log; the post-warm `debug` probe asserts the flight recorder
+//!   retained the slowest request with an exactly-telescoping stage
+//!   breakdown.
 //! - `--store-smoke`: the cross-process crash-recovery gate. Without
 //!   `--verify`, deletes the store file at `--store-path` (default
 //!   `xlda_store.bin`), resolves every workload cold, and writes a
@@ -55,6 +65,7 @@
 
 use std::process::ExitCode;
 use std::time::Duration;
+use xlda_bench::flight_bench;
 use xlda_bench::loadgen::{self, LoadgenConfig};
 use xlda_bench::store_bench;
 use xlda_bench::sweep_bench::{self, Workload};
@@ -68,11 +79,13 @@ struct Args {
     no_obs: bool,
     trace: Option<String>,
     obs_overhead: bool,
+    flight_overhead: bool,
     loadgen: bool,
     duration_secs: Option<u64>,
     connections: Option<usize>,
     serve_addr: Option<String>,
     transport: loadgen::Transport,
+    access_log: Option<String>,
     store_smoke: bool,
     store_path: String,
     verify: Option<String>,
@@ -84,9 +97,10 @@ fn usage() -> ! {
          [--out PATH] [--baseline PATH] [--tolerance FRACTION] \
          [--no-obs] [--trace PATH]\n\
          \x20      xlda-bench --obs-overhead [--smoke] [--workload NAME] [--trace PATH]\n\
+         \x20      xlda-bench --flight-overhead [--smoke]\n\
          \x20      xlda-bench --loadgen [--smoke] [--duration-secs N] \
          [--connections N] [--serve-addr ADDR] [--transport event|threaded] \
-         [--baseline PATH] [--out PATH]\n\
+         [--access-log PATH] [--baseline PATH] [--out PATH]\n\
          \x20      xlda-bench --store-smoke [--smoke] [--store-path PATH] \
          [--verify COLD.json] [--out PATH]"
     );
@@ -103,11 +117,13 @@ fn parse_args() -> Args {
         no_obs: false,
         trace: None,
         obs_overhead: false,
+        flight_overhead: false,
         loadgen: false,
         duration_secs: None,
         connections: None,
         serve_addr: None,
         transport: loadgen::Transport::Event,
+        access_log: None,
         store_smoke: false,
         store_path: "xlda_store.bin".to_string(),
         verify: None,
@@ -119,6 +135,7 @@ fn parse_args() -> Args {
             "--loadgen" => args.loadgen = true,
             "--no-obs" => args.no_obs = true,
             "--obs-overhead" => args.obs_overhead = true,
+            "--flight-overhead" => args.flight_overhead = true,
             "--trace" => match it.next() {
                 Some(p) => args.trace = Some(p),
                 None => usage(),
@@ -155,6 +172,10 @@ fn parse_args() -> Args {
                 Some(t) => args.transport = t,
                 None => usage(),
             },
+            "--access-log" => match it.next() {
+                Some(p) => args.access_log = Some(p),
+                None => usage(),
+            },
             "--store-smoke" => args.store_smoke = true,
             "--store-path" => match it.next() {
                 Some(p) => args.store_path = p,
@@ -181,6 +202,7 @@ fn run_loadgen(args: &Args) -> ExitCode {
     }
     config.serve_addr = args.serve_addr.clone();
     config.transport = args.transport;
+    config.access_log = args.access_log.clone();
 
     let report = loadgen::run(&config);
     loadgen::print(&report);
@@ -322,10 +344,27 @@ fn run_obs_overhead(args: &Args) -> ExitCode {
     }
 }
 
+fn run_flight_overhead(args: &Args) -> ExitCode {
+    let report = flight_bench::run(args.smoke);
+    flight_bench::print(&report);
+    let failures = flight_bench::failures(&report);
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args = parse_args();
     if args.loadgen {
         return run_loadgen(&args);
+    }
+    if args.flight_overhead {
+        return run_flight_overhead(&args);
     }
     if args.store_smoke {
         return run_store_smoke(&args);

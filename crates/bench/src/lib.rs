@@ -38,6 +38,7 @@ pub mod fig4d;
 pub mod fig4e;
 pub mod fig5;
 pub mod fig6_triage;
+pub mod flight_bench;
 pub mod loadgen;
 pub mod nvram_sweep;
 pub mod secv_speedup;

@@ -32,7 +32,7 @@ use xlda_core::fom::Candidate;
 use xlda_core::mc::{MannAccuracyMcScenario, McParams};
 use xlda_core::sweep::memo;
 use xlda_serve::json::{obj, Json};
-use xlda_serve::{Server, ServerConfig};
+use xlda_serve::{AccessLog, Server, ServerConfig};
 
 /// Which TCP transport the in-process server runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +72,11 @@ pub struct LoadgenConfig {
     /// Transport for the in-process server (ignored with
     /// `serve_addr`: an external daemon picked its own).
     pub transport: Transport,
+    /// Wide-event access-log path for the in-process server (ignored
+    /// with `serve_addr`): every benchmarked request is logged through
+    /// the bounded non-blocking writer, so the run also measures the
+    /// recorder + log at full load.
+    pub access_log: Option<String>,
 }
 
 impl LoadgenConfig {
@@ -88,6 +93,7 @@ impl LoadgenConfig {
             connections: 2,
             serve_addr: None,
             transport: Transport::Event,
+            access_log: None,
         }
     }
 }
@@ -168,6 +174,13 @@ fn request_mix() -> Vec<MixEntry> {
     ]
 }
 
+/// The raw request bodies of the loadgen mix (everything after the
+/// `"id"` field), shared with the flight-overhead harness so both
+/// measure the same traffic shape.
+pub(crate) fn mix_bodies() -> Vec<String> {
+    request_mix().into_iter().map(|m| m.request).collect()
+}
+
 /// Client-side results of one phase.
 pub struct PhaseStats {
     /// `"cold"` or `"warm"`.
@@ -188,6 +201,17 @@ pub struct PhaseStats {
     pub cache_hit_rate: f64,
 }
 
+/// Result of the post-warm `debug` probe against the flight recorder.
+pub struct DebugProbe {
+    /// Retained traces the `debug` response carried.
+    pub traces: u64,
+    /// Total latency of the slowest retained trace, milliseconds.
+    pub slowest_ms: f64,
+    /// Whether every trace's stage nanoseconds summed *exactly* to its
+    /// recorded total (the recorder's telescoping invariant).
+    pub telescoped: bool,
+}
+
 /// Whole-run results.
 pub struct LoadgenReport {
     /// Phase breakdown: cold then warm.
@@ -201,6 +225,15 @@ pub struct LoadgenReport {
     pub server_compute_ms: (f64, f64),
     /// Server-side queue cap and the depth observed at the end.
     pub queue_depth_ok: bool,
+    /// Flight-recorder counters from the final stats response:
+    /// `(completed, retained, sampled_out)`; `None` when disabled.
+    pub flight: Option<(u64, u64, u64)>,
+    /// Access-log counters from the final stats response:
+    /// `(written, dropped)`; `None` when no log was configured.
+    pub access_log: Option<(u64, u64)>,
+    /// Post-warm `debug` probe; `None` against an external server
+    /// (its recorder may be disabled, so nothing is asserted).
+    pub debug: Option<DebugProbe>,
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {
@@ -287,6 +320,53 @@ fn fetch_stats(addr: &str) -> Option<Json> {
         r#""kind":"stats""#,
     )?;
     Json::parse(&line).ok()
+}
+
+/// Sends one `debug` request and validates the retained traces: at
+/// least one must exist after a loadgen run, every trace must carry
+/// the full stage tree, and the stage nanoseconds must telescope to
+/// the recorded total *exactly* (the marks share one clock, so any
+/// slop would be a recorder bug, not rounding).
+fn debug_probe(addr: &str) -> Option<DebugProbe> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let (line, _) = exchange(
+        &mut stream,
+        &mut reader,
+        "loadgen-debug",
+        r#""kind":"debug""#,
+    )?;
+    let v = Json::parse(&line).ok()?;
+    let traces = v.get("traces").and_then(Json::as_arr)?;
+    let mut slowest_ms: f64 = 0.0;
+    let mut telescoped = true;
+    for t in traces {
+        let total = t.get("total_ns").and_then(Json::as_f64).unwrap_or(-1.0);
+        slowest_ms = slowest_ms.max(total / 1e6);
+        let sum: f64 = t
+            .get("stages")
+            .and_then(Json::as_arr)
+            .map(|stages| {
+                stages
+                    .iter()
+                    .filter_map(|s| s.get("ns").and_then(Json::as_f64))
+                    .sum()
+            })
+            .unwrap_or(-2.0);
+        if sum != total {
+            eprintln!(
+                "loadgen: trace {:?} stage sum {sum} ns != total {total} ns",
+                t.get("id").and_then(Json::as_str).unwrap_or("?")
+            );
+            telescoped = false;
+        }
+    }
+    Some(DebugProbe {
+        traces: traces.len() as u64,
+        slowest_ms,
+        telescoped,
+    })
 }
 
 /// Sums hits/misses across all memo caches in a stats response.
@@ -428,7 +508,11 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
             // owns the memo caches the cold phase needs to clear.
             let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
             let addr = listener.local_addr().expect("local addr").to_string();
-            let server = Server::new(ServerConfig::default());
+            let log = config
+                .access_log
+                .as_ref()
+                .map(|p| AccessLog::to_path(p).expect("open access log"));
+            let server = Server::with_parts(ServerConfig::default(), None, log);
             let transport = config.transport;
             let handle = std::thread::spawn(move || {
                 match transport {
@@ -473,6 +557,33 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
             depth <= cap
         })
         .unwrap_or(false);
+    let enabled_block = |field: &str| {
+        final_stats
+            .as_ref()
+            .and_then(|s| s.get(field))
+            .filter(|b| b.get("enabled").and_then(Json::as_bool) == Some(true))
+            .cloned()
+    };
+    let flight = enabled_block("flight").map(|b| {
+        let n = |f: &str| b.get(f).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        (n("completed"), n("retained"), n("sampled_out"))
+    });
+    let access_log = enabled_block("access_log").map(|b| {
+        let n = |f: &str| b.get(f).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        (n("written"), n("dropped"))
+    });
+    // Against the in-process server the recorder is known-enabled, so
+    // the flight recorder itself is under test: a loadgen run must
+    // leave at least the slowest request fully traced.
+    let debug = if config.serve_addr.is_none() {
+        Some(debug_probe(&addr).unwrap_or(DebugProbe {
+            traces: 0,
+            slowest_ms: 0.0,
+            telescoped: false,
+        }))
+    } else {
+        None
+    };
 
     // Drain the in-process server so the report reflects a clean stop.
     if server_thread.is_some() {
@@ -498,6 +609,9 @@ pub fn run(config: &LoadgenConfig) -> LoadgenReport {
         server_queue_wait_ms,
         server_compute_ms,
         queue_depth_ok,
+        flight,
+        access_log,
+        debug,
     }
 }
 
@@ -539,6 +653,22 @@ pub fn print(report: &LoadgenReport) {
         report.server_compute_ms.0,
         report.server_compute_ms.1,
     );
+    if let Some((completed, retained, sampled_out)) = report.flight {
+        println!(
+            "flight recorder: {completed} traced, {retained} retained, {sampled_out} sampled out"
+        );
+    }
+    if let Some((written, dropped)) = report.access_log {
+        println!("access log: {written} lines written, {dropped} dropped");
+    }
+    if let Some(d) = &report.debug {
+        println!(
+            "debug probe: {} traces, slowest {:.3} ms, stage telescoping {}",
+            d.traces,
+            d.slowest_ms,
+            if d.telescoped { "exact" } else { "BROKEN" }
+        );
+    }
 }
 
 /// `BENCH_serve.json` — the committed serving trajectory point.
@@ -587,6 +717,40 @@ pub fn to_json(report: &LoadgenReport, smoke: bool, config: &LoadgenConfig) -> S
             Json::Num(report.server_compute_ms.1),
         ),
         ("queue_depth_ok", Json::Bool(report.queue_depth_ok)),
+        (
+            "flight",
+            match report.flight {
+                Some((completed, retained, sampled_out)) => obj(vec![
+                    ("enabled", Json::Bool(true)),
+                    ("completed", Json::Num(completed as f64)),
+                    ("retained", Json::Num(retained as f64)),
+                    ("sampled_out", Json::Num(sampled_out as f64)),
+                ]),
+                None => obj(vec![("enabled", Json::Bool(false))]),
+            },
+        ),
+        (
+            "access_log",
+            match report.access_log {
+                Some((written, dropped)) => obj(vec![
+                    ("enabled", Json::Bool(true)),
+                    ("written", Json::Num(written as f64)),
+                    ("dropped", Json::Num(dropped as f64)),
+                ]),
+                None => obj(vec![("enabled", Json::Bool(false))]),
+            },
+        ),
+        (
+            "debug_probe",
+            match &report.debug {
+                Some(d) => obj(vec![
+                    ("traces", Json::Num(d.traces as f64)),
+                    ("slowest_ms", Json::Num(d.slowest_ms)),
+                    ("telescoped", Json::Bool(d.telescoped)),
+                ]),
+                None => Json::Null,
+            },
+        ),
     ]);
     let mut s = doc.to_string();
     s.push('\n');
@@ -657,6 +821,18 @@ pub fn failures(report: &LoadgenReport) -> Vec<String> {
     if !report.queue_depth_ok {
         out.push("server queue depth exceeded its cap".to_string());
     }
+    if let Some(d) = &report.debug {
+        if d.traces == 0 {
+            out.push(
+                "debug probe: no traces retained after a loadgen run (the slowest \
+                 request must always be pinned)"
+                    .to_string(),
+            );
+        }
+        if !d.telescoped {
+            out.push("debug probe: stage nanoseconds do not telescope to total_ns".to_string());
+        }
+    }
     out
 }
 
@@ -684,9 +860,12 @@ mod tests {
             connections: 2,
             serve_addr: None,
             transport: Transport::Event,
+            access_log: None,
         };
         let report = run(&config);
         assert!(failures(&report).is_empty(), "{:?}", failures(&report));
+        let probe = report.debug.as_ref().expect("in-process debug probe runs");
+        assert!(probe.traces >= 1 && probe.telescoped);
         assert!(
             report.server_compute_ms.1 > 0.0,
             "server must report a compute-time split"

@@ -58,6 +58,27 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// Process-wide monotonic lookup totals, maintained alongside the
+/// per-cache counters so callers can attribute cache traffic to a slice
+/// of work with two relaxed loads — [`snapshot`] walks the registry and
+/// every shard lock, far too heavy for a per-request delta.
+///
+/// Unlike the per-cache stats these survive [`clear_all`] (they count
+/// lookups, not contents), so before/after differences are always
+/// non-negative. Concurrent workers' lookups land in the same totals:
+/// deltas taken around a slice of work are attribution hints, exact only
+/// when that slice ran alone.
+static TOTAL_HITS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative `(hits, misses)` across every cache since process start.
+pub fn totals() -> (u64, u64) {
+    (
+        TOTAL_HITS.load(Ordering::Relaxed),
+        TOTAL_MISSES.load(Ordering::Relaxed),
+    )
+}
+
 /// Quantizes an `f64` model parameter into a cache-key word under the
 /// module's quantization policy (see module docs).
 pub fn quantize(x: f64) -> u64 {
@@ -136,9 +157,11 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedCache<K, V> {
         let shard = self.shard(&key);
         if let Some(v) = shard.read().unwrap_or_else(|e| e.into_inner()).get(&key) {
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            TOTAL_HITS.fetch_add(1, Ordering::Relaxed);
             return v.clone();
         }
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        TOTAL_MISSES.fetch_add(1, Ordering::Relaxed);
         let value = compute();
         let mut guard = shard.write().unwrap_or_else(|e| e.into_inner());
         guard.entry(key).or_insert(value).clone()
@@ -327,6 +350,20 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().hits(), 0);
+    }
+
+    #[test]
+    fn global_totals_advance_with_lookups_and_survive_clear() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new();
+        let (h0, m0) = totals();
+        let _ = cache.get_or_insert_with(42, || 1);
+        let _ = cache.get_or_insert_with(42, || 1);
+        let (h1, m1) = totals();
+        assert!(h1 > h0, "hit total advanced: {h0} -> {h1}");
+        assert!(m1 > m0, "miss total advanced: {m0} -> {m1}");
+        cache.clear();
+        let (h2, m2) = totals();
+        assert!(h2 >= h1 && m2 >= m1, "totals are monotonic across clear");
     }
 
     #[test]

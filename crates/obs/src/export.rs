@@ -176,6 +176,70 @@ pub fn prometheus_histogram(out: &mut String, name: &str, snap: &HistogramSnapsh
     );
 }
 
+/// Cumulative-bucket rendering of a histogram carrying one constant label,
+/// e.g. `lat_bucket{kind="hdc",le="0.001"}`. The caller owns the single
+/// `# TYPE` header shared by all label values of the family.
+pub fn prometheus_histogram_labeled(
+    out: &mut String,
+    name: &str,
+    label_key: &str,
+    label_value: &str,
+    snap: &HistogramSnapshot,
+) {
+    let n = prometheus_name(name);
+    let mut lbl = format!("{label_key}=");
+    push_json_str(&mut lbl, label_value);
+    let mut cumulative = 0u64;
+    for &(idx, count) in &snap.buckets {
+        cumulative += count;
+        let (_, hi) = bucket_bounds(idx);
+        let _ = writeln!(
+            out,
+            "{n}_bucket{{{lbl},le=\"{}\"}} {cumulative}",
+            fmt_f64(hi)
+        );
+    }
+    let _ = writeln!(out, "{n}_bucket{{{lbl},le=\"+Inf\"}} {}", snap.count);
+    let _ = writeln!(
+        out,
+        "{n}_sum{{{lbl}}} {}\n{n}_count{{{lbl}}} {}",
+        fmt_f64(snap.sum),
+        snap.count
+    );
+}
+
+/// Attach OpenMetrics-style exemplars (`# {request_id="..."} value`) to the
+/// `_bucket` lines of `metric` in an already-rendered exposition. Exemplars
+/// are `(bucket index, label, value)` from [`crate::metrics::Exemplars`];
+/// a bucket line matches when its `le` equals the bucket's upper bound.
+/// Lines of other metrics pass through untouched.
+pub fn attach_exemplars(text: &str, metric: &str, exemplars: &[(usize, String, f64)]) -> String {
+    if exemplars.is_empty() {
+        return text.to_string();
+    }
+    let prefix = format!("{}_bucket{{le=\"", prometheus_name(metric));
+    let by_le: Vec<(String, &str, f64)> = exemplars
+        .iter()
+        .map(|(idx, label, v)| (fmt_f64(bucket_bounds(*idx).1), label.as_str(), *v))
+        .collect();
+    let mut out = String::with_capacity(text.len() + 64 * exemplars.len());
+    for line in text.lines() {
+        out.push_str(line);
+        if let Some(rest) = line.strip_prefix(&prefix) {
+            if let Some(le) = rest.split('"').next() {
+                if let Some((_, label, v)) = by_le.iter().find(|(l, _, _)| l == le) {
+                    out.push_str(" # {request_id=");
+                    push_json_str(&mut out, label);
+                    out.push_str("} ");
+                    push_f64(&mut out, *v);
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
 /// Span aggregates as three counter families labelled by span name:
 /// `xlda_span_seconds_total`, `xlda_span_self_seconds_total`,
 /// `xlda_span_calls_total`.
@@ -249,6 +313,47 @@ mod tests {
             .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
             .collect();
         assert_eq!(cum, vec![2, 3]);
+    }
+
+    #[test]
+    fn labeled_histogram_rendering_carries_the_label() {
+        let h = Histogram::new();
+        h.record(0.002);
+        h.record(0.002);
+        let mut out = String::new();
+        prometheus_histogram_labeled(&mut out, "serve.kind_latency", "kind", "hdc", &h.snapshot());
+        assert!(out.contains("serve_kind_latency_bucket{kind=\"hdc\",le=\""));
+        assert!(out.contains("serve_kind_latency_bucket{kind=\"hdc\",le=\"+Inf\"} 2"));
+        assert!(out.contains("serve_kind_latency_count{kind=\"hdc\"} 2"));
+    }
+
+    #[test]
+    fn exemplars_attach_to_matching_bucket_lines_only() {
+        use crate::metrics::{bucket_index, Exemplars};
+        let h = Histogram::new();
+        h.record(0.001);
+        h.record(1.0);
+        let ex = Exemplars::new();
+        ex.observe(1.0, "req-slow");
+        let mut text = String::new();
+        prometheus_histogram(&mut text, "lat.seconds", &h.snapshot());
+        prometheus_counter(&mut text, "completed", 2);
+        let annotated = attach_exemplars(&text, "lat.seconds", &ex.snapshot());
+        let hi = fmt_f64(bucket_bounds(bucket_index(1.0).unwrap()).1);
+        let want = format!("le=\"{hi}\"}} 2 # {{request_id=\"req-slow\"}} 1");
+        assert!(
+            annotated.contains(&want),
+            "missing exemplar in:\n{annotated}"
+        );
+        // The 0.001 bucket line and the counter line are untouched.
+        let plain: Vec<&str> = annotated
+            .lines()
+            .filter(|l| l.contains("# {request_id="))
+            .collect();
+        assert_eq!(plain.len(), 1);
+        assert!(annotated.contains("completed 2"));
+        // Line count is preserved.
+        assert_eq!(annotated.lines().count(), text.lines().count());
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //! * [`trace`] — an opt-in event recorder that captures every finished span
 //!   as a `(name, thread, start_ns, dur_ns, depth)` tuple in per-thread
 //!   buffers, for NDJSON dumps and per-point slow-query capture.
+//! * [`flight`] — a per-request flight recorder: stage-timestamped
+//!   [`flight::RequestTrace`] handles whose completed records land in a
+//!   tail-sampling [`flight::FlightRecorder`] ring (errors, deadline misses,
+//!   and EWMA-slow requests are retained; the boring majority is dropped
+//!   and counted).
 //!
 //! [`export`] renders all of the above as NDJSON lines or Prometheus text,
 //! and owns the shortest-round-trip f64 formatter shared with
@@ -26,10 +31,12 @@
 
 pub mod clock;
 pub mod export;
+pub mod flight;
 pub mod metrics;
 pub mod span;
 pub mod trace;
 
-pub use metrics::{Counter, Histogram, HistogramSnapshot, Registry};
+pub use flight::{CompletedTrace, FlightRecorder, FlightStats, RequestTrace, Stage};
+pub use metrics::{Counter, Exemplars, Histogram, HistogramSnapshot, Registry};
 pub use span::{aggregate_snapshot, enabled, reset_aggregates, set_enabled, SpanAgg, SpanGuard};
 pub use trace::SpanEvent;

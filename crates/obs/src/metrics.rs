@@ -27,8 +27,9 @@ pub const MAX_EXP: i32 = 32;
 /// Total bucket count: 96 binades x 8 sub-buckets.
 pub const NBUCKETS: usize = (MAX_EXP - MIN_EXP) as usize * SUBS;
 
-/// Map a sample to its bucket, or `None` for NaN/infinities.
-fn bucket_index(v: f64) -> Option<usize> {
+/// Map a sample to its bucket, or `None` for NaN/infinities. Public so
+/// sidecar per-bucket state (e.g. [`Exemplars`]) can share the layout.
+pub fn bucket_index(v: f64) -> Option<usize> {
     if !v.is_finite() {
         return None;
     }
@@ -215,6 +216,97 @@ impl HistogramSnapshot {
     }
 }
 
+/// Per-bucket exemplar store for a histogram: remembers the label (e.g. a
+/// request id) of the largest observation per bucket since the last reset,
+/// OpenMetrics-style. The common path is one atomic load per observation —
+/// the per-bucket label mutex is taken only when a new within-bucket maximum
+/// is being installed (at most once per bucket per scrape window for a
+/// stationary workload). Under a race the stored label can belong to a
+/// near-maximal observation instead of the true maximum; exemplars are
+/// debugging breadcrumbs, not accounting, so that is acceptable.
+pub struct Exemplars {
+    slots: Vec<ExemplarSlot>,
+}
+
+struct ExemplarSlot {
+    /// Bits of the largest observation seen this window; 0 (= 0.0) = empty.
+    /// Finite positive f64 bit patterns order the same as their values.
+    max_bits: AtomicU64,
+    label: Mutex<String>,
+}
+
+impl Default for Exemplars {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Exemplars {
+    pub fn new() -> Self {
+        Exemplars {
+            slots: (0..NBUCKETS)
+                .map(|_| ExemplarSlot {
+                    max_bits: AtomicU64::new(0),
+                    label: Mutex::new(String::new()),
+                })
+                .collect(),
+        }
+    }
+
+    /// Observe a sample with its label. Non-positive and non-finite samples
+    /// are ignored (they carry no useful exemplar).
+    pub fn observe(&self, v: f64, label: &str) {
+        if !v.is_finite() || v <= 0.0 {
+            return;
+        }
+        let Some(idx) = bucket_index(v) else { return };
+        let slot = &self.slots[idx];
+        let bits = v.to_bits();
+        let mut cur = slot.max_bits.load(Ordering::Relaxed);
+        loop {
+            if bits <= cur {
+                return;
+            }
+            match slot.max_bits.compare_exchange_weak(
+                cur,
+                bits,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        let mut l = slot.label.lock().unwrap_or_else(|e| e.into_inner());
+        l.clear();
+        l.push_str(label);
+    }
+
+    /// Populated exemplars as `(bucket index, label, value)`, bucket-ordered.
+    pub fn snapshot(&self) -> Vec<(usize, String, f64)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, slot)| {
+                let bits = slot.max_bits.load(Ordering::Relaxed);
+                if bits == 0 {
+                    return None;
+                }
+                let label = slot.label.lock().unwrap_or_else(|e| e.into_inner()).clone();
+                Some((idx, label, f64::from_bits(bits)))
+            })
+            .collect()
+    }
+
+    /// Clear all exemplars, starting a new observation window.
+    pub fn reset(&self) {
+        for slot in &self.slots {
+            slot.max_bits.store(0, Ordering::Relaxed);
+            slot.label.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+    }
+}
+
 /// A named group of instruments, e.g. one per server instance. Get-or-create
 /// by name; handles are `Arc`s so callers cache them outside the lock.
 #[derive(Default)]
@@ -380,6 +472,35 @@ mod tests {
         let snap = Histogram::new().snapshot();
         assert!(snap.is_empty());
         assert!(snap.quantile(0.5).is_nan());
+    }
+
+    #[test]
+    fn exemplars_keep_the_largest_label_per_bucket() {
+        let ex = Exemplars::new();
+        // 1.00 and 1.05 share a bucket (12.5% wide); 2.0 does not.
+        ex.observe(1.00, "small");
+        ex.observe(1.05, "large");
+        ex.observe(1.01, "mid"); // not a new max: label stays "large"
+        ex.observe(2.0, "other-bucket");
+        let snap = ex.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].1, "large");
+        assert_eq!(snap[0].2, 1.05);
+        assert_eq!(snap[1].1, "other-bucket");
+        // Bucket indices agree with the histogram layout.
+        assert_eq!(snap[0].0, bucket_index(1.05).unwrap());
+        ex.reset();
+        assert!(ex.snapshot().is_empty());
+    }
+
+    #[test]
+    fn exemplars_ignore_unusable_samples() {
+        let ex = Exemplars::new();
+        ex.observe(0.0, "zero");
+        ex.observe(-1.0, "neg");
+        ex.observe(f64::NAN, "nan");
+        ex.observe(f64::INFINITY, "inf");
+        assert!(ex.snapshot().is_empty());
     }
 
     #[test]

@@ -78,6 +78,28 @@ proptest! {
         );
     }
 
+    /// Within-bucket interpolation is monotone in rank across the full
+    /// quantile ladder (ISSUE 10 satellite, pinning the serve `stats` p99
+    /// addition): for any sample set, p50 ≤ p95 ≤ p99 — including the
+    /// degenerate single-sample and everything-in-one-bucket cases where
+    /// the ranks coincide.
+    #[test]
+    fn quantile_ladder_is_monotone(
+        samples in prop::collection::vec(arb_sample(), 1..400),
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let (p50, p95, p99) = (snap.quantile(0.5), snap.quantile(0.95), snap.quantile(0.99));
+        prop_assert!(
+            p50 <= p95 && p95 <= p99,
+            "quantile ladder not monotone over {} samples: p50 {} p95 {} p99 {}",
+            samples.len(), p50, p95, p99
+        );
+    }
+
     #[test]
     fn cross_thread_merge_is_deterministic(
         samples in prop::collection::vec(arb_sample(), 1..256),

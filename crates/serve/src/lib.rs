@@ -16,14 +16,20 @@
 //! - [`protocol`] — request parsing and response formatting;
 //! - [`server`] — queue → adaptive batcher → pool → drain pipeline and
 //!   the transports;
+//! - [`access_log`] — the wide-event NDJSON access log: one line per
+//!   request through a bounded writer that drops-and-counts instead of
+//!   ever blocking the event loop;
 //! - [`poll`] / [`conn`] / `event_loop` (unix) — the readiness-driven
 //!   TCP transport: hand-rolled epoll/poll, zero-copy framing, direct
 //!   worker-to-socket writes.
 //!
-//! See DESIGN.md §9 (pipeline, wire schema) and §11 (event loop), and
-//! `xlda-bench --loadgen` for the serving benchmark that produces
+//! Per-request observability (the `xlda_obs::flight` recorder, the
+//! `debug` request kind, latency exemplars) is described in DESIGN.md
+//! §15. See DESIGN.md §9 (pipeline, wire schema) and §11 (event loop),
+//! and `xlda-bench --loadgen` for the serving benchmark that produces
 //! `BENCH_serve.json`.
 
+pub mod access_log;
 pub mod json;
 pub mod protocol;
 pub mod server;
@@ -35,4 +41,5 @@ pub(crate) mod event_loop;
 #[cfg(unix)]
 pub mod poll;
 
+pub use access_log::AccessLog;
 pub use server::{ResponseSink, Server, ServerConfig, SharedWriter};

@@ -10,20 +10,23 @@
 //! (default per-request deadline), `--max-frame BYTES`, `--threaded`
 //! (legacy thread-per-connection TCP transport), `--store PATH`
 //! (persistent result store; results survive restarts and back the
-//! `refine` request kind).
+//! `refine` request kind), `--access-log PATH` (wide-event NDJSON log,
+//! one line per request), `--no-flight` / `--flight-cap N` (per-request
+//! flight recorder behind the `debug` request kind; see DESIGN.md §15).
 
 use std::net::TcpListener;
 use std::process::exit;
 use std::sync::Arc;
 use std::time::Duration;
 use xlda_core::store::ResultStore;
-use xlda_serve::{Server, ServerConfig};
+use xlda_serve::{AccessLog, Server, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: xlda-serve [--stdio | --listen ADDR] [--queue-cap N] \
          [--batch-window-ms N] [--batch-max N] [--threads N] [--deadline-ms N] \
-         [--max-frame BYTES] [--threaded] [--store PATH]"
+         [--max-frame BYTES] [--threaded] [--store PATH] [--access-log PATH] \
+         [--no-flight] [--flight-cap N]"
     );
     exit(2);
 }
@@ -43,6 +46,7 @@ fn main() {
     let mut stdio = false;
     let mut threaded = false;
     let mut store_path: Option<String> = None;
+    let mut access_log_path: Option<String> = None;
     let mut listen = "127.0.0.1:7878".to_string();
     let mut args = std::env::args().skip(1).collect::<Vec<_>>().into_iter();
     while let Some(arg) = args.next() {
@@ -73,6 +77,14 @@ fn main() {
                 Some(p) => store_path = Some(p),
                 None => usage(),
             },
+            "--access-log" => match args.next() {
+                Some(p) => access_log_path = Some(p),
+                None => usage(),
+            },
+            "--no-flight" => config.flight = false,
+            "--flight-cap" => {
+                config.flight_cap = (parse_num(&mut args, "--flight-cap") as usize).max(1);
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("xlda-serve: unknown argument {other:?}");
@@ -110,7 +122,18 @@ fn main() {
         }
     });
 
-    let server = Server::with_store(config, store);
+    let access_log = access_log_path.map(|p| match AccessLog::to_path(&p) {
+        Ok(log) => {
+            eprintln!("xlda-serve: access log appending to {p}");
+            log
+        }
+        Err(e) => {
+            eprintln!("xlda-serve: cannot open access log {p}: {e}");
+            exit(1);
+        }
+    });
+
+    let server = Server::with_parts(config, store, access_log);
     if stdio {
         server.run_stdio();
         return;

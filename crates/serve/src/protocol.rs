@@ -17,7 +17,7 @@
 //!
 //! `scenario` fields are optional overrides on the workload's
 //! `Default`; `kind` is one of `hdc | mann | edge | tpu_nvm | triage |
-//! cam_yield_mc | mann_mc | nvm_mc | refine | stats | metrics |
+//! cam_yield_mc | mann_mc | nvm_mc | refine | stats | metrics | debug |
 //! shutdown`. The `*_mc` kinds are Monte-Carlo scenarios: their
 //! `scenario` object also accepts the population controls `trials`,
 //! `seed`, `batch`, and `threads`, and their responses carry a
@@ -152,6 +152,12 @@ pub enum Request {
         /// Correlation id.
         id: String,
     },
+    /// Report the flight recorder's retained slow/error request traces
+    /// with their stage breakdowns.
+    Debug {
+        /// Correlation id.
+        id: String,
+    },
     /// Incremental DSE against the persistent result store.
     Refine {
         /// Correlation id.
@@ -200,6 +206,7 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
         "stats" => return Ok(Request::Stats { id }),
         "metrics" => return Ok(Request::Metrics { id }),
         "shutdown" => return Ok(Request::Shutdown { id }),
+        "debug" => return Ok(Request::Debug { id }),
         "hdc" | "triage" => Box::new(hdc_scenario(&spec).map_err(|m| (id.clone(), m))?),
         "mann" => Box::new(mann_scenario(&spec).map_err(|m| (id.clone(), m))?),
         "cam_yield_mc" => Box::new(cam_yield_mc_scenario(&spec).map_err(|m| (id.clone(), m))?),

@@ -41,6 +41,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::access_log::{self, AccessLog};
 use crate::json::{obj, Json};
 use crate::protocol::{self, RefineMode, RefineSpec, Request, TriageSpec};
 use xlda_core::evaluate::{Evaluation, Scenario};
@@ -48,7 +49,8 @@ use xlda_core::store::{successive_halving, HalvingConfig, ResultStore};
 use xlda_core::sweep::{memo, SweepOptions};
 use xlda_core::triage::{rank, Objective};
 use xlda_core::XldaError;
-use xlda_obs::{Counter, Histogram, Registry};
+use xlda_obs::flight::{self, FlightRecorder, RequestTrace};
+use xlda_obs::{clock, Counter, Exemplars, Histogram, Registry};
 
 /// Hard cap on bytes a single request frame may occupy before a
 /// newline shows up; beyond this the connection is closed with
@@ -75,6 +77,12 @@ pub struct ServerConfig {
     /// Largest request frame accepted before the connection is closed
     /// with `frame_too_large`.
     pub max_frame: usize,
+    /// Whether the per-request flight recorder runs (default on; its
+    /// hot-path cost is a handful of atomic stores per request, gated
+    /// under 5% wall overhead by `xlda-bench --flight-overhead`).
+    pub flight: bool,
+    /// Retained-trace ring capacity for the flight recorder.
+    pub flight_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +94,8 @@ impl Default for ServerConfig {
             threads: 0,
             default_deadline: None,
             max_frame: MAX_FRAME_DEFAULT,
+            flight: true,
+            flight_cap: 64,
         }
     }
 }
@@ -120,6 +130,10 @@ struct Job {
     deadline_at: Option<Instant>,
     enqueued_at: Instant,
     sink: Arc<dyn ResponseSink>,
+    /// Flight-recorder handle, present when the recorder or the access
+    /// log is enabled. `Arc` because the event loop and a worker can
+    /// both hold it across the queue handoff.
+    trace: Option<Arc<RequestTrace>>,
 }
 
 /// Why a job failed.
@@ -151,6 +165,14 @@ struct Metrics {
     /// EWMA of worker nanoseconds per drained job; 0 until the first
     /// batch completes. Feeds the `retry_after_ms` backpressure hint.
     drain_ns_per_job: AtomicU64,
+    /// Per-scenario-kind latency histograms. The kind set is tiny and
+    /// static (~10 `&'static str`s), so a linear scan under a mutex is
+    /// cheaper than hashing; the handles are `Arc`s so the scan only
+    /// covers the lookup, not the record.
+    by_kind: Mutex<Vec<(&'static str, Arc<Histogram>)>>,
+    /// Request-id exemplars for the latency histogram: the slowest
+    /// observation per bucket since the last `metrics` scrape.
+    latency_exemplars: Exemplars,
     started: Instant,
 }
 
@@ -169,9 +191,39 @@ impl Metrics {
             connections_opened: registry.counter("xlda_serve_connections_opened_total"),
             connections_closed: registry.counter("xlda_serve_connections_closed_total"),
             drain_ns_per_job: AtomicU64::new(0),
+            by_kind: Mutex::new(Vec::new()),
+            latency_exemplars: Exemplars::new(),
             started: Instant::now(),
             registry,
         }
+    }
+
+    /// Records one completed request's latency: the overall histogram,
+    /// its per-kind histogram, and the request-id exemplar store.
+    fn observe_request(&self, kind: &'static str, id: &str, latency: Duration) {
+        let s = latency.as_secs_f64();
+        self.latency.record(s);
+        self.latency_exemplars.observe(s, id);
+        let h = {
+            let mut list = self.by_kind.lock().unwrap_or_else(|e| e.into_inner());
+            match list.iter().find(|(k, _)| *k == kind) {
+                Some((_, h)) => Arc::clone(h),
+                None => {
+                    let h = Arc::new(Histogram::new());
+                    list.push((kind, Arc::clone(&h)));
+                    h
+                }
+            }
+        };
+        h.record(s);
+    }
+
+    /// Per-kind latency snapshots, sorted by kind name.
+    fn kind_snapshot(&self) -> Vec<(&'static str, xlda_obs::HistogramSnapshot)> {
+        let list = self.by_kind.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<_> = list.iter().map(|(k, h)| (*k, h.snapshot())).collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
     }
 
     /// A histogram quantile in milliseconds, 0.0 when empty (matching
@@ -220,6 +272,10 @@ pub(crate) struct Shared {
     /// jobs resolve against it, falling back to a transient in-memory
     /// store when absent.
     store: Option<Arc<ResultStore>>,
+    /// Tail-sampling trace retention, when `config.flight` is on.
+    flight: Option<Arc<FlightRecorder>>,
+    /// Wide-event NDJSON access log, when one is configured.
+    access_log: Option<AccessLog>,
     /// Installed by the event loop so `shutdown()` and workers can wake
     /// it; `None` under stdio/threaded transports.
     #[cfg(unix)]
@@ -278,6 +334,16 @@ impl Server {
     /// is also attached process-globally so its counters ride along in
     /// the memo-cache snapshot.
     pub fn with_store(config: ServerConfig, store: Option<Arc<ResultStore>>) -> Self {
+        Self::with_parts(config, store, None)
+    }
+
+    /// The full constructor: optional result store plus an optional
+    /// wide-event access log every request is written to.
+    pub fn with_parts(
+        config: ServerConfig,
+        store: Option<Arc<ResultStore>>,
+        access_log: Option<AccessLog>,
+    ) -> Self {
         if let Some(s) = &store {
             xlda_core::store::attach(Arc::clone(s));
         }
@@ -286,6 +352,9 @@ impl Server {
         } else {
             config.threads
         };
+        let recorder = config
+            .flight
+            .then(|| Arc::new(FlightRecorder::new(config.flight_cap)));
         let shared = Arc::new(Shared {
             config,
             workers: worker_count,
@@ -294,6 +363,8 @@ impl Server {
             draining: AtomicBool::new(false),
             metrics: Metrics::new(),
             store,
+            flight: recorder,
+            access_log,
             #[cfg(unix)]
             waker: Mutex::new(None),
         });
@@ -468,6 +539,15 @@ pub(crate) fn inline_eligible(shared: &Shared) -> bool {
             .is_empty()
 }
 
+/// Writes a minimal access-log line for requests that never become jobs
+/// (control kinds, parse failures, queue rejections). No-op when no
+/// access log is configured.
+fn log_simple(shared: &Shared, id: &str, kind: &str, outcome: &str) {
+    if let Some(log) = &shared.access_log {
+        log.log(access_log::simple_line(id, kind, outcome));
+    }
+}
+
 /// Parses, admits, or rejects one request line. With `inline_eval`,
 /// eligible evaluation jobs run on the calling thread (the event
 /// loop's fast path); everything else goes through the queue.
@@ -477,15 +557,33 @@ pub(crate) fn handle_line_from(
     sink: &Arc<dyn ResponseSink>,
     inline_eval: bool,
 ) {
+    // Frame-receipt timestamp for the flight recorder's decode stage;
+    // one clock read (~5 ns) even when tracing is off.
+    let t0 = clock::now();
+    let want_trace = shared.flight.is_some() || shared.access_log.is_some();
     match protocol::parse_request(line) {
-        Err((id, msg)) => sink.send(&protocol::err_response(&id, "bad_request", &msg, None)),
-        Ok(Request::Stats { id }) => sink.send(&stats_response(shared, &id)),
-        Ok(Request::Metrics { id }) => sink.send(&metrics_response(shared, &id)),
+        Err((id, msg)) => {
+            sink.send(&protocol::err_response(&id, "bad_request", &msg, None));
+            log_simple(shared, &id, "?", "bad_request");
+        }
+        Ok(Request::Stats { id }) => {
+            sink.send(&stats_response(shared, &id));
+            log_simple(shared, &id, "stats", "ok");
+        }
+        Ok(Request::Metrics { id }) => {
+            sink.send(&metrics_response(shared, &id));
+            log_simple(shared, &id, "metrics", "ok");
+        }
+        Ok(Request::Debug { id }) => {
+            sink.send(&debug_response(shared, &id));
+            log_simple(shared, &id, "debug", "ok");
+        }
         Ok(Request::Shutdown { id }) => {
             shared.draining.store(true, Ordering::SeqCst);
             shared.not_empty.notify_all();
             shared.wake_loop();
             sink.send(&protocol::ok_response(&id, "shutdown", vec![]));
+            log_simple(shared, &id, "shutdown", "ok");
         }
         Ok(Request::Eval {
             id,
@@ -498,12 +596,15 @@ pub(crate) fn handle_line_from(
                 .map(Duration::from_millis)
                 .or(shared.config.default_deadline)
                 .map(|d| now + d);
+            let trace =
+                want_trace.then(|| Arc::new(RequestTrace::begin(id.clone(), scenario.kind(), t0)));
             let job = Job {
                 id,
                 work: Work::Eval { scenario, triage },
                 deadline_at,
                 enqueued_at: now,
                 sink: Arc::clone(sink),
+                trace,
             };
             job.sink.job_started();
             if inline_eval && !shared.draining.load(Ordering::SeqCst) && inline_eligible(shared) {
@@ -524,12 +625,14 @@ pub(crate) fn handle_line_from(
                 .map(Duration::from_millis)
                 .or(shared.config.default_deadline)
                 .map(|d| now + d);
+            let trace = want_trace.then(|| Arc::new(RequestTrace::begin(id.clone(), "refine", t0)));
             let job = Job {
                 id,
                 work: Work::Refine(spec),
                 deadline_at,
                 enqueued_at: now,
                 sink: Arc::clone(sink),
+                trace,
             };
             job.sink.job_started();
             // A refine fans out over a whole grid; it never takes the
@@ -550,6 +653,8 @@ fn admit_or_reject(shared: &Arc<Shared>, job: Job) {
             Some(retry_after_ms(shared)),
         ));
         job.sink.job_finished();
+        let kind = job.trace.as_ref().map_or("?", |t| t.kind());
+        log_simple(shared, &job.id, kind, "queue_full");
     }
 }
 
@@ -614,6 +719,13 @@ fn worker_loop(shared: &Arc<Shared>) {
         if batch.is_empty() {
             continue;
         }
+        // Every drained job leaves the admission queue *now*; time until
+        // its own evaluation starts is batch serialization.
+        for job in &batch {
+            if let Some(t) = &job.trace {
+                t.mark_once(flight::Stage::Queue);
+            }
+        }
         let started = Instant::now();
         let jobs = batch.len();
         run_batch(shared, batch);
@@ -655,10 +767,20 @@ fn run_one(shared: &Arc<Shared>, job: Job) {
         deadline_at,
         enqueued_at,
         sink,
+        trace,
     } = job;
-    let line = if deadline_at.is_some_and(|t| eval_start >= t) {
+    if let Some(t) = &trace {
+        // Inline fast-path jobs never saw the worker drain; close the
+        // queue stage here so it reads as (near) zero instead of unset.
+        t.mark_once(flight::Stage::Queue);
+        t.mark(flight::Stage::Batch);
+    }
+    let (line, outcome) = if deadline_at.is_some_and(|t| eval_start >= t) {
         metrics.deadline_expired.inc();
-        protocol::err_response(&id, "deadline", "deadline exceeded", None)
+        (
+            protocol::err_response(&id, "deadline", "deadline exceeded", None),
+            "deadline",
+        )
     } else {
         match work {
             Work::Eval { scenario, triage } => eval_response(
@@ -668,17 +790,47 @@ fn run_one(shared: &Arc<Shared>, job: Job) {
                 triage.as_ref(),
                 enqueued_at,
                 eval_start,
+                trace.as_deref(),
             ),
-            Work::Refine(spec) => {
-                refine_response(shared, &id, spec, deadline_at, enqueued_at, eval_start)
-            }
+            Work::Refine(spec) => refine_response(
+                shared,
+                &id,
+                spec,
+                deadline_at,
+                enqueued_at,
+                eval_start,
+                trace.as_deref(),
+            ),
         }
     };
+    if let Some(t) = &trace {
+        t.mark(flight::Stage::Eval);
+    }
     sink.send(&line);
     sink.job_finished();
+    if let Some(t) = trace {
+        t.mark(flight::Stage::Write);
+        let done = t.complete(outcome);
+        if let Some(log) = &shared.access_log {
+            log.log(access_log::request_line(&done));
+        }
+        if let Some(rec) = &shared.flight {
+            rec.observe(done, metrics.drain_ns_per_job.load(Ordering::Relaxed));
+        }
+    }
 }
 
-/// Evaluates one scenario and builds its response line.
+/// Cache counters before/after one evaluation, for trace attribution.
+/// The counters are process-global, so under concurrent workers the
+/// delta can include a neighbour's lookups — attribution, not audit.
+fn cache_marks(shared: &Shared) -> (u64, u64, u64) {
+    let (mh, mm) = memo::totals();
+    let sh = shared.store.as_ref().map_or(0, |s| s.stats().hits);
+    (mh, mm, sh)
+}
+
+/// Evaluates one scenario and builds its response line plus the outcome
+/// code the flight recorder and access log attribute it under.
 fn eval_response(
     shared: &Arc<Shared>,
     id: &str,
@@ -686,8 +838,10 @@ fn eval_response(
     triage: Option<&TriageSpec>,
     enqueued_at: Instant,
     eval_start: Instant,
-) -> String {
+    trace: Option<&RequestTrace>,
+) -> (String, &'static str) {
     let metrics = &shared.metrics;
+    let before = trace.map(|_| cache_marks(shared));
     // evaluate(), not candidates(): Monte-Carlo scenarios run their
     // trial population exactly once and return distribution digests
     // alongside the candidate view; deterministic scenarios fall
@@ -701,12 +855,23 @@ fn eval_response(
     .map_err(|p| JobError::Panicked(panic_message(p)))
     .and_then(|r| r.map_err(JobError::Eval));
     metrics.compute.record_duration(eval_start.elapsed());
+    if let (Some(t), Some((mh0, mm0, sh0))) = (trace, before) {
+        let (mh1, mm1, sh1) = cache_marks(shared);
+        t.set_cache(
+            mh1.saturating_sub(mh0),
+            mm1.saturating_sub(mm0),
+            sh1.saturating_sub(sh0),
+        );
+    }
     match result {
         Ok(eval) => {
             let cands = eval.candidates;
-            metrics.latency.record_duration(enqueued_at.elapsed());
+            metrics.observe_request(scenario.kind(), id, enqueued_at.elapsed());
             metrics.completed.inc();
             metrics.points.add(cands.len() as u64);
+            if let Some(t) = trace {
+                t.set_points(cands.len() as u64);
+            }
             // Each digest summarizes the same request population, so
             // take the max rather than summing across distributions.
             metrics.mc_trials.add(
@@ -749,7 +914,7 @@ fn eval_response(
                     ),
                 ));
             }
-            protocol::ok_response(id, scenario.kind(), body)
+            (protocol::ok_response(id, scenario.kind(), body), "ok")
         }
         Err(JobError::Eval(e)) => {
             let code = if e.is_infeasible() {
@@ -757,11 +922,12 @@ fn eval_response(
             } else {
                 "invalid"
             };
-            protocol::err_response(id, code, &e.to_string(), None)
+            (protocol::err_response(id, code, &e.to_string(), None), code)
         }
-        Err(JobError::Panicked(msg)) => {
-            protocol::err_response(id, "panic", &format!("evaluation panicked: {msg}"), None)
-        }
+        Err(JobError::Panicked(msg)) => (
+            protocol::err_response(id, "panic", &format!("evaluation panicked: {msg}"), None),
+            "panic",
+        ),
     }
 }
 
@@ -776,8 +942,10 @@ fn refine_response(
     deadline_at: Option<Instant>,
     enqueued_at: Instant,
     eval_start: Instant,
-) -> String {
+    trace: Option<&RequestTrace>,
+) -> (String, &'static str) {
     let metrics = &shared.metrics;
+    let before = trace.map(|_| cache_marks(shared));
     let store = match &shared.store {
         Some(s) => Arc::clone(s),
         // No configured store: refine still works, resolving through a
@@ -868,8 +1036,16 @@ fn refine_response(
         }
     }
     metrics.compute.record_duration(eval_start.elapsed());
-    metrics.latency.record_duration(enqueued_at.elapsed());
+    metrics.observe_request("refine", id, enqueued_at.elapsed());
     metrics.completed.inc();
+    if let (Some(t), Some((mh0, mm0, sh0))) = (trace, before) {
+        let (mh1, mm1, sh1) = cache_marks(shared);
+        t.set_cache(
+            mh1.saturating_sub(mh0),
+            mm1.saturating_sub(mm0),
+            sh1.saturating_sub(sh0),
+        );
+    }
     let count = |tag: &str| statuses.iter().filter(|s| **s == tag).count();
     let (evaluated, cached, known_n) = (count("evaluated"), count("cached"), count("known"));
     let mut returned_points = 0u64;
@@ -907,6 +1083,9 @@ fn refine_response(
         })
         .collect();
     metrics.points.add(returned_points);
+    if let Some(t) = trace {
+        t.set_points(returned_points);
+    }
     let mut body = vec![
         ("base", Json::Str(base)),
         ("grid", Json::Num(n as f64)),
@@ -933,7 +1112,7 @@ fn refine_response(
             ),
         ));
     }
-    protocol::ok_response(id, "refine", body)
+    (protocol::ok_response(id, "refine", body), "ok")
 }
 
 /// Scores every resolved point by its best candidate under `objective`,
@@ -982,6 +1161,26 @@ fn stats_response(shared: &Arc<Shared>, id: &str) -> String {
             ])
         })
         .collect();
+    let kinds: Vec<Json> = m
+        .kind_snapshot()
+        .iter()
+        .map(|(kind, snap)| {
+            let q = |p: f64| {
+                if snap.is_empty() {
+                    0.0
+                } else {
+                    snap.quantile(p) * 1e3
+                }
+            };
+            obj(vec![
+                ("kind", Json::Str(kind.to_string())),
+                ("count", Json::Num(snap.count as f64)),
+                ("p50_ms", Json::Num(q(0.5))),
+                ("p95_ms", Json::Num(q(0.95))),
+                ("p99_ms", Json::Num(q(0.99))),
+            ])
+        })
+        .collect();
     protocol::ok_response(
         id,
         "stats",
@@ -1001,6 +1200,7 @@ fn stats_response(shared: &Arc<Shared>, id: &str) -> String {
             ("retry_hint_ms", Json::Num(retry_after_ms(shared) as f64)),
             ("p50_ms", Json::Num(Metrics::quantile_ms(&m.latency, 0.5))),
             ("p95_ms", Json::Num(Metrics::quantile_ms(&m.latency, 0.95))),
+            ("p99_ms", Json::Num(Metrics::quantile_ms(&m.latency, 0.99))),
             (
                 "queue_wait_p50_ms",
                 Json::Num(Metrics::quantile_ms(&m.queue_wait, 0.5)),
@@ -1010,6 +1210,10 @@ fn stats_response(shared: &Arc<Shared>, id: &str) -> String {
                 Json::Num(Metrics::quantile_ms(&m.queue_wait, 0.95)),
             ),
             (
+                "queue_wait_p99_ms",
+                Json::Num(Metrics::quantile_ms(&m.queue_wait, 0.99)),
+            ),
+            (
                 "compute_p50_ms",
                 Json::Num(Metrics::quantile_ms(&m.compute, 0.5)),
             ),
@@ -1017,8 +1221,93 @@ fn stats_response(shared: &Arc<Shared>, id: &str) -> String {
                 "compute_p95_ms",
                 Json::Num(Metrics::quantile_ms(&m.compute, 0.95)),
             ),
+            (
+                "trace_dropped",
+                Json::Num(xlda_obs::trace::dropped() as f64),
+            ),
+            ("kinds", Json::Arr(kinds)),
+            ("flight", flight_json(shared)),
+            ("access_log", access_log_json(shared)),
             ("store", store_json(shared)),
             ("caches", Json::Arr(caches)),
+        ],
+    )
+}
+
+/// The `flight` block of the stats/debug responses: recorder counters
+/// and the current retention threshold, or `{"enabled": false}`.
+fn flight_json(shared: &Arc<Shared>) -> Json {
+    match &shared.flight {
+        Some(rec) => {
+            let s = rec.stats(shared.metrics.drain_ns_per_job.load(Ordering::Relaxed));
+            obj(vec![
+                ("enabled", Json::Bool(true)),
+                ("completed", Json::Num(s.completed as f64)),
+                ("retained", Json::Num(s.retained as f64)),
+                ("sampled_out", Json::Num(s.dropped as f64)),
+                ("slow_threshold_ms", Json::Num(s.threshold_ns as f64 / 1e6)),
+            ])
+        }
+        None => obj(vec![("enabled", Json::Bool(false))]),
+    }
+}
+
+/// The `access_log` block of the stats response.
+fn access_log_json(shared: &Arc<Shared>) -> Json {
+    match &shared.access_log {
+        Some(log) => obj(vec![
+            ("enabled", Json::Bool(true)),
+            ("written", Json::Num(log.written() as f64)),
+            ("dropped", Json::Num(log.dropped() as f64)),
+        ]),
+        None => obj(vec![("enabled", Json::Bool(false))]),
+    }
+}
+
+/// One retained trace as JSON: identity, outcome, exact nanosecond
+/// stage breakdown (which telescopes to `total_ns` by construction),
+/// and cache attribution. Millisecond mirrors ride along for humans.
+fn trace_json(t: &flight::CompletedTrace) -> Json {
+    let stages: Vec<Json> = flight::STAGES
+        .iter()
+        .zip(t.stage_ns.iter())
+        .map(|(name, &ns)| {
+            obj(vec![
+                ("stage", Json::Str(name.to_string())),
+                ("ns", Json::Num(ns as f64)),
+                ("ms", Json::Num(ns as f64 / 1e6)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("id", Json::Str(t.id.clone())),
+        ("kind", Json::Str(t.kind.to_string())),
+        ("outcome", Json::Str(t.outcome.to_string())),
+        ("ok", Json::Bool(t.is_ok())),
+        ("total_ns", Json::Num(t.total_ns as f64)),
+        ("total_ms", Json::Num(t.total_ns as f64 / 1e6)),
+        ("stages", Json::Arr(stages)),
+        ("points", Json::Num(t.points as f64)),
+        ("memo_hits", Json::Num(t.memo_hits as f64)),
+        ("memo_misses", Json::Num(t.memo_misses as f64)),
+        ("store_hits", Json::Num(t.store_hits as f64)),
+    ])
+}
+
+/// Builds the `debug` response: the flight recorder's retained
+/// slow/error traces (slowest first) with their stage trees.
+fn debug_response(shared: &Arc<Shared>, id: &str) -> String {
+    let traces: Vec<Json> = shared
+        .flight
+        .as_ref()
+        .map(|rec| rec.snapshot().iter().map(trace_json).collect())
+        .unwrap_or_default();
+    protocol::ok_response(
+        id,
+        "debug",
+        vec![
+            ("flight", flight_json(shared)),
+            ("traces", Json::Arr(traces)),
         ],
     )
 }
@@ -1050,7 +1339,29 @@ fn store_json(shared: &Arc<Shared>) -> Json {
 /// cache counters, wrapped in one JSON envelope like every other reply.
 fn metrics_response(shared: &Arc<Shared>, id: &str) -> String {
     use std::fmt::Write as _;
-    let mut text = shared.metrics.registry.prometheus_text();
+    // Attach request-id exemplars to the latency histogram's bucket
+    // lines, then reset the window: each scrape sees the slowest
+    // observation per bucket since the previous scrape.
+    let exemplars = shared.metrics.latency_exemplars.snapshot();
+    shared.metrics.latency_exemplars.reset();
+    let mut text = xlda_obs::export::attach_exemplars(
+        &shared.metrics.registry.prometheus_text(),
+        "xlda_serve_request_latency_seconds",
+        &exemplars,
+    );
+    let kinds = shared.metrics.kind_snapshot();
+    if !kinds.is_empty() {
+        let _ = writeln!(text, "# TYPE xlda_serve_kind_latency_seconds histogram");
+        for (kind, snap) in &kinds {
+            xlda_obs::export::prometheus_histogram_labeled(
+                &mut text,
+                "xlda_serve_kind_latency_seconds",
+                "kind",
+                kind,
+                snap,
+            );
+        }
+    }
     xlda_obs::export::prometheus_spans(&mut text, &xlda_obs::aggregate_snapshot());
     let caches = memo::snapshot();
     if !caches.is_empty() {
@@ -1331,6 +1642,8 @@ mod tests {
             draining: AtomicBool::new(false),
             metrics: Metrics::new(),
             store: None,
+            flight: None,
+            access_log: None,
             #[cfg(unix)]
             waker: Mutex::new(None),
         });
@@ -1420,5 +1733,107 @@ mod tests {
             assert!(answered.contains(&format!("g{i}")), "g{i} dropped");
         }
         assert!(answered.contains("bye"));
+    }
+
+    #[test]
+    fn debug_returns_traces_whose_stages_telescope_exactly() {
+        let server = Server::new(ServerConfig::default());
+        let (w, rx) = test_writer();
+        for i in 0..4 {
+            server.handle_line(&format!(r#"{{"id":"t{i}","kind":"hdc"}}"#), &w);
+            let v = recv(&rx);
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        }
+        server.handle_line(r#"{"id":"dbg","kind":"debug"}"#, &w);
+        let v = recv(&rx);
+        assert_eq!(v.get("kind").and_then(Json::as_str), Some("debug"));
+        let flight = v.get("flight").unwrap();
+        assert_eq!(flight.get("enabled").and_then(Json::as_bool), Some(true));
+        // A trace completes *after* its response is sent (the write
+        // stage is part of the trace), so the most recent request may
+        // not be folded in yet when the debug probe lands.
+        assert!(flight.get("completed").and_then(Json::as_f64).unwrap() >= 3.0);
+        let traces = v.get("traces").and_then(Json::as_arr).unwrap();
+        assert!(!traces.is_empty(), "at least the slowest trace is retained");
+        for t in traces {
+            let total = t.get("total_ns").and_then(Json::as_f64).unwrap();
+            assert!(total >= 1.0);
+            let stages = t.get("stages").and_then(Json::as_arr).unwrap();
+            assert_eq!(stages.len(), 5);
+            // Stage durations are exact nanosecond diffs of one clock, so
+            // they telescope to the total with no rounding slop at all.
+            let sum: f64 = stages
+                .iter()
+                .map(|s| s.get("ns").and_then(Json::as_f64).unwrap())
+                .sum();
+            assert_eq!(sum, total, "stage tree must telescope to total_ns");
+            assert!(t.get("points").and_then(Json::as_f64).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn stats_reports_p99_per_kind_quantiles_and_flight_blocks() {
+        let server = Server::new(ServerConfig::default());
+        let (w, rx) = test_writer();
+        server.handle_line(r#"{"id":"a","kind":"hdc"}"#, &w);
+        server.handle_line(r#"{"id":"b","kind":"mann"}"#, &w);
+        for _ in 0..2 {
+            let v = recv(&rx);
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        }
+        server.handle_line(r#"{"id":"s","kind":"stats"}"#, &w);
+        let v = recv(&rx);
+        let p50 = v.get("p50_ms").and_then(Json::as_f64).unwrap();
+        let p95 = v.get("p95_ms").and_then(Json::as_f64).unwrap();
+        let p99 = v.get("p99_ms").and_then(Json::as_f64).unwrap();
+        assert!(
+            p50 <= p95 && p95 <= p99,
+            "quantile ladder {p50} {p95} {p99}"
+        );
+        assert!(v.get("queue_wait_p99_ms").and_then(Json::as_f64).unwrap() >= 0.0);
+        assert!(v.get("trace_dropped").and_then(Json::as_f64).unwrap() >= 0.0);
+        let kinds = v.get("kinds").and_then(Json::as_arr).unwrap();
+        let names: Vec<&str> = kinds
+            .iter()
+            .map(|k| k.get("kind").and_then(Json::as_str).unwrap())
+            .collect();
+        assert!(
+            names.contains(&"hdc") && names.contains(&"mann"),
+            "{names:?}"
+        );
+        for k in kinds {
+            assert_eq!(k.get("count").and_then(Json::as_f64), Some(1.0));
+            assert!(k.get("p99_ms").and_then(Json::as_f64).unwrap() >= 0.0);
+        }
+        let flight = v.get("flight").unwrap();
+        assert_eq!(flight.get("enabled").and_then(Json::as_bool), Some(true));
+        // No --access-log on this server: the block says so explicitly.
+        let log = v.get("access_log").unwrap();
+        assert_eq!(log.get("enabled").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn metrics_carries_exemplars_and_per_kind_histograms() {
+        let server = Server::new(ServerConfig::default());
+        let (w, rx) = test_writer();
+        server.handle_line(r#"{"id":"ex1","kind":"hdc"}"#, &w);
+        let first = recv(&rx);
+        assert_eq!(first.get("ok").and_then(Json::as_bool), Some(true));
+        server.handle_line(r#"{"id":"m","kind":"metrics"}"#, &w);
+        let v = recv(&rx);
+        let text = v.get("prometheus").and_then(Json::as_str).unwrap();
+        // The slowest (only) request in this scrape window is pinned as
+        // the exemplar on exactly the latency bucket it landed in.
+        assert!(
+            text.contains(" # {request_id=\"ex1\"} "),
+            "missing exemplar in:\n{text}"
+        );
+        assert!(text.contains("# TYPE xlda_serve_kind_latency_seconds histogram"));
+        assert!(text.contains("xlda_serve_kind_latency_seconds_count{kind=\"hdc\"} 1"));
+        // Exemplar windows reset per scrape: a second scrape has none.
+        server.handle_line(r#"{"id":"m2","kind":"metrics"}"#, &w);
+        let v2 = recv(&rx);
+        let text2 = v2.get("prometheus").and_then(Json::as_str).unwrap();
+        assert!(!text2.contains("# {request_id="), "window must reset");
     }
 }
